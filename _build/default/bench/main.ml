@@ -1,0 +1,744 @@
+(* Benchmark harness: regenerates every table and figure of the paper
+   (Table 1, Tables 2-4 via the worked example, Figures 3-9) on the
+   synthetic Perfect-Club-like suite, plus ablation studies and Bechamel
+   timing benches of the core algorithms.
+
+     dune exec bench/main.exe                 -- everything
+     dune exec bench/main.exe -- table1       -- one experiment
+     dune exec bench/main.exe -- fig8 --quick -- smaller suite
+
+   Experiment ids: example table1 fig6 fig7 fig8 fig9 ablation spill-victims
+   cluster-policy mve doubling fission cost sacks lifetime-postpass bechamel.
+   --csv DIR mirrors the figure series to CSV files. *)
+
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+open Ncdrf_regalloc
+open Ncdrf_core
+
+let suite_size = ref 795
+let quick () = suite_size := 150
+let csv_dir : string option ref = ref None
+
+let banner title = Printf.printf "\n==== %s ====\n%!" title
+
+(* Optionally mirror an experiment's series to CSV for plotting. *)
+let emit_csv name rows =
+  match !csv_dir with
+  | None -> ()
+  | Some dir ->
+    if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+    let path = Filename.concat dir (name ^ ".csv") in
+    Ncdrf_report.Csv.write path rows;
+    Printf.printf "  [csv: %s]\n%!" path
+
+let suite_cache : Suite_stats.workload list option ref = ref None
+
+let workloads () =
+  match !suite_cache with
+  | Some w -> w
+  | None ->
+    let entries = Ncdrf_workloads.Suite.full ~size:!suite_size () in
+    let w =
+      List.map
+        (fun e ->
+          {
+            Suite_stats.ddg = e.Ncdrf_workloads.Suite.ddg;
+            weight = e.Ncdrf_workloads.Suite.iterations;
+          })
+        entries
+    in
+    suite_cache := Some w;
+    w
+
+(* ------------------------------------------------------------------ *)
+(* Worked example: Tables 2-4, Figures 3-5.                            *)
+(* ------------------------------------------------------------------ *)
+
+let paper_schedule () =
+  (* The exact schedule of the paper's Figure 3 (cycles normalized). *)
+  let ddg = Ncdrf_workloads.Kernels.paper_example () in
+  let config = Config.example () in
+  let table =
+    [ ("L1", 0, 0); ("L2", 0, 0); ("M3", 1, 0); ("A4", 4, 0); ("M5", 7, 1);
+      ("A6", 10, 1); ("S7", 13, 1) ]
+  in
+  let placements = Array.make (Ddg.num_nodes ddg) { Schedule.cycle = 0; cluster = 0 } in
+  let set (label, cycle, cluster) =
+    Ddg.iter_nodes ddg ~f:(fun n ->
+        if String.equal n.Ddg.label label then
+          placements.(n.Ddg.id) <- { Schedule.cycle; cluster })
+  in
+  List.iter set table;
+  Schedule.make ~config ~ii:1 ~placements ddg
+
+let run_example () =
+  banner "Worked example (paper Section 4.1)";
+  let sched = paper_schedule () in
+  Printf.printf "Figure 3/4: modulo schedule and kernel (before swapping)\n";
+  print_string (Kernel.render_schedule_table sched);
+  print_string (Kernel.render sched);
+  Printf.printf "\nTable 2: lifetimes of loop variants\n";
+  let ddg = sched.Schedule.ddg in
+  let lifetimes = Lifetime.of_schedule sched in
+  List.iter
+    (fun l ->
+      let n = Ddg.node ddg l.Lifetime.producer in
+      Printf.printf "  %-4s start %2d  end %2d  lifetime %2d\n" n.Ddg.label
+        l.Lifetime.start l.Lifetime.stop (Lifetime.length l))
+    lifetimes;
+  Printf.printf "  total (unified registers at II=1): %d\n" (Requirements.unified sched);
+  let show_alloc label sched =
+    let detail = Requirements.partitioned sched in
+    Printf.printf "\n%s\n" label;
+    List.iter
+      (fun (n, cls) ->
+        Printf.printf "  %-4s %s\n" n.Ddg.label (Format.asprintf "%a" Classify.pp cls))
+      (Classify.classify sched);
+    Printf.printf
+      "  global %d | left-only %d | right-only %d | per-cluster %s | required %d\n"
+      detail.Requirements.global_requirement
+      detail.Requirements.local_requirements.(0)
+      detail.Requirements.local_requirements.(1)
+      (String.concat "/"
+         (Array.to_list (Array.map string_of_int detail.Requirements.cluster_requirements)))
+      detail.Requirements.requirement
+  in
+  show_alloc "Table 3: allocation classes (before swapping)" sched;
+  let swapped, stats = Swap.improve sched in
+  Printf.printf "\nFigure 5: kernel after greedy swapping (%d swaps, estimate %d -> %d)\n"
+    stats.Swap.swaps stats.Swap.initial_cost stats.Swap.final_cost;
+  print_string (Kernel.render swapped);
+  show_alloc "Table 4: allocation classes (after swapping)" swapped
+
+(* ------------------------------------------------------------------ *)
+(* Table 1: allocatable loops under 16/32/64 registers, PxLy configs.  *)
+(* ------------------------------------------------------------------ *)
+
+let run_table1 () =
+  banner "Table 1: % loops (and % cycles) allocatable without spilling, unified file";
+  let configs =
+    [ Config.pxly ~parallelism:1 ~latency:3; Config.pxly ~parallelism:2 ~latency:3;
+      Config.pxly ~parallelism:1 ~latency:6; Config.pxly ~parallelism:2 ~latency:6 ]
+  in
+  let loops = workloads () in
+  Printf.printf "%-6s | %8s %8s | %8s %8s | %8s %8s\n" "config" "<=16" "cyc" "<=32" "cyc"
+    "<=64" "cyc";
+  Printf.printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun cfg ->
+      let ms = Suite_stats.measure ~config:cfg ~model:Model.Unified loops in
+      let cell r =
+        let s, d = Suite_stats.allocatable ms ~r in
+        Printf.sprintf "%7.1f%% %7.1f%%" s d
+      in
+      Printf.printf "%-6s | %s | %s | %s\n" cfg.Config.name (cell 16) (cell 32) (cell 64))
+    configs;
+  emit_csv "table1"
+    ([ "config"; "r"; "static_pct"; "dynamic_pct" ]
+     :: List.concat_map
+          (fun cfg ->
+            let ms = Suite_stats.measure ~config:cfg ~model:Model.Unified loops in
+            List.map
+              (fun r ->
+                let s, d = Suite_stats.allocatable ms ~r in
+                [ cfg.Config.name; string_of_int r; Printf.sprintf "%.2f" s;
+                  Printf.sprintf "%.2f" d ])
+              [ 16; 32; 64 ])
+          configs)
+
+(* ------------------------------------------------------------------ *)
+(* Figures 6 and 7: cumulative distributions.                          *)
+(* ------------------------------------------------------------------ *)
+
+let distribution_points = [ 8; 16; 24; 32; 40; 48; 56; 64; 80; 96; 112; 128 ]
+
+let run_distribution ~dynamic () =
+  let which = if dynamic then "Figure 7 (dynamic, cycle-weighted)" else "Figure 6 (static)" in
+  banner (which ^ ": cumulative distribution of loops vs registers required");
+  let loops = workloads () in
+  List.iter
+    (fun latency ->
+      let config = Config.dual ~latency in
+      Printf.printf "\n-- latency %d (%s), %% of %s with requirement <= R\n" latency
+        config.Config.name
+        (if dynamic then "cycles" else "loops");
+      Printf.printf "%-12s" "R:";
+      List.iter (fun r -> Printf.printf "%6d" r) distribution_points;
+      print_newline ();
+      List.iter
+        (fun model ->
+          let ms = Suite_stats.measure ~config ~model loops in
+          let dist =
+            if dynamic then Suite_stats.dynamic_cumulative ms ~points:distribution_points
+            else Suite_stats.static_cumulative ms ~points:distribution_points
+          in
+          Printf.printf "%-12s" (Model.to_string model);
+          List.iter (fun (_, pct) -> Printf.printf "%6.1f" pct) dist;
+          print_newline ();
+          emit_csv
+            (Printf.sprintf "%s-L%d-%s"
+               (if dynamic then "fig7" else "fig6")
+               latency (Model.to_string model))
+            ([ "registers"; "cumulative_pct" ]
+             :: List.map (fun (r, pct) -> [ string_of_int r; Printf.sprintf "%.2f" pct ]) dist))
+        [ Model.Unified; Model.Partitioned; Model.Swapped ])
+    [ 3; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* Figures 8 and 9: performance and traffic with limited registers.    *)
+(* ------------------------------------------------------------------ *)
+
+let performance_grid () =
+  let loops = workloads () in
+  let grid = ref [] in
+  List.iter
+    (fun latency ->
+      List.iter
+        (fun capacity ->
+          let config = Config.dual ~latency in
+          let cells =
+            List.map
+              (fun model ->
+                let p = Suite_stats.performance ~config ~model ~capacity loops in
+                (model, p))
+              Model.all
+          in
+          grid := ((latency, capacity), cells) :: !grid)
+        [ 32; 64 ])
+    [ 3; 6 ];
+  List.rev !grid
+
+let grid_cache = ref None
+
+let get_grid () =
+  match !grid_cache with
+  | Some g -> g
+  | None ->
+    let g = performance_grid () in
+    grid_cache := Some g;
+    g
+
+let run_fig8 () =
+  banner "Figure 8: performance (relative to ideal = 1.00)";
+  Printf.printf "%-14s" "config";
+  List.iter (fun m -> Printf.printf "%14s" (Model.to_string m)) Model.all;
+  Printf.printf "%10s\n" "spills";
+  List.iter
+    (fun ((latency, capacity), cells) ->
+      Printf.printf "L=%d,R=%-8d" latency capacity;
+      List.iter (fun (_, p) -> Printf.printf "%14.3f" p.Suite_stats.relative) cells;
+      let spills =
+        List.fold_left (fun acc (_, p) -> acc + p.Suite_stats.total_spills) 0 cells
+      in
+      Printf.printf "%10d\n" spills)
+    (get_grid ());
+  emit_csv "fig8"
+    ([ "latency"; "registers"; "model"; "relative_performance"; "total_spills" ]
+     :: List.concat_map
+          (fun ((latency, capacity), cells) ->
+            List.map
+              (fun (model, p) ->
+                [ string_of_int latency; string_of_int capacity; Model.to_string model;
+                  Printf.sprintf "%.4f" p.Suite_stats.relative;
+                  string_of_int p.Suite_stats.total_spills ])
+              cells)
+          (get_grid ()))
+
+let run_fig9 () =
+  banner "Figure 9: density of memory traffic (fraction of bus bandwidth)";
+  Printf.printf "%-14s" "config";
+  List.iter (fun m -> Printf.printf "%14s" (Model.to_string m)) Model.all;
+  print_newline ();
+  List.iter
+    (fun ((latency, capacity), cells) ->
+      Printf.printf "L=%d,R=%-8d" latency capacity;
+      List.iter (fun (_, p) -> Printf.printf "%14.3f" p.Suite_stats.density) cells;
+      print_newline ())
+    (get_grid ());
+  emit_csv "fig9"
+    ([ "latency"; "registers"; "model"; "traffic_density" ]
+     :: List.concat_map
+          (fun ((latency, capacity), cells) ->
+            List.map
+              (fun (model, p) ->
+                [ string_of_int latency; string_of_int capacity; Model.to_string model;
+                  Printf.sprintf "%.4f" p.Suite_stats.density ])
+              cells)
+          (get_grid ()))
+
+(* ------------------------------------------------------------------ *)
+(* Ablations.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let run_ablation () =
+  banner "Ablation: allocation schema (Wands-Only order)";
+  let loops = workloads () in
+  let config = Config.dual ~latency:6 in
+  let schedules = List.map (fun l -> Modulo.schedule config l.Suite_stats.ddg) loops in
+  let total strategy order =
+    List.fold_left (fun acc sched -> acc + Requirements.unified ~strategy ~order sched) 0
+      schedules
+  in
+  Printf.printf "total unified registers over the suite (lower is better):\n";
+  List.iter
+    (fun (name, strategy) ->
+      Printf.printf "  %-10s %d\n%!" name (total strategy Alloc.Start_time))
+    [ ("first-fit", Alloc.First_fit); ("best-fit", Alloc.Best_fit);
+      ("end-fit", Alloc.End_fit) ];
+  banner "Ablation: lifetime ordering (First-Fit schema)";
+  List.iter
+    (fun (name, order) -> Printf.printf "  %-14s %d\n%!" name (total Alloc.First_fit order))
+    [ ("start-time", Alloc.Start_time); ("longest-first", Alloc.Longest_first);
+      ("node-order", Alloc.Node_order) ];
+  banner "Ablation: swap estimate (MaxLive vs exact allocation)";
+  let swap_cost estimate =
+    List.fold_left
+      (fun acc sched ->
+        let swapped, _ = Swap.improve ~estimate sched in
+        acc + (Requirements.partitioned swapped).Requirements.requirement)
+      0 schedules
+  in
+  Printf.printf "  %-10s %d\n%!" "maxlive" (swap_cost Swap.Max_live);
+  Printf.printf "  %-10s %d\n%!" "exact" (swap_cost Swap.Exact);
+  banner "Ablation: spilling vs rescheduling at increased II (paper 5.4 option 1)";
+  let capacity = 32 in
+  let spill_time, bump_time =
+    List.fold_left
+      (fun (st, bt) l ->
+        let spill = Pipeline.run ~config ~model:Model.Unified ~capacity l.Suite_stats.ddg in
+        (* II escalation only: reschedule with growing II until the
+           requirement fits, no spill code. *)
+        let rec escalate ii guard =
+          let sched = Modulo.schedule_with_min_ii ~min_ii:ii config l.Suite_stats.ddg in
+          let req = Requirements.unified sched in
+          if req <= capacity || guard > 64 then sched
+          else escalate (Schedule.ii sched + 1) (guard + 1)
+        in
+        let bumped = escalate 1 0 in
+        ( st +. (l.Suite_stats.weight *. float_of_int spill.Pipeline.ii),
+          bt +. (l.Suite_stats.weight *. float_of_int (Schedule.ii bumped)) ))
+      (0.0, 0.0) loops
+  in
+  Printf.printf "  weighted cycles, spilling:    %.3e\n" spill_time;
+  Printf.printf "  weighted cycles, II increase: %.3e  (%.2fx)\n" bump_time
+    (bump_time /. spill_time)
+
+(* ------------------------------------------------------------------ *)
+(* Extensions beyond the paper.                                        *)
+(* ------------------------------------------------------------------ *)
+
+let run_spill_victims () =
+  banner "Extension: spill-victim heuristics (the paper asks for better ones)";
+  let loops = workloads () in
+  let config = Config.dual ~latency:6 in
+  let capacity = 32 in
+  Printf.printf "%-18s %10s %12s %10s %8s\n" "victim" "rel.perf" "density" "spills" "unfit";
+  List.iter
+    (fun (name, victim) ->
+      let ideal = ref 0.0 and achieved = ref 0.0 in
+      let num = ref 0.0 and den = ref 0.0 in
+      let spills = ref 0 and unfit = ref 0 in
+      let bandwidth = float_of_int (Config.memory_bandwidth config) in
+      List.iter
+        (fun l ->
+          let st = Pipeline.run ~config ~model:Model.Swapped ~capacity ~victim
+              l.Suite_stats.ddg in
+          ideal := !ideal +. (l.Suite_stats.weight *. float_of_int st.Pipeline.mii);
+          achieved := !achieved +. (l.Suite_stats.weight *. float_of_int st.Pipeline.ii);
+          num := !num +. (l.Suite_stats.weight *. float_of_int st.Pipeline.memops_per_iter);
+          den := !den +. (l.Suite_stats.weight *. float_of_int st.Pipeline.ii *. bandwidth);
+          spills := !spills + st.Pipeline.spilled;
+          if not st.Pipeline.fits then incr unfit)
+        loops;
+      Printf.printf "%-18s %10.3f %12.3f %10d %8d\n%!" name (!ideal /. !achieved)
+        (!num /. !den) !spills !unfit)
+    [ ("longest (paper)", Ncdrf_spill.Spiller.Longest_lifetime);
+      ("best-ratio", Ncdrf_spill.Spiller.Best_ratio);
+      ("fewest-consumers", Ncdrf_spill.Spiller.Fewest_consumers) ]
+
+let run_cluster_policy () =
+  banner "Extension: cluster-aware scheduling (paper 4.1 option 1, declined there)";
+  let loops = workloads () in
+  List.iter
+    (fun latency ->
+      let config = Config.dual ~latency in
+      Printf.printf "\n-- latency %d: registers required over the suite\n" latency;
+      let total policy swap =
+        List.fold_left
+          (fun acc l ->
+            let sched = Modulo.schedule ~cluster_policy:policy config l.Suite_stats.ddg in
+            let sched = if swap then fst (Swap.improve sched) else sched in
+            acc + (Requirements.partitioned sched).Requirements.requirement)
+          0 loops
+      in
+      Printf.printf "  %-26s %d\n%!" "balance (paper, no swap)" (total Modulo.Balance false);
+      Printf.printf "  %-26s %d\n%!" "balance + swap (paper)" (total Modulo.Balance true);
+      Printf.printf "  %-26s %d\n%!" "affinity (no swap)" (total Modulo.Affinity false);
+      Printf.printf "  %-26s %d\n%!" "affinity + swap" (total Modulo.Affinity true))
+    [ 3; 6 ]
+
+let run_mve () =
+  banner "Extension: rotating register file vs modulo variable expansion";
+  let loops = workloads () in
+  let config = Config.dual ~latency:6 in
+  let rotating = ref 0 and mve_regs = ref 0 and mve_min_unroll = ref 0 in
+  let kernel_rows = ref 0 and unrolled_rows = ref 0 in
+  let count = ref 0 in
+  List.iter
+    (fun l ->
+      let sched = Modulo.schedule config l.Suite_stats.ddg in
+      let ii = Schedule.ii sched in
+      let lifetimes = Lifetime.of_schedule sched in
+      let best = Mve.best ~ii lifetimes in
+      rotating := !rotating + Requirements.unified sched;
+      mve_regs := !mve_regs + best.Mve.registers;
+      mve_min_unroll := !mve_min_unroll + best.Mve.unroll;
+      let base = Codegen.size sched in
+      let unrolled = Codegen.size_with_unroll sched ~unroll:best.Mve.unroll in
+      kernel_rows := !kernel_rows + base.Codegen.total_rows;
+      unrolled_rows := !unrolled_rows + unrolled.Codegen.total_rows;
+      incr count)
+    loops;
+  Printf.printf "over %d loops (latency 6, unified allocation):\n" !count;
+  Printf.printf "  rotating file registers:        %d\n" !rotating;
+  Printf.printf "  MVE registers (best unroll):    %d  (%.2fx)\n" !mve_regs
+    (float_of_int !mve_regs /. float_of_int !rotating);
+  Printf.printf "  mean best unroll factor:        %.2f\n"
+    (float_of_int !mve_min_unroll /. float_of_int !count);
+  Printf.printf "  code rows, rotating:            %d\n" !kernel_rows;
+  Printf.printf "  code rows, MVE-unrolled:        %d  (%.2fx)\n" !unrolled_rows
+    (float_of_int !unrolled_rows /. float_of_int !kernel_rows)
+
+let run_doubling () =
+  banner "Extension: NCDRF with R registers vs doubling to a 2R unified file";
+  let loops = workloads () in
+  Printf.printf "%-10s %22s %22s\n" "config" "swapped dual @ R" "unified @ 2R";
+  List.iter
+    (fun latency ->
+      List.iter
+        (fun r ->
+          let config = Config.dual ~latency in
+          let dual = Suite_stats.performance ~config ~model:Model.Swapped ~capacity:r loops in
+          let doubled =
+            Suite_stats.performance ~config ~model:Model.Unified ~capacity:(2 * r) loops
+          in
+          Printf.printf "L=%d,R=%-4d %22.3f %22.3f%s\n%!" latency r
+            dual.Suite_stats.relative doubled.Suite_stats.relative
+            (if dual.Suite_stats.relative >= doubled.Suite_stats.relative -. 0.005 then
+               "   (as effective)"
+             else ""))
+        [ 16; 32 ])
+    [ 3; 6 ]
+
+let run_scheduler_policy () =
+  banner "Extension: lifetime-sensitive bidirectional placement (Huff'93-style)";
+  let loops = workloads () in
+  List.iter
+    (fun latency ->
+      let config = Config.dual ~latency in
+      let asap_regs = ref 0 and bidir_regs = ref 0 in
+      let asap_ii = ref 0 and bidir_ii = ref 0 in
+      List.iter
+        (fun l ->
+          let a = Modulo.schedule ~placement_policy:Modulo.Asap config l.Suite_stats.ddg in
+          let b =
+            Modulo.schedule ~placement_policy:Modulo.Bidirectional config l.Suite_stats.ddg
+          in
+          asap_regs := !asap_regs + Requirements.unified a;
+          bidir_regs := !bidir_regs + Requirements.unified b;
+          asap_ii := !asap_ii + Schedule.ii a;
+          bidir_ii := !bidir_ii + Schedule.ii b)
+        loops;
+      Printf.printf
+        "latency %d: ASAP %d regs (II sum %d) vs bidirectional %d regs (II sum %d), %.1f%% saved\n%!"
+        latency !asap_regs !asap_ii !bidir_regs !bidir_ii
+        (100.0 *. float_of_int (!asap_regs - !bidir_regs) /. float_of_int !asap_regs))
+    [ 3; 6 ]
+
+let run_memory () =
+  banner "Extension: banked-memory back-pressure (completing Figure 9's argument)";
+  let loops = workloads () in
+  let config = Config.dual ~latency:6 in
+  let capacity = 32 in
+  let mem = { Ncdrf_sim.Memory_system.banks = 4; service_time = 2; tolerance = 4 } in
+  Printf.printf "L=6, R=%d, memory: %d banks, %d-cycle service, tolerance %d\n" capacity
+    mem.Ncdrf_sim.Memory_system.banks mem.Ncdrf_sim.Memory_system.service_time
+    mem.Ncdrf_sim.Memory_system.tolerance;
+  Printf.printf "%-14s %10s %12s %14s\n" "model" "density" "slowdown" "eff. relative";
+  List.iter
+    (fun model ->
+      let density_num = ref 0.0 and density_den = ref 0.0 in
+      let base = ref 0.0 and effective = ref 0.0 and ideal = ref 0.0 in
+      let bw = float_of_int (Config.memory_bandwidth config) in
+      List.iter
+        (fun l ->
+          let st = Pipeline.run ~config ~model ~capacity l.Suite_stats.ddg in
+          let w = l.Suite_stats.weight in
+          let r =
+            Ncdrf_sim.Memory_system.simulate ~config:mem ~iterations:25
+              st.Pipeline.schedule
+          in
+          density_num := !density_num +. (w *. float_of_int st.Pipeline.memops_per_iter);
+          density_den := !density_den +. (w *. float_of_int st.Pipeline.ii *. bw);
+          base := !base +. (w *. float_of_int st.Pipeline.ii);
+          effective :=
+            !effective
+            +. (w *. float_of_int st.Pipeline.ii *. r.Ncdrf_sim.Memory_system.slowdown);
+          ideal := !ideal +. (w *. float_of_int st.Pipeline.mii))
+        loops;
+      Printf.printf "%-14s %10.3f %12.3f %14.3f\n%!" (Model.to_string model)
+        (!density_num /. !density_den)
+        (!effective /. !base) (!ideal /. !effective))
+    Model.all
+
+let run_fission () =
+  banner "Extension: all three pressure-reduction options of Section 5.4";
+  let loops = workloads () in
+  let config = Config.dual ~latency:6 in
+  let capacity = 32 in
+  let requirement g = Requirements.unified (Modulo.schedule config g) in
+  let spill_t = ref 0.0 and bump_t = ref 0.0 and fission_t = ref 0.0 in
+  let fission_unfit = ref 0 and fission_memops = ref 0 in
+  List.iter
+    (fun l ->
+      let g = l.Suite_stats.ddg in
+      let w = l.Suite_stats.weight in
+      (* Option 3 (the paper's evaluated choice): spill. *)
+      let spill = Pipeline.run ~config ~model:Model.Unified ~capacity g in
+      spill_t := !spill_t +. (w *. float_of_int spill.Pipeline.ii);
+      (* Option 1: reschedule at increased II. *)
+      let rec escalate ii guard =
+        let sched = Modulo.schedule_with_min_ii ~min_ii:ii config g in
+        if Requirements.unified sched <= capacity || guard > 64 then sched
+        else escalate (Schedule.ii sched + 1) (guard + 1)
+      in
+      bump_t := !bump_t +. (w *. float_of_int (Schedule.ii (escalate 1 0)));
+      (* Option 2: loop fission; the pieces run back to back, so their
+         IIs add. *)
+      let pieces, fits = Ncdrf_spill.Fission.split_until ~requirement ~capacity g in
+      if not fits then incr fission_unfit;
+      let total_ii =
+        List.fold_left (fun acc p -> acc + Schedule.ii (Modulo.schedule config p)) 0 pieces
+      in
+      let extra_mem =
+        List.fold_left (fun acc p -> acc + Ddg.num_memory_ops p) 0 pieces
+        - Ddg.num_memory_ops g
+      in
+      fission_memops := !fission_memops + extra_mem;
+      fission_t := !fission_t +. (w *. float_of_int total_ii))
+    loops;
+  Printf.printf "weighted cycles at L=6, R=%d (lower is better):\n" capacity;
+  Printf.printf "  %-34s %.3e\n" "option 3: naive spilling (paper)" !spill_t;
+  Printf.printf "  %-34s %.3e  (%.2fx)\n" "option 1: reschedule at higher II" !bump_t
+    (!bump_t /. !spill_t);
+  Printf.printf "  %-34s %.3e  (%.2fx)  +%d memops, %d loops not fully split\n"
+    "option 2: loop fission" !fission_t (!fission_t /. !spill_t) !fission_memops
+    !fission_unfit
+
+let run_cost () =
+  banner "Hardware cost (paper Section 3.2 models): area / access time / operand bits";
+  let config = Config.dual ~latency:6 in
+  Printf.printf "machine: %s (per-cluster 1 add + 1 mul + 1 ld/st)\n\n" config.Config.name;
+  Printf.printf "%-22s %5s %8s %6s %6s %12s %9s %6s\n" "organization" "regs" "copies" "rd" "wr"
+    "area" "access" "bits";
+  let orgs =
+    [ Cost.Unified; Cost.Consistent_dual; Cost.Non_consistent_dual; Cost.Doubled_unified ]
+  in
+  List.iter
+    (fun registers ->
+      List.iter
+        (fun org ->
+          let spec, copies = Cost.specify config ~registers org in
+          Printf.printf "%-22s %5d %8d %6d %6d %12.0f %9.2f %6d\n"
+            (Cost.organization_name org) spec.Cost.registers copies spec.Cost.read_ports
+            spec.Cost.write_ports
+            (Cost.total_area config ~registers org)
+            (Cost.organization_access_time config ~registers org)
+            (Cost.operand_field_bits ~registers:spec.Cost.registers))
+        orgs;
+      print_newline ())
+    [ 32; 64 ];
+  let ncdrf32 = Cost.total_area config ~registers:32 Cost.Non_consistent_dual in
+  let doubled32 = Cost.total_area config ~registers:32 Cost.Doubled_unified in
+  Printf.printf "claims: NCDRF@32 area / doubled-unified@64 area = %.2f (cheaper %s)\n"
+    (ncdrf32 /. doubled32)
+    (if ncdrf32 < doubled32 then "yes" else "NO");
+  let t_ncdrf = Cost.organization_access_time config ~registers:32 Cost.Non_consistent_dual in
+  let t_unified = Cost.organization_access_time config ~registers:32 Cost.Unified in
+  Printf.printf "        NCDRF@32 access %.2f vs unified@32 %.2f (no penalty %s)\n" t_ncdrf
+    t_unified
+    (if t_ncdrf <= t_unified then "yes" else "NO")
+
+let run_sacks () =
+  banner "Extension: sacked register files (CONPAR'94) vs NCDRF on the same schedules";
+  let loops = workloads () in
+  let config = Config.dual ~latency:6 in
+  let unified = ref 0 and ncdrf = ref 0 in
+  let primary2 = ref 0 and primary4 = ref 0 in
+  let placed = ref 0 and eligible = ref 0 and values = ref 0 in
+  List.iter
+    (fun l ->
+      let sched = Modulo.schedule config l.Suite_stats.ddg in
+      unified := !unified + Requirements.unified sched;
+      let swapped, _ = Swap.improve sched in
+      ncdrf := !ncdrf + (Requirements.partitioned swapped).Requirements.requirement;
+      let a2 = Sacks.assign ~config:{ Sacks.default_config with sacks = 2 } sched in
+      let a4 = Sacks.assign ~config:{ Sacks.default_config with sacks = 4 } sched in
+      primary2 := !primary2 + a2.Sacks.primary_requirement;
+      primary4 := !primary4 + a4.Sacks.primary_requirement;
+      placed := !placed + a4.Sacks.placed;
+      eligible := !eligible + a4.Sacks.eligible;
+      values := !values + a4.Sacks.values)
+    loops;
+  Printf.printf "single-use values: %d of %d (%.0f%%); placed into 4 sacks: %d\n" !eligible
+    !values
+    (100.0 *. float_of_int !eligible /. float_of_int (max 1 !values))
+    !placed;
+  Printf.printf "total registers over the suite (multiported file only):\n";
+  Printf.printf "  %-26s %d\n" "unified (all multiported)" !unified;
+  Printf.printf "  %-26s %d\n" "NCDRF per-subfile (swapped)" !ncdrf;
+  Printf.printf "  %-26s %d\n" "sacked primary, 2 sacks" !primary2;
+  Printf.printf "  %-26s %d\n" "sacked primary, 4 sacks" !primary4
+
+let run_lifetime_postpass () =
+  banner "Extension: lifetime-sensitive post-pass (push every op as late as possible)";
+  let loops = workloads () in
+  List.iter
+    (fun latency ->
+      let config = Config.dual ~latency in
+      let base = ref 0 and pushed = ref 0 in
+      List.iter
+        (fun l ->
+          let sched = Modulo.schedule config l.Suite_stats.ddg in
+          base := !base + Requirements.unified sched;
+          let adjusted = Adjust.push_late sched ~eligible:(fun _ -> true) in
+          pushed := !pushed + Requirements.unified adjusted)
+        loops;
+      Printf.printf "latency %d: unified registers %d -> %d (%.1f%% saved), same II\n%!"
+        latency !base !pushed
+        (100.0 *. float_of_int (!base - !pushed) /. float_of_int !base))
+    [ 3; 6 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing benches: one Test.make per experiment + micro.      *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let small = Ncdrf_workloads.Suite.full ~size:40 () in
+  let small_wl =
+    List.map
+      (fun e ->
+        { Suite_stats.ddg = e.Ncdrf_workloads.Suite.ddg;
+          weight = e.Ncdrf_workloads.Suite.iterations })
+      small
+  in
+  let config = Config.dual ~latency:3 in
+  let example = Ncdrf_workloads.Kernels.paper_example () in
+  let sched = Modulo.schedule config example in
+  [
+    Test.make ~name:"table1:unified-measure"
+      (Staged.stage (fun () ->
+           Suite_stats.measure ~config:(Config.pxly ~parallelism:2 ~latency:6)
+             ~model:Model.Unified small_wl));
+    Test.make ~name:"fig6:partitioned-measure"
+      (Staged.stage (fun () -> Suite_stats.measure ~config ~model:Model.Partitioned small_wl));
+    Test.make ~name:"fig7:swapped-measure"
+      (Staged.stage (fun () -> Suite_stats.measure ~config ~model:Model.Swapped small_wl));
+    Test.make ~name:"fig8:performance-32"
+      (Staged.stage (fun () ->
+           Suite_stats.performance ~config ~model:Model.Partitioned ~capacity:32
+             (List.filteri (fun i _ -> i < 10) small_wl)));
+    Test.make ~name:"fig9:density-32"
+      (Staged.stage (fun () ->
+           Suite_stats.performance ~config ~model:Model.Unified ~capacity:32
+             (List.filteri (fun i _ -> i < 10) small_wl)));
+    Test.make ~name:"micro:modulo-schedule"
+      (Staged.stage (fun () -> Modulo.schedule config example));
+    Test.make ~name:"micro:min-capacity" (Staged.stage (fun () -> Requirements.unified sched));
+    Test.make ~name:"micro:swap-improve" (Staged.stage (fun () -> Swap.improve sched));
+    Test.make ~name:"micro:mii" (Staged.stage (fun () -> Mii.mii config example));
+    Test.make ~name:"micro:executor-dual"
+      (Staged.stage (fun () -> Ncdrf_sim.Executor.run_dual ~iterations:20 sched));
+    Test.make ~name:"micro:reference"
+      (Staged.stage (fun () -> Ncdrf_sim.Reference.run ~iterations:20 example));
+    Test.make ~name:"micro:mve-best"
+      (Staged.stage (fun () ->
+           Mve.best ~ii:(Schedule.ii sched) (Lifetime.of_schedule sched)));
+    Test.make ~name:"micro:sacks-assign" (Staged.stage (fun () -> Sacks.assign sched));
+  ]
+
+let run_bechamel () =
+  banner "Bechamel timing benches";
+  let open Bechamel in
+  let instances = Toolkit.Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |])
+          (List.hd instances) results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n%!" name est
+          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+        analyzed)
+    (bechamel_tests ())
+
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("example", run_example);
+    ("table1", run_table1);
+    ("fig6", run_distribution ~dynamic:false);
+    ("fig7", run_distribution ~dynamic:true);
+    ("fig8", run_fig8);
+    ("fig9", run_fig9);
+    ("ablation", run_ablation);
+    ("spill-victims", run_spill_victims);
+    ("cluster-policy", run_cluster_policy);
+    ("mve", run_mve);
+    ("doubling", run_doubling);
+    ("scheduler-policy", run_scheduler_policy);
+    ("memory", run_memory);
+    ("fission", run_fission);
+    ("cost", run_cost);
+    ("sacks", run_sacks);
+    ("lifetime-postpass", run_lifetime_postpass);
+    ("bechamel", run_bechamel);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  if List.mem "--quick" args then quick ();
+  let rec extract_csv = function
+    | "--csv" :: dir :: rest ->
+      csv_dir := Some dir;
+      rest
+    | a :: rest -> a :: extract_csv rest
+    | [] -> []
+  in
+  let args = extract_csv args in
+  let selected = List.filter (fun a -> a <> "--quick") args in
+  let to_run =
+    match selected with
+    | [] -> experiments
+    | names ->
+      List.map
+        (fun name ->
+          match List.assoc_opt name experiments with
+          | Some f -> (name, f)
+          | None ->
+            Printf.eprintf "unknown experiment %S; known: %s\n" name
+              (String.concat " " (List.map fst experiments));
+            exit 2)
+        names
+  in
+  List.iter (fun (_, f) -> f ()) to_run

@@ -1,0 +1,303 @@
+(* ncdrf — command line driver.
+
+   Subcommands:
+     schedule  compile loops from a .loop file and print schedules,
+               kernels and register requirements under a chosen model
+     dot       emit the dependence graph of a loop as Graphviz
+     suite     summarize register pressure over the synthetic suite
+     sweep     requirement of one loop across latencies and models
+     example   walk the paper's worked example
+
+   See `ncdrf <cmd> --help` for options. *)
+
+open Cmdliner
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+open Ncdrf_core
+
+(* ------------------------------------------------------------------ *)
+(* Shared argument converters.                                         *)
+(* ------------------------------------------------------------------ *)
+
+let model_conv =
+  let parse s = Model.of_string s |> Result.map_error (fun e -> `Msg e) in
+  Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Model.to_string m))
+
+let config_of ~clusters ~latency =
+  match clusters with
+  | 1 -> Config.dual_unified ~latency
+  | 2 -> Config.dual ~latency
+  | n -> invalid_arg (Printf.sprintf "unsupported cluster count %d (use 1 or 2)" n)
+
+let latency_arg =
+  let doc = "Latency of the floating-point adders and multipliers (3 or 6 in the paper)." in
+  Arg.(value & opt int 3 & info [ "l"; "latency" ] ~docv:"CYCLES" ~doc)
+
+let clusters_arg =
+  let doc = "Number of clusters: 1 (unified machine) or 2 (dual)." in
+  Arg.(value & opt int 2 & info [ "c"; "clusters" ] ~docv:"N" ~doc)
+
+let model_arg =
+  let doc = "Register file model: ideal, unified, partitioned or swapped." in
+  Arg.(value & opt model_conv Model.Swapped & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let capacity_arg =
+  let doc = "Registers per (sub)file; omit for unlimited registers." in
+  Arg.(value & opt (some int) None & info [ "r"; "registers" ] ~docv:"N" ~doc)
+
+let file_arg =
+  let doc = "Loop file in the ncdrf loop language (see docs in Loop_lang)." in
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc)
+
+let loop_name_arg =
+  let doc = "Only process the loop with this name." in
+  Arg.(value & opt (some string) None & info [ "loop" ] ~docv:"NAME" ~doc)
+
+let verbose_arg =
+  let doc = "Enable debug logging." in
+  Arg.(value & flag & info [ "v"; "verbose" ] ~doc)
+
+let setup_logs verbose =
+  Logs.set_reporter (Logs_fmt.reporter ());
+  Logs.set_level (Some (if verbose then Logs.Debug else Logs.Warning))
+
+let load_loops file name_filter =
+  let loops = Loop_lang.parse_file file in
+  match name_filter with
+  | None -> loops
+  | Some n -> List.filter (fun g -> String.equal (Ddg.name g) n) loops
+
+(* ------------------------------------------------------------------ *)
+(* schedule                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let print_stats (stats : Pipeline.stats) =
+  Format.printf "  model %-12s II %d (MII %d), %d stages@." (Model.to_string stats.Pipeline.model)
+    stats.Pipeline.ii stats.Pipeline.mii stats.Pipeline.stages;
+  Format.printf "  registers required: %d%s@." stats.Pipeline.requirement
+    (match stats.Pipeline.capacity with
+     | Some c -> Printf.sprintf " (capacity %d, %s)" c (if stats.Pipeline.fits then "fits" else "DOES NOT FIT")
+     | None -> "");
+  if stats.Pipeline.spilled > 0 then
+    Format.printf "  spilled %d value(s), +%d memory ops@." stats.Pipeline.spilled
+      stats.Pipeline.added_memops;
+  Format.printf "  memory ops/iteration %d, traffic density %.3f@."
+    stats.Pipeline.memops_per_iter stats.Pipeline.density
+
+let schedule_cmd =
+  let run verbose file name latency clusters model capacity show_kernel =
+    setup_logs verbose;
+    try
+      let loops = load_loops file name in
+      if loops = [] then (Printf.eprintf "no matching loops\n"; exit 1);
+      let config = config_of ~clusters ~latency in
+      Format.printf "machine: %a@." Config.pp config;
+      List.iter
+        (fun ddg ->
+          Format.printf "@.== %a@." Ddg.pp_stats ddg;
+          let stats = Pipeline.run ~config ~model ?capacity ddg in
+          print_stats stats;
+          if show_kernel then print_string (Kernel.render stats.Pipeline.schedule))
+        loops;
+      0
+    with
+    | Loop_lang.Parse_error { line; message } ->
+      Printf.eprintf "parse error, line %d: %s\n" line message; 1
+    | Expr.Compile_error msg -> Printf.eprintf "compile error: %s\n" msg; 1
+  in
+  let kernel_arg =
+    let doc = "Also print the kernel (steady-state VLIW code)." in
+    Arg.(value & flag & info [ "k"; "kernel" ] ~doc)
+  in
+  let doc = "Modulo-schedule loops and report register requirements." in
+  Cmd.v (Cmd.info "schedule" ~doc)
+    Term.(
+      const run $ verbose_arg $ file_arg $ loop_name_arg $ latency_arg $ clusters_arg
+      $ model_arg $ capacity_arg $ kernel_arg)
+
+(* ------------------------------------------------------------------ *)
+(* dot                                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let dot_cmd =
+  let run file name =
+    try
+      let loops = load_loops file name in
+      List.iter (fun g -> print_string (Dot.render g)) loops;
+      if loops = [] then (Printf.eprintf "no matching loops\n"; 1) else 0
+    with
+    | Loop_lang.Parse_error { line; message } ->
+      Printf.eprintf "parse error, line %d: %s\n" line message; 1
+    | Expr.Compile_error msg -> Printf.eprintf "compile error: %s\n" msg; 1
+  in
+  let doc = "Emit dependence graphs as Graphviz DOT." in
+  Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ file_arg $ loop_name_arg)
+
+(* ------------------------------------------------------------------ *)
+(* suite                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let suite_cmd =
+  let run latency size registers =
+    let config = Config.dual ~latency in
+    let loops =
+      List.map
+        (fun e ->
+          { Suite_stats.ddg = e.Ncdrf_workloads.Suite.ddg;
+            weight = e.Ncdrf_workloads.Suite.iterations })
+        (Ncdrf_workloads.Suite.full ~size ())
+    in
+    Format.printf "suite of %d loops on %a@.@." size Config.pp config;
+    Format.printf "%-12s | %22s@." "model" (Printf.sprintf "allocatable in %d regs" registers);
+    List.iter
+      (fun model ->
+        let ms = Suite_stats.measure ~config ~model loops in
+        let s, d = Suite_stats.allocatable ms ~r:registers in
+        Format.printf "%-12s | %5.1f%% loops %5.1f%% cycles@." (Model.to_string model) s d)
+      [ Model.Unified; Model.Partitioned; Model.Swapped ];
+    0
+  in
+  let size_arg =
+    let doc = "Number of loops in the synthetic suite." in
+    Arg.(value & opt int 300 & info [ "size" ] ~docv:"N" ~doc)
+  in
+  let registers_arg =
+    let doc = "Register budget to test against." in
+    Arg.(value & opt int 32 & info [ "r"; "registers" ] ~docv:"N" ~doc)
+  in
+  let doc = "Register-pressure summary over the synthetic Perfect-Club-like suite." in
+  Cmd.v (Cmd.info "suite" ~doc) Term.(const run $ latency_arg $ size_arg $ registers_arg)
+
+(* ------------------------------------------------------------------ *)
+(* sweep                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let sweep_cmd =
+  let run file name =
+    try
+      let loops = load_loops file name in
+      if loops = [] then (Printf.eprintf "no matching loops\n"; exit 1);
+      List.iter
+        (fun ddg ->
+          Format.printf "== %a@." Ddg.pp_stats ddg;
+          Format.printf "%-10s %4s | %8s %12s %8s@." "latency" "II" "unified" "partitioned"
+            "swapped";
+          List.iter
+            (fun latency ->
+              let config = Config.dual ~latency in
+              let sched = Modulo.schedule config ddg in
+              let unified = Requirements.unified sched in
+              let part = (Requirements.partitioned sched).Requirements.requirement in
+              let swapped_sched, _ = Swap.improve sched in
+              let swapped =
+                (Requirements.partitioned swapped_sched).Requirements.requirement
+              in
+              Format.printf "%-10d %4d | %8d %12d %8d@." latency (Schedule.ii sched) unified
+                part swapped)
+            [ 1; 2; 3; 4; 6; 8 ])
+        loops;
+      0
+    with
+    | Loop_lang.Parse_error { line; message } ->
+      Printf.eprintf "parse error, line %d: %s\n" line message; 1
+    | Expr.Compile_error msg -> Printf.eprintf "compile error: %s\n" msg; 1
+  in
+  let doc = "Sweep FP latency and compare register-file models for each loop." in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ file_arg $ loop_name_arg)
+
+(* ------------------------------------------------------------------ *)
+(* simulate                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let simulate_cmd =
+  let run file name latency iterations =
+    try
+      let loops = load_loops file name in
+      if loops = [] then (Printf.eprintf "no matching loops\n"; exit 1);
+      let config = Config.dual ~latency in
+      let failures = ref 0 in
+      List.iter
+        (fun ddg ->
+          let sched = Modulo.schedule config ddg in
+          Format.printf "== %a: II=%d@." Ddg.pp_stats ddg (Schedule.ii sched);
+          print_string (Chart.render sched);
+          let expected = Ncdrf_sim.Reference.run ~iterations ddg in
+          let check tag outcome =
+            let ok = Ncdrf_sim.Reference.equal_stores outcome.Ncdrf_sim.Executor.stores expected in
+            if not ok then incr failures;
+            Format.printf "  %-8s %d regs/file, %d cycles: %s@." tag
+              outcome.Ncdrf_sim.Executor.capacity outcome.Ncdrf_sim.Executor.cycles
+              (if ok then "matches reference" else "DIVERGES")
+          in
+          check "unified" (Ncdrf_sim.Executor.run_unified ~iterations sched);
+          check "dual" (Ncdrf_sim.Executor.run_dual ~iterations sched);
+          let swapped, _ = Swap.improve sched in
+          check "swapped" (Ncdrf_sim.Executor.run_dual ~iterations swapped))
+        loops;
+      if !failures > 0 then 1 else 0
+    with
+    | Loop_lang.Parse_error { line; message } ->
+      Printf.eprintf "parse error, line %d: %s\n" line message; 1
+    | Expr.Compile_error msg -> Printf.eprintf "compile error: %s\n" msg; 1
+  in
+  let iterations_arg =
+    let doc = "Iterations to execute." in
+    Arg.(value & opt int 24 & info [ "n"; "iterations" ] ~docv:"N" ~doc)
+  in
+  let doc =
+    "Execute loops on the simulated machine and check against the reference interpreter."
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(const run $ file_arg $ loop_name_arg $ latency_arg $ iterations_arg)
+
+(* ------------------------------------------------------------------ *)
+(* kernels                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let kernels_cmd =
+  let run latency =
+    let config = Config.dual ~latency in
+    Format.printf "built-in kernels on %a:@.@." Config.pp config;
+    Format.printf "%-20s %4s %4s %6s %9s %8s@." "name" "ops" "II" "unif" "partition" "swapped";
+    List.iter
+      (fun (ddg, _) ->
+        let sched = Modulo.schedule config ddg in
+        let swapped, _ = Swap.improve sched in
+        Format.printf "%-20s %4d %4d %6d %9d %8d@." (Ddg.name ddg) (Ddg.num_nodes ddg)
+          (Schedule.ii sched) (Requirements.unified sched)
+          (Requirements.partitioned sched).Requirements.requirement
+          (Requirements.partitioned swapped).Requirements.requirement)
+      (Ncdrf_workloads.Kernels.all ());
+    0
+  in
+  let doc = "List the built-in kernels with their register requirements." in
+  Cmd.v (Cmd.info "kernels" ~doc) Term.(const run $ latency_arg)
+
+(* ------------------------------------------------------------------ *)
+(* example                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let example_cmd =
+  let run () =
+    let ddg = Ncdrf_workloads.Kernels.paper_example () in
+    let config = Config.example () in
+    let sched = Modulo.schedule config ddg in
+    Format.printf "machine: %a@." Config.pp config;
+    Format.printf "%a@." Schedule.pp sched;
+    print_string (Kernel.render sched);
+    let detail = Requirements.partitioned sched in
+    Format.printf "unified %d, partitioned %d@." (Requirements.unified sched)
+      detail.Requirements.requirement;
+    let swapped, stats = Swap.improve sched in
+    Format.printf "after %d swaps: %d@." stats.Swap.swaps
+      (Requirements.partitioned swapped).Requirements.requirement;
+    0
+  in
+  let doc = "Schedule the paper's worked example and print every artifact." in
+  Cmd.v (Cmd.info "example" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc = "non-consistent dual register files for software-pipelined loops" in
+  let info = Cmd.info "ncdrf" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval' (Cmd.group info [ schedule_cmd; dot_cmd; suite_cmd; sweep_cmd; simulate_cmd; kernels_cmd; example_cmd ]))

@@ -1,0 +1,1 @@
+examples/kernels_tour.ml: Array Config Ddg Format List Modulo Ncdrf_core Ncdrf_ir Ncdrf_machine Ncdrf_sched Ncdrf_workloads Requirements Schedule String Swap Sys

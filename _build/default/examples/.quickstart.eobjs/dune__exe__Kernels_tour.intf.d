@@ -1,0 +1,1 @@
+examples/kernels_tour.mli:

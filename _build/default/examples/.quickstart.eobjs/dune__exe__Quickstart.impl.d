@@ -1,0 +1,1 @@
+examples/quickstart.ml: Classify Config Ddg Expr Format Kernel Lifetime List Mii Model Modulo Ncdrf_core Ncdrf_ir Ncdrf_machine Ncdrf_regalloc Ncdrf_sched Pipeline Requirements Schedule Swap

@@ -1,0 +1,1 @@
+examples/random_suite.ml: Array Config Ddg Format List Model Ncdrf_core Ncdrf_ir Ncdrf_machine Ncdrf_report Ncdrf_sched Ncdrf_workloads Printf Suite_stats Sys

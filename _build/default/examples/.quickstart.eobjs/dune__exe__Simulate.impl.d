@@ -1,0 +1,1 @@
+examples/simulate.ml: Array Chart Config Ddg Executor Format List Modulo Ncdrf_core Ncdrf_ir Ncdrf_machine Ncdrf_sched Ncdrf_sim Ncdrf_workloads Printf Reference Schedule Swap Sys

@@ -1,0 +1,1 @@
+examples/spill_pressure.ml: Array Config Format List Model Ncdrf_core Ncdrf_machine Ncdrf_workloads Pipeline Printf String Sys

@@ -1,0 +1,1 @@
+examples/spill_pressure.mli:

@@ -1,0 +1,46 @@
+(* Tour of the named kernels: schedule every hand-written loop on both
+   evaluation machines and print, for each, the II and the register
+   requirement under the four register-file models of the paper.
+
+     dune exec examples/kernels_tour.exe [-- --latency 6] *)
+
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+open Ncdrf_core
+
+let latency_of_args () =
+  let rec scan = function
+    | "--latency" :: v :: _ -> int_of_string v
+    | _ :: rest -> scan rest
+    | [] -> 3
+  in
+  scan (Array.to_list Sys.argv)
+
+let () =
+  let latency = latency_of_args () in
+  let config = Config.dual ~latency in
+  Format.printf "machine: %a@.@." Config.pp config;
+  Format.printf "%-20s %4s %4s | %8s %12s %8s | %6s@." "kernel" "ops" "II" "unified"
+    "partitioned" "swapped" "swaps";
+  Format.printf "%s@." (String.make 78 '-');
+  let totals = Array.make 3 0 in
+  List.iter
+    (fun (ddg, _weight) ->
+      let sched = Modulo.schedule config ddg in
+      let unified = Requirements.unified sched in
+      let part = (Requirements.partitioned sched).Requirements.requirement in
+      let swapped_sched, stats = Swap.improve sched in
+      let swapped = (Requirements.partitioned swapped_sched).Requirements.requirement in
+      totals.(0) <- totals.(0) + unified;
+      totals.(1) <- totals.(1) + part;
+      totals.(2) <- totals.(2) + swapped;
+      Format.printf "%-20s %4d %4d | %8d %12d %8d | %6d@." (Ddg.name ddg)
+        (Ddg.num_nodes ddg) (Schedule.ii sched) unified part swapped stats.Swap.swaps)
+    (Ncdrf_workloads.Kernels.all ());
+  Format.printf "%s@." (String.make 78 '-');
+  Format.printf "%-30s | %8d %12d %8d@." "total registers" totals.(0) totals.(1) totals.(2);
+  Format.printf
+    "@.partitioning saves %.1f%% of the registers; swapping another %.1f%% on top.@."
+    (100.0 *. float_of_int (totals.(0) - totals.(1)) /. float_of_int totals.(0))
+    (100.0 *. float_of_int (totals.(1) - totals.(2)) /. float_of_int (max 1 totals.(1)))

@@ -1,0 +1,82 @@
+(* The synthetic suite in numbers: generate the Perfect-Club-like loop
+   collection, print its composition, and summarize register pressure
+   per model — a miniature of the paper's Section 5 on one page.
+
+     dune exec examples/random_suite.exe [-- --size 200] *)
+
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_core
+
+let size_of_args () =
+  let rec scan = function
+    | "--size" :: v :: _ -> int_of_string v
+    | _ :: rest -> scan rest
+    | [] -> 300
+  in
+  scan (Array.to_list Sys.argv)
+
+let () =
+  let size = size_of_args () in
+  let suite = Ncdrf_workloads.Suite.full ~size () in
+  let named = List.filter (fun e -> not e.Ncdrf_workloads.Suite.generated) suite in
+  Format.printf "suite: %d loops (%d named kernels, %d generated)@." (List.length suite)
+    (List.length named)
+    (List.length suite - List.length named);
+  let sizes = List.map (fun e -> Ddg.num_nodes e.Ncdrf_workloads.Suite.ddg) suite in
+  let total_ops = List.fold_left ( + ) 0 sizes in
+  Format.printf "ops per loop: min %d, max %d, mean %.1f@."
+    (List.fold_left min max_int sizes)
+    (List.fold_left max 0 sizes)
+    (float_of_int total_ops /. float_of_int (List.length sizes));
+  let with_recurrence =
+    List.length
+      (List.filter
+         (fun e ->
+           List.exists (fun edge -> edge.Ddg.distance > 0)
+             (Ddg.edges e.Ncdrf_workloads.Suite.ddg))
+         suite)
+  in
+  Format.printf "loops with recurrences: %d (%.0f%%)@." with_recurrence
+    (100.0 *. float_of_int with_recurrence /. float_of_int (List.length suite));
+  Format.printf "top 10%% of loops carry %.0f%% of the execution time@.@."
+    (100.0 *. Ncdrf_workloads.Suite.weight_share suite ~n:(size / 10));
+  (* Distribution of register requirements at latency 6, unified file. *)
+  let config6 = Config.dual ~latency:6 in
+  let requirements =
+    List.map
+      (fun e ->
+        float_of_int
+          (Ncdrf_core.Requirements.unified
+             (Ncdrf_sched.Modulo.schedule config6 e.Ncdrf_workloads.Suite.ddg)))
+      suite
+  in
+  (match Ncdrf_report.Stats.summarize requirements with
+   | Some s -> Format.printf "register requirements (L6, unified): %a@." Ncdrf_report.Stats.pp_summary s
+   | None -> ());
+  let histogram = Ncdrf_report.Stats.histogram ~lo:0.0 ~width:8.0 requirements in
+  print_string
+    (Ncdrf_report.Stats.render_histogram
+       ~label:(fun l -> Printf.sprintf "%2.0f-%2.0f" l (l +. 8.0))
+       histogram);
+  Format.printf "@.";
+  (* Register pressure summary per model at both latencies. *)
+  let loops =
+    List.map
+      (fun e ->
+        { Suite_stats.ddg = e.Ncdrf_workloads.Suite.ddg;
+          weight = e.Ncdrf_workloads.Suite.iterations })
+      suite
+  in
+  List.iter
+    (fun latency ->
+      let config = Config.dual ~latency in
+      Format.printf "-- latency %d: loops allocatable within 32 registers@." latency;
+      List.iter
+        (fun model ->
+          let ms = Suite_stats.measure ~config ~model loops in
+          let static, dynamic = Suite_stats.allocatable ms ~r:32 in
+          Format.printf "   %-12s %5.1f%% of loops, %5.1f%% of cycles@."
+            (Model.to_string model) static dynamic)
+        [ Model.Unified; Model.Partitioned; Model.Swapped ])
+    [ 3; 6 ]

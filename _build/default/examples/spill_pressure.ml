@@ -1,0 +1,52 @@
+(* Spill pressure study: take one register-hungry kernel and shrink the
+   register file step by step, showing how the naive spiller trades
+   memory traffic (and eventually II, hence performance) for registers —
+   and how the non-consistent dual register file delays that cliff.
+
+     dune exec examples/spill_pressure.exe [-- --kernel ll9-integrate] *)
+
+open Ncdrf_machine
+open Ncdrf_core
+
+let kernel_of_args () =
+  let rec scan = function
+    | "--kernel" :: v :: _ -> v
+    | _ :: rest -> scan rest
+    | [] -> "ll9-integrate"
+  in
+  scan (Array.to_list Sys.argv)
+
+let () =
+  let name = kernel_of_args () in
+  let ddg =
+    match Ncdrf_workloads.Kernels.find name with
+    | Some g -> g
+    | None ->
+      Printf.eprintf "unknown kernel %s\n" name;
+      exit 2
+  in
+  let config = Config.dual ~latency:6 in
+  Format.printf "kernel %s on %a@.@." name Config.pp config;
+  let free = Pipeline.run ~config ~model:Model.Unified ddg in
+  Format.printf "unlimited registers: II=%d, needs %d (unified)@.@." free.Pipeline.ii
+    free.Pipeline.requirement;
+  Format.printf "%-4s | %-28s | %-28s@." "R" "unified" "swapped dual";
+  Format.printf "%-4s | %5s %7s %7s %7s | %5s %7s %7s %7s@." "" "II" "spills" "memops"
+    "dens" "II" "spills" "memops" "dens";
+  Format.printf "%s@." (String.make 78 '-');
+  let capacities = [ 64; 48; 32; 24; 16; 12; 8 ] in
+  List.iter
+    (fun capacity ->
+      let u = Pipeline.run ~config ~model:Model.Unified ~capacity ddg in
+      let s = Pipeline.run ~config ~model:Model.Swapped ~capacity ddg in
+      let cell st =
+        Format.sprintf "%5d %7d %7d %7.3f" st.Pipeline.ii st.Pipeline.spilled
+          st.Pipeline.memops_per_iter st.Pipeline.density
+      in
+      Format.printf "%-4d | %s | %s%s@." capacity (cell u) (cell s)
+        (if (not u.Pipeline.fits) || not s.Pipeline.fits then "  (!unfit)" else ""))
+    capacities;
+  Format.printf
+    "@.Reading the table: as R shrinks the spiller adds stores/reloads (memops,@.\
+     density rise) until the memory ports saturate and the II climbs -- the@.\
+     dual register file keeps the loop spill-free for roughly twice as long.@."

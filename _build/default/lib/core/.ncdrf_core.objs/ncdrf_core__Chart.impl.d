@@ -1,0 +1,1 @@
+lib/core/chart.ml: Buffer Bytes Classify Config Ddg Format Lifetime List Ncdrf_ir Ncdrf_machine Ncdrf_regalloc Ncdrf_sched Printf Schedule String

@@ -1,0 +1,1 @@
+lib/core/chart.mli: Ncdrf_sched Schedule

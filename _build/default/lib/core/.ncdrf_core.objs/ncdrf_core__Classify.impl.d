@@ -1,0 +1,1 @@
+lib/core/classify.ml: Array Ddg Format List Ncdrf_ir Ncdrf_machine Ncdrf_sched Opcode Printf Schedule

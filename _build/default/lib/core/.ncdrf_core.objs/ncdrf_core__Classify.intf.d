@@ -1,0 +1,1 @@
+lib/core/classify.mli: Ddg Format Ncdrf_ir Ncdrf_sched Schedule

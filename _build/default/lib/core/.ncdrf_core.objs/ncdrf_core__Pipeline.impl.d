@@ -1,0 +1,1 @@
+lib/core/pipeline.ml: Ddg Mii Model Modulo Ncdrf_ir Ncdrf_sched Ncdrf_spill Requirements Schedule Spiller Swap Traffic

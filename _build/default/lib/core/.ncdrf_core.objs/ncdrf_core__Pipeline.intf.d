@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Config Ddg Model Ncdrf_ir Ncdrf_machine Ncdrf_sched Ncdrf_spill Schedule

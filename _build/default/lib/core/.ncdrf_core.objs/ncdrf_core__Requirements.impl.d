@@ -1,0 +1,1 @@
+lib/core/requirements.ml: Alloc Array Classify Config Lifetime List Ncdrf_machine Ncdrf_regalloc Ncdrf_sched Schedule

@@ -1,0 +1,1 @@
+lib/core/requirements.mli: Alloc Lifetime Ncdrf_regalloc Ncdrf_sched Schedule

@@ -1,0 +1,1 @@
+lib/core/sacks.ml: Alloc Array Config Ddg Lifetime List Ncdrf_ir Ncdrf_machine Ncdrf_regalloc Ncdrf_sched Schedule

@@ -1,0 +1,1 @@
+lib/core/sacks.mli: Lifetime Ncdrf_regalloc Ncdrf_sched Schedule

@@ -1,0 +1,1 @@
+lib/core/suite_stats.ml: Config Ddg List Mii Model Modulo Ncdrf_ir Ncdrf_machine Ncdrf_sched Pipeline Schedule

@@ -1,0 +1,1 @@
+lib/core/suite_stats.mli: Config Ddg Model Ncdrf_ir Ncdrf_machine

@@ -1,0 +1,1 @@
+lib/core/swap.ml: Array Config Ddg List Ncdrf_ir Ncdrf_machine Ncdrf_sched Opcode Requirements Schedule

@@ -1,0 +1,1 @@
+lib/core/swap.mli: Ncdrf_sched Schedule

@@ -1,0 +1,51 @@
+open Ncdrf_ir
+open Ncdrf_sched
+
+type t =
+  | Global
+  | Local of int
+
+let equal a b =
+  match a, b with
+  | Global, Global -> true
+  | Local x, Local y -> x = y
+  | Global, Local _ | Local _, Global -> false
+
+let pp ppf = function
+  | Global -> Format.pp_print_string ppf "GL"
+  | Local 0 -> Format.pp_print_string ppf "LO"
+  | Local 1 -> Format.pp_print_string ppf "RO"
+  | Local c -> Format.fprintf ppf "C%d" c
+
+let value_class sched v =
+  let ddg = sched.Schedule.ddg in
+  let node = Ddg.node ddg v in
+  if not (Opcode.produces_value node.Ddg.opcode) then
+    invalid_arg (Printf.sprintf "Classify.value_class: %s produces no value" node.Ddg.label);
+  let consumer_clusters =
+    List.map (fun e -> Schedule.cluster sched e.Ddg.dst) (Ddg.consumers ddg v)
+  in
+  match consumer_clusters with
+  | [] -> Local (Schedule.cluster sched v)
+  | first :: rest ->
+    if List.for_all (fun c -> c = first) rest then Local first else Global
+
+let classify sched =
+  let ddg = sched.Schedule.ddg in
+  Ddg.fold_nodes ddg ~init:[] ~f:(fun acc node ->
+      if Opcode.produces_value node.Ddg.opcode then
+        (node, value_class sched node.Ddg.id) :: acc
+      else acc)
+  |> List.rev
+
+let counts sched =
+  let n_clusters = Ncdrf_machine.Config.num_clusters sched.Schedule.config in
+  let locals = Array.make n_clusters 0 in
+  let globals = ref 0 in
+  let tally (_, cls) =
+    match cls with
+    | Global -> incr globals
+    | Local c -> locals.(c) <- locals.(c) + 1
+  in
+  List.iter tally (classify sched);
+  (!globals, locals)

@@ -1,0 +1,29 @@
+(** Classification of values for a non-consistent dual register file
+    (paper Section 4.1).
+
+    A value is classified by the clusters of its {e consumers}: if all
+    consumers are scheduled in one cluster it can live in that cluster's
+    subfile only ([Local]); if consumers sit in both clusters it must be
+    replicated in both subfiles ([Global]).  A value without consumers
+    is local to its producer's cluster. *)
+
+open Ncdrf_ir
+open Ncdrf_sched
+
+type t =
+  | Global
+  | Local of int  (** cluster index *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** Class of the value produced by node [v].
+
+    @raise Invalid_argument if [v] produces no value (is a store). *)
+val value_class : Schedule.t -> int -> t
+
+(** All value-producing nodes with their class, in node order. *)
+val classify : Schedule.t -> (Ddg.node * t) list
+
+(** Counts [(globals, locals per cluster)]. *)
+val counts : Schedule.t -> int * int array

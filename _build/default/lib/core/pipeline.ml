@@ -1,0 +1,89 @@
+open Ncdrf_ir
+open Ncdrf_sched
+open Ncdrf_spill
+
+type stats = {
+  name : string;
+  model : Model.t;
+  mii : int;
+  ii : int;
+  stages : int;
+  requirement : int;
+  capacity : int option;
+  fits : bool;
+  spilled : int;
+  added_memops : int;
+  ii_bumps : int;
+  memops_per_iter : int;
+  density : float;
+  swaps : int;
+  schedule : Schedule.t;
+}
+
+let requirement_of_model model sched =
+  match model with
+  | Model.Ideal | Model.Unified -> (sched, Requirements.unified sched)
+  | Model.Partitioned -> (sched, (Requirements.partitioned sched).Requirements.requirement)
+  | Model.Swapped ->
+    let swapped, _ = Swap.improve sched in
+    (swapped, (Requirements.partitioned swapped).Requirements.requirement)
+
+let count_swaps model before after =
+  match model with
+  | Model.Swapped ->
+    (* Swaps applied = cluster assignments that changed. *)
+    let n = Ddg.num_nodes before.Schedule.ddg in
+    let changed = ref 0 in
+    for v = 0 to n - 1 do
+      if Schedule.cluster before v <> Schedule.cluster after v then incr changed
+    done;
+    !changed / 2
+  | Model.Ideal | Model.Unified | Model.Partitioned -> 0
+
+let run ~config ~model ?capacity ?victim ddg =
+  let mii = Mii.mii config ddg in
+  let finish ~final_ddg ~sched_before ~sched ~requirement ~fits ~spilled ~added_memops
+      ~ii_bumps =
+    {
+      name = Ddg.name ddg;
+      model;
+      mii;
+      ii = Schedule.ii sched;
+      stages = Schedule.stages sched;
+      requirement;
+      capacity;
+      fits;
+      spilled;
+      added_memops;
+      ii_bumps;
+      memops_per_iter = Traffic.memops_per_iteration final_ddg;
+      density = Traffic.density sched;
+      swaps = count_swaps model sched_before sched;
+      schedule = sched;
+    }
+  in
+  match capacity, model with
+  | None, _ | Some _, Model.Ideal ->
+    let raw = Modulo.schedule config ddg in
+    let sched, requirement = requirement_of_model model raw in
+    let fits =
+      match capacity, model with
+      | _, Model.Ideal | None, _ -> true
+      | Some cap, _ -> requirement <= cap
+    in
+    finish ~final_ddg:ddg ~sched_before:raw ~sched ~requirement ~fits ~spilled:0
+      ~added_memops:0 ~ii_bumps:0
+  | Some cap, _ ->
+    let outcome =
+      Spiller.run ~config ~requirement:(requirement_of_model model) ~capacity:cap ?victim
+        ddg
+    in
+    (* [sched_before] for swap counting: recover the pre-transform
+       cluster assignment by comparing against a fresh requirement run
+       is unnecessary — count against the raw schedule of the final
+       graph. *)
+    let raw = outcome.Spiller.schedule in
+    finish ~final_ddg:outcome.Spiller.ddg ~sched_before:raw ~sched:outcome.Spiller.schedule
+      ~requirement:outcome.Spiller.requirement ~fits:outcome.Spiller.fits
+      ~spilled:outcome.Spiller.spilled ~added_memops:outcome.Spiller.added_memops
+      ~ii_bumps:outcome.Spiller.ii_bumps

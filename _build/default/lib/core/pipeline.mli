@@ -1,0 +1,46 @@
+(** End-to-end compilation of one loop under one register-file model:
+    modulo scheduling, optional swapping, register allocation, and —
+    when a register capacity is given — the naive spill loop.
+
+    This is the function every experiment in the paper is built from. *)
+
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+
+type stats = {
+  name : string;
+  model : Model.t;
+  mii : int;  (** lower bound of the original (pre-spill) graph *)
+  ii : int;  (** achieved initiation interval *)
+  stages : int;
+  requirement : int;  (** registers (per subfile for dual models) *)
+  capacity : int option;
+  fits : bool;  (** requirement <= capacity (always true for Ideal) *)
+  spilled : int;
+  added_memops : int;
+  ii_bumps : int;
+  memops_per_iter : int;  (** including spill code *)
+  density : float;
+  swaps : int;  (** swaps applied (Swapped model only) *)
+  schedule : Schedule.t;  (** final schedule *)
+}
+
+(** The model's requirement function on a fixed schedule: returns the
+    (possibly swapped) schedule and its register requirement.  [Ideal]
+    reports the unified requirement but never fails to fit. *)
+val requirement_of_model :
+  Model.t -> Schedule.t -> Schedule.t * int
+
+(** [run ~config ~model ?capacity ddg] compiles the loop.  Without
+    [capacity], registers are unlimited (the paper's Section 5.3
+    measurement).  With [capacity], the spiller runs for every model
+    except [Ideal] (Section 5.4); [victim] selects its heuristic
+    (default: the paper's longest-lifetime). *)
+val run :
+  config:Config.t ->
+  model:Model.t ->
+  ?capacity:int ->
+  ?victim:Ncdrf_spill.Spiller.victim ->
+  Ddg.t ->
+  stats

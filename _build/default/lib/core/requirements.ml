@@ -1,0 +1,115 @@
+open Ncdrf_machine
+open Ncdrf_regalloc
+open Ncdrf_sched
+
+type detail = {
+  requirement : int;
+  cluster_requirements : int array;
+  global_requirement : int;
+  local_requirements : int array;
+  max_live : int array;
+}
+
+let unified ?strategy ?order sched =
+  let lifetimes = Lifetime.of_schedule sched in
+  Alloc.min_capacity ?strategy ?order ~ii:(Schedule.ii sched) lifetimes
+
+let grouped_lifetimes sched =
+  let n_clusters = Config.num_clusters sched.Schedule.config in
+  let locals = Array.make n_clusters [] in
+  let globals = ref [] in
+  let place l =
+    match Classify.value_class sched l.Lifetime.producer with
+    | Classify.Global -> globals := l :: !globals
+    | Classify.Local c -> locals.(c) <- l :: locals.(c)
+  in
+  List.iter place (Lifetime.of_schedule sched);
+  (List.rev !globals, Array.map List.rev locals)
+
+let cluster_max_live sched =
+  let ii = Schedule.ii sched in
+  let globals, locals = grouped_lifetimes sched in
+  Array.map (fun ls -> Lifetime.max_live ~ii (globals @ ls)) locals
+
+let max_live_cost sched = Array.fold_left max 0 (cluster_max_live sched)
+
+(* Joint feasibility at a given capacity: place the globals once (their
+   registers are shared by all subfiles), then each cluster's locals on
+   top of them. *)
+let feasible ?strategy ?order ~ii ~globals ~locals capacity =
+  match Alloc.allocate ?strategy ?order ~ii ~capacity globals with
+  | None -> false
+  | Some placed_globals ->
+    Array.for_all
+      (fun ls ->
+        match ls with
+        | [] -> true
+        | _ ->
+          Alloc.allocate ?strategy ?order ~placed:placed_globals ~ii ~capacity ls
+          <> None)
+      locals
+
+let joint_requirement ?strategy ?order ~ii ~globals ~locals () =
+  if globals = [] && Array.for_all (fun ls -> ls = []) locals then 0
+  else begin
+    let all_of cluster = globals @ locals.(cluster) in
+    let lower =
+      Array.to_list (Array.mapi (fun c _ -> Lifetime.max_live ~ii (all_of c)) locals)
+      @ List.map (fun l -> Lifetime.min_registers ~ii l) globals
+      @ List.concat_map (List.map (Lifetime.min_registers ~ii)) (Array.to_list locals)
+      |> List.fold_left max 1
+    in
+    let upper =
+      (2 * Lifetime.total_min_registers ~ii (globals @ List.concat (Array.to_list locals))) + 64
+    in
+    let rec search capacity =
+      if capacity > upper then
+        failwith "Requirements.joint_requirement: no feasible capacity (bug)"
+      else if feasible ?strategy ?order ~ii ~globals ~locals capacity then capacity
+      else search (capacity + 1)
+    in
+    search lower
+  end
+
+type allocation = {
+  capacity : int;
+  globals : Alloc.placement list;
+  locals : Alloc.placement list array;
+}
+
+let partitioned_allocation ?strategy ?order sched =
+  let ii = Schedule.ii sched in
+  let globals, local_groups = grouped_lifetimes sched in
+  let capacity = joint_requirement ?strategy ?order ~ii ~globals ~locals:local_groups () in
+  if capacity = 0 then { capacity = 0; globals = []; locals = Array.map (fun _ -> []) local_groups }
+  else begin
+    match Alloc.allocate ?strategy ?order ~ii ~capacity globals with
+    | None -> failwith "Requirements.partitioned_allocation: globals do not fit (bug)"
+    | Some placed_globals ->
+      let place_locals ls =
+        match ls with
+        | [] -> []
+        | _ ->
+          (match Alloc.allocate ?strategy ?order ~placed:placed_globals ~ii ~capacity ls with
+           | Some p -> p
+           | None -> failwith "Requirements.partitioned_allocation: locals do not fit (bug)")
+      in
+      { capacity; globals = placed_globals; locals = Array.map place_locals local_groups }
+  end
+
+let partitioned ?strategy ?order sched =
+  let ii = Schedule.ii sched in
+  let globals, locals = grouped_lifetimes sched in
+  let cluster_requirements =
+    Array.map
+      (fun ls -> joint_requirement ?strategy ?order ~ii ~globals ~locals:[| ls |] ())
+      locals
+  in
+  let requirement = joint_requirement ?strategy ?order ~ii ~globals ~locals () in
+  {
+    requirement;
+    cluster_requirements;
+    global_requirement = Alloc.min_capacity ?strategy ?order ~ii globals;
+    local_requirements = Array.map (Alloc.min_capacity ?strategy ?order ~ii) locals;
+    max_live = cluster_max_live sched;
+  }

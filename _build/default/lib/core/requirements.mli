@@ -1,0 +1,57 @@
+(** Register requirements of a schedule under the register-file models.
+
+    For the non-consistent dual register file, the global values occupy
+    the {e same} register indices in every subfile (they are written to
+    both, exactly like a consistent dual file would), while local values
+    use the remaining registers of their cluster's subfile.  A loop is
+    allocatable with subfiles of [R] registers iff the globals plus each
+    cluster's locals can be jointly allocated within [R]. *)
+
+open Ncdrf_regalloc
+open Ncdrf_sched
+
+type detail = {
+  requirement : int;  (** registers per subfile: max over clusters *)
+  cluster_requirements : int array;
+      (** smallest capacity at which globals + that cluster's locals
+          allocate, taken per cluster in isolation; [requirement] uses a
+          single global placement shared by all clusters, so it is at
+          least the max of these *)
+  global_requirement : int;  (** globals allocated alone *)
+  local_requirements : int array;  (** each cluster's locals alone *)
+  max_live : int array;  (** per-cluster MaxLive lower bound *)
+}
+
+(** Requirement with a unified (or consistent dual) register file:
+    smallest capacity allocating all values. *)
+val unified : ?strategy:Alloc.strategy -> ?order:Alloc.order -> Schedule.t -> int
+
+(** Requirement detail with a non-consistent dual register file under
+    the schedule's current cluster assignment. *)
+val partitioned :
+  ?strategy:Alloc.strategy -> ?order:Alloc.order -> Schedule.t -> detail
+
+(** Per-cluster MaxLive lower bound (globals counted in every cluster);
+    the estimate the swap pass minimises.  For a single-cluster machine
+    this is plain MaxLive. *)
+val cluster_max_live : Schedule.t -> int array
+
+(** [max] of {!cluster_max_live} — the scalar swap cost. *)
+val max_live_cost : Schedule.t -> int
+
+(** Lifetimes grouped by class: [(globals, per-cluster locals)]. *)
+val grouped_lifetimes :
+  Schedule.t -> Lifetime.t list * Lifetime.t list array
+
+(** Concrete register assignment for a non-consistent dual register
+    file at the minimal capacity: globals occupy the same indices in
+    every subfile, locals their own cluster's.  Used by the execution
+    simulator. *)
+type allocation = {
+  capacity : int;  (** registers per subfile *)
+  globals : Alloc.placement list;
+  locals : Alloc.placement list array;  (** per cluster *)
+}
+
+val partitioned_allocation :
+  ?strategy:Alloc.strategy -> ?order:Alloc.order -> Schedule.t -> allocation

@@ -1,0 +1,90 @@
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_regalloc
+open Ncdrf_sched
+
+type config = {
+  sacks : int;
+  read_ports : int;
+  write_ports : int;
+}
+
+let default_config = { sacks = 2; read_ports = 1; write_ports = 1 }
+
+type assignment = {
+  primary_requirement : int;
+  sack_requirements : int array;
+  placed : int;
+  eligible : int;
+  values : int;
+}
+
+let single_use sched =
+  let ddg = sched.Schedule.ddg in
+  List.filter
+    (fun l -> List.length (Ddg.consumers ddg l.Lifetime.producer) = 1)
+    (Lifetime.of_schedule sched)
+
+(* Kernel slot at which the value is written into the register file
+   (producer completes) and read from it (consumer issues). *)
+let write_slot sched ~ii l =
+  let ddg = sched.Schedule.ddg in
+  let cfg = sched.Schedule.config in
+  let producer = Ddg.node ddg l.Lifetime.producer in
+  (l.Lifetime.start + Config.latency cfg producer.Ddg.opcode) mod ii
+
+let read_slot sched ~ii l =
+  let ddg = sched.Schedule.ddg in
+  match Ddg.consumers ddg l.Lifetime.producer with
+  | [ e ] -> Schedule.cycle sched e.Ddg.dst mod ii
+  | [] | _ :: _ -> invalid_arg "Sacks.read_slot: not a single-use value"
+
+type sack_state = {
+  mutable resident : Lifetime.t list;
+  reads : int array;  (* per slot *)
+  writes : int array;
+}
+
+let assign ?(config = default_config) sched =
+  let ii = Schedule.ii sched in
+  let all = Lifetime.of_schedule sched in
+  let eligible = single_use sched in
+  let sacks =
+    Array.init config.sacks (fun _ ->
+        { resident = []; reads = Array.make ii 0; writes = Array.make ii 0 })
+  in
+  let try_place l =
+    let rs = read_slot sched ~ii l and ws = write_slot sched ~ii l in
+    let fits sack =
+      sack.reads.(rs) < config.read_ports && sack.writes.(ws) < config.write_ports
+    in
+    let rec scan i =
+      if i >= Array.length sacks then false
+      else if fits sacks.(i) then begin
+        let sack = sacks.(i) in
+        sack.resident <- l :: sack.resident;
+        sack.reads.(rs) <- sack.reads.(rs) + 1;
+        sack.writes.(ws) <- sack.writes.(ws) + 1;
+        true
+      end
+      else scan (i + 1)
+    in
+    scan 0
+  in
+  (* Longest lifetimes first: they relieve the primary file the most. *)
+  let ordered =
+    List.sort (fun a b -> compare (Lifetime.length b) (Lifetime.length a)) eligible
+  in
+  let placed = List.filter try_place ordered in
+  let in_sack l =
+    List.exists (fun p -> p.Lifetime.producer = l.Lifetime.producer) placed
+  in
+  let primary = List.filter (fun l -> not (in_sack l)) all in
+  {
+    primary_requirement = Alloc.min_capacity ~ii primary;
+    sack_requirements =
+      Array.map (fun sack -> Alloc.min_capacity ~ii sack.resident) sacks;
+    placed = List.length placed;
+    eligible = List.length eligible;
+    values = List.length all;
+  }

@@ -1,0 +1,44 @@
+(** Sacked register files (Llosa et al., CONPAR'94) — the asymmetric
+    organization the paper cites as the other way to exploit the
+    single-use property: a small multiported {e primary} file plus one
+    or more {e sacks}, port-limited subfiles with one read and one write
+    port each.
+
+    Only values that are read exactly once (the dominant case in
+    floating-point loops, paper Section 3.3) are eligible for a sack,
+    and a sack can serve at most one read and accept at most one write
+    per cycle: in a modulo-scheduled loop that means at most one
+    resident value reads at any kernel slot.  Everything that does not
+    fit the sacks stays in the primary file.
+
+    This module implements a greedy sack assignment so the organization
+    can be compared against the non-consistent dual register file on the
+    same schedules (bench experiment [sacks]). *)
+
+open Ncdrf_regalloc
+open Ncdrf_sched
+
+type config = {
+  sacks : int;  (** number of sack subfiles *)
+  read_ports : int;  (** per sack, 1 in the original design *)
+  write_ports : int;  (** per sack, 1 in the original design *)
+}
+
+val default_config : config
+
+type assignment = {
+  primary_requirement : int;
+      (** registers the multiported primary file still needs *)
+  sack_requirements : int array;  (** registers per sack *)
+  placed : int;  (** single-use values moved into sacks *)
+  eligible : int;  (** single-use values in the schedule *)
+  values : int;  (** all values *)
+}
+
+(** Values with exactly one flow consumer. *)
+val single_use : Schedule.t -> Lifetime.t list
+
+(** Greedily move eligible values (longest lifetime first) into sacks,
+    respecting per-slot port limits; allocate each sack and the
+    remaining primary file with the standard cyclic allocator. *)
+val assign : ?config:config -> Schedule.t -> assignment

@@ -1,0 +1,93 @@
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+
+type workload = {
+  ddg : Ddg.t;
+  weight : float;
+}
+
+type measurement = {
+  loop : workload;
+  requirement : int;
+  ii : int;
+}
+
+let measure ~config ~model loops =
+  let one loop =
+    let raw = Modulo.schedule config loop.ddg in
+    let sched, requirement = Pipeline.requirement_of_model model raw in
+    { loop; requirement; ii = Schedule.ii sched }
+  in
+  List.map one loops
+
+let cumulative ~weight_of measurements ~points =
+  let total = List.fold_left (fun acc m -> acc +. weight_of m) 0.0 measurements in
+  let at r =
+    let covered =
+      List.fold_left
+        (fun acc m -> if m.requirement <= r then acc +. weight_of m else acc)
+        0.0 measurements
+    in
+    if total = 0.0 then 0.0 else 100.0 *. covered /. total
+  in
+  List.map (fun r -> (r, at r)) points
+
+let static_cumulative measurements ~points =
+  cumulative ~weight_of:(fun _ -> 1.0) measurements ~points
+
+let dynamic_cumulative measurements ~points =
+  cumulative
+    ~weight_of:(fun m -> m.loop.weight *. float_of_int m.ii)
+    measurements ~points
+
+let allocatable measurements ~r =
+  let static = static_cumulative measurements ~points:[ r ] in
+  let dynamic = dynamic_cumulative measurements ~points:[ r ] in
+  match static, dynamic with
+  | [ (_, s) ], [ (_, d) ] -> (s, d)
+  | _ -> assert false
+
+type performance = {
+  relative : float;
+  density : float;
+  total_spills : int;
+  loops_spilled : int;
+  unfit : int;
+}
+
+let performance ~config ~model ~capacity loops =
+  let ideal_time = ref 0.0 in
+  let achieved_time = ref 0.0 in
+  let traffic_num = ref 0.0 in
+  let traffic_den = ref 0.0 in
+  let total_spills = ref 0 in
+  let loops_spilled = ref 0 in
+  let unfit = ref 0 in
+  let bandwidth = float_of_int (Config.memory_bandwidth config) in
+  let one loop =
+    let stats = Pipeline.run ~config ~model ~capacity loop.ddg in
+    let ideal_ii = float_of_int (Mii.mii config loop.ddg) in
+    (* The Ideal model achieves the spill-free II; use the actual
+       scheduler result for it rather than the bound. *)
+    let ideal_ii =
+      if model = Model.Ideal then float_of_int stats.Pipeline.ii else ideal_ii
+    in
+    ideal_time := !ideal_time +. (loop.weight *. ideal_ii);
+    achieved_time := !achieved_time +. (loop.weight *. float_of_int stats.Pipeline.ii);
+    traffic_num :=
+      !traffic_num +. (loop.weight *. float_of_int stats.Pipeline.memops_per_iter);
+    traffic_den :=
+      !traffic_den +. (loop.weight *. float_of_int stats.Pipeline.ii *. bandwidth);
+    total_spills := !total_spills + stats.Pipeline.spilled;
+    if stats.Pipeline.spilled > 0 then incr loops_spilled;
+    if not stats.Pipeline.fits then incr unfit
+  in
+  List.iter one loops;
+  {
+    relative = (if !achieved_time = 0.0 then 1.0 else !ideal_time /. !achieved_time);
+    density = (if !traffic_den = 0.0 then 0.0 else !traffic_num /. !traffic_den);
+    total_spills = !total_spills;
+    loops_spilled = !loops_spilled;
+    unfit = !unfit;
+  }

@@ -1,0 +1,54 @@
+(** Suite-level statistics: the aggregations behind Table 1 and
+    Figures 6-9.
+
+    A workload is a list of loops with execution weights (the paper
+    weights each loop by its measured iteration count; executing time is
+    then [weight * ii]). *)
+
+open Ncdrf_ir
+open Ncdrf_machine
+
+type workload = {
+  ddg : Ddg.t;
+  weight : float;  (** iterations executed (dynamic weighting) *)
+}
+
+type measurement = {
+  loop : workload;
+  requirement : int;
+  ii : int;  (** spill-free II: execution time is [weight * ii] *)
+}
+
+(** Requirement of every loop under a model with unlimited registers
+    (Figures 6 and 7 input).  Loops are scheduled once per config; the
+    models reuse the same schedule. *)
+val measure :
+  config:Config.t -> model:Model.t -> workload list -> measurement list
+
+(** Static cumulative distribution: fraction (in percent) of loops whose
+    requirement is [<= r], for each [r] in [points]. *)
+val static_cumulative : measurement list -> points:int list -> (int * float) list
+
+(** Dynamic cumulative distribution: same, weighted by execution time
+    [weight * ii] (Figure 7). *)
+val dynamic_cumulative : measurement list -> points:int list -> (int * float) list
+
+(** Percentage of loops allocatable within [r] registers and percentage
+    of execution time those loops represent (one Table 1 cell pair). *)
+val allocatable : measurement list -> r:int -> float * float
+
+type performance = {
+  relative : float;
+      (** sum of ideal execution times / sum of achieved execution
+          times, in [0, 1]; 1.0 means no loss versus infinite
+          registers *)
+  density : float;  (** weighted average density of memory traffic *)
+  total_spills : int;
+  loops_spilled : int;
+  unfit : int;  (** loops the spiller could not fit (should be 0) *)
+}
+
+(** Run the full spill pipeline on every loop at a register capacity and
+    aggregate (Figures 8 and 9 input). *)
+val performance :
+  config:Config.t -> model:Model.t -> capacity:int -> workload list -> performance

@@ -1,0 +1,70 @@
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+
+type estimate =
+  | Max_live
+  | Exact
+
+type stats = {
+  swaps : int;
+  initial_cost : int;
+  final_cost : int;
+}
+
+let candidates sched =
+  let ddg = sched.Schedule.ddg in
+  let ii = Schedule.ii sched in
+  let nodes = Array.of_list (Ddg.nodes ddg) in
+  let n = Array.length nodes in
+  let pairs = ref [] in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let a = nodes.(i) and b = nodes.(j) in
+      let same_class = Opcode.fu_class a.Ddg.opcode = Opcode.fu_class b.Ddg.opcode in
+      let same_slot =
+        (Schedule.cycle sched a.Ddg.id - Schedule.cycle sched b.Ddg.id) mod ii = 0
+      in
+      let different_cluster =
+        Schedule.cluster sched a.Ddg.id <> Schedule.cluster sched b.Ddg.id
+      in
+      if same_class && same_slot && different_cluster then
+        pairs := (a.Ddg.id, b.Ddg.id) :: !pairs
+    done
+  done;
+  List.rev !pairs
+
+let cost ~estimate sched =
+  match estimate with
+  | Max_live -> Requirements.max_live_cost sched
+  | Exact -> (Requirements.partitioned sched).Requirements.requirement
+
+let improve ?(estimate = Max_live) ?(max_passes = 1000) sched =
+  if Config.num_clusters sched.Schedule.config < 2 then
+    (sched, { swaps = 0; initial_cost = cost ~estimate sched; final_cost = cost ~estimate sched })
+  else begin
+    let initial_cost = cost ~estimate sched in
+    let rec loop sched current swaps passes =
+      if passes >= max_passes then (sched, current, swaps)
+      else begin
+        (* The candidate set is invariant under swapping (cluster
+           exchange preserves class/slot), but recompute for clarity of
+           invariants; graphs are small. *)
+        let best =
+          List.fold_left
+            (fun acc (a, b) ->
+              let swapped = Schedule.swap_clusters sched a b in
+              let c = cost ~estimate swapped in
+              match acc with
+              | Some (_, best_cost) when best_cost <= c -> acc
+              | Some _ | None -> if c < current then Some (swapped, c) else acc)
+            None (candidates sched)
+        in
+        match best with
+        | Some (swapped, c) -> loop swapped c (swaps + 1) (passes + 1)
+        | None -> (sched, current, swaps)
+      end
+    in
+    let sched, final_cost, swaps = loop sched initial_cost 0 0 in
+    (sched, { swaps; initial_cost; final_cost })
+  end

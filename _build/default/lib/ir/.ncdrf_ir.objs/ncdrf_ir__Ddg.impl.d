@@ -1,0 +1,1 @@
+lib/ir/ddg.ml: Array Format List Opcode Printf

@@ -1,0 +1,1 @@
+lib/ir/ddg.mli: Format Opcode

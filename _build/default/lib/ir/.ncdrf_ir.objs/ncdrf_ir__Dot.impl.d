@@ -1,0 +1,1 @@
+lib/ir/dot.ml: Buffer Ddg List Opcode Printf

@@ -1,0 +1,1 @@
+lib/ir/expr.ml: Ddg Hashtbl List Opcode Printf Stdlib

@@ -1,0 +1,1 @@
+lib/ir/graph_algos.ml: Array List Queue

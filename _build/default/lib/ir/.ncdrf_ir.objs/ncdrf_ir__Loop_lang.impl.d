@@ -1,0 +1,1 @@
+lib/ir/loop_lang.ml: Expr Float List Printf String

@@ -1,0 +1,1 @@
+lib/ir/opcode.ml: Format Int Printf String

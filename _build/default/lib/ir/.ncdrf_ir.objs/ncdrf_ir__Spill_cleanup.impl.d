@@ -1,0 +1,1 @@
+lib/ir/spill_cleanup.ml: Ddg Hashtbl List Opcode

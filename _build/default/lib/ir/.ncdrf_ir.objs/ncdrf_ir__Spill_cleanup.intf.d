@@ -1,0 +1,1 @@
+lib/ir/spill_cleanup.mli: Ddg

@@ -1,0 +1,30 @@
+let render g =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "digraph %S {\n" (Ddg.name g));
+  Buffer.add_string buf "  node [shape=box, fontname=\"monospace\"];\n";
+  let shape op =
+    match Opcode.fu_class op with
+    | Opcode.Adder -> "lightblue"
+    | Opcode.Multiplier -> "lightsalmon"
+    | Opcode.Memory -> "lightgrey"
+  in
+  let emit_node node =
+    Buffer.add_string buf
+      (Printf.sprintf "  n%d [label=\"%s\\n%s\", style=filled, fillcolor=%s];\n"
+         node.Ddg.id node.Ddg.label
+         (Opcode.to_string node.Ddg.opcode)
+         (shape node.Ddg.opcode))
+  in
+  Ddg.iter_nodes g ~f:emit_node;
+  let emit_edge e =
+    let attrs =
+      let style = match e.Ddg.kind with Ddg.Flow -> "solid" | Ddg.Mem -> "dashed" in
+      if e.Ddg.distance > 0 then
+        Printf.sprintf "style=%s, label=\"d=%d\"" style e.Ddg.distance
+      else Printf.sprintf "style=%s" style
+    in
+    Buffer.add_string buf (Printf.sprintf "  n%d -> n%d [%s];\n" e.Ddg.src e.Ddg.dst attrs)
+  in
+  List.iter emit_edge (Ddg.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,5 @@
+(** Graphviz export of dependence graphs. *)
+
+(** [render g] is a DOT digraph; flow edges are solid and labelled with
+    their distance when loop-carried, memory-ordering edges are dashed. *)
+val render : Ddg.t -> string

@@ -1,0 +1,147 @@
+type t =
+  | Load of string
+  | Invariant of string
+  | Const of float
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Cvt of t
+  | Prev of string * int
+  | Ref of string
+  | Select of t * t * t
+
+type stmt =
+  | Def of string * t
+  | Store of string * t
+
+let ( + ) a b = Add (a, b)
+let ( - ) a b = Sub (a, b)
+let ( * ) a b = Mul (a, b)
+let ( / ) a b = Div (a, b)
+let load a = Load a
+let inv a = Invariant a
+let const c = Const c
+let prev ?(distance = 1) name = Prev (name, distance)
+let ref_ name = Ref name
+let select c a b = Select (c, a, b)
+
+exception Compile_error of string
+
+let error fmt = Printf.ksprintf (fun s -> raise (Compile_error s)) fmt
+
+(* The value an operand contributes to the node being built. *)
+type operand =
+  | Op_node of int  (** value produced by a node of this iteration *)
+  | Op_invariant  (** held in the general register file: no dependence *)
+  | Op_prev of string * int  (** recurrence, resolved after all defs are known *)
+
+type state = {
+  builder : Ddg.Builder.t;
+  cse : (t, operand) Hashtbl.t;
+  defs : (string, int) Hashtbl.t;
+  mutable deferred : (string * int * int) list;  (* def name, distance, consumer *)
+  mutable seq : int;
+}
+
+let label st opcode =
+  st.seq <- Stdlib.( + ) st.seq 1;
+  let prefix =
+    match opcode with
+    | Opcode.Load _ -> "L"
+    | Opcode.Store _ -> "S"
+    | Opcode.Fadd | Opcode.Fsub -> "A"
+    | Opcode.Fmul | Opcode.Fdiv -> "M"
+    | Opcode.Fcvt -> "C"
+    | Opcode.Fselect -> "X"
+  in
+  Printf.sprintf "%s%d" prefix st.seq
+
+let add_operand_edge st ~dst = function
+  | Op_node src -> Ddg.Builder.add_edge st.builder ~src ~dst ~distance:0 Ddg.Flow
+  | Op_invariant -> ()
+  | Op_prev (name, distance) -> st.deferred <- (name, distance, dst) :: st.deferred
+
+let rec compile_expr st expr =
+  match Hashtbl.find_opt st.cse expr with
+  | Some operand -> operand
+  | None ->
+    let operand =
+      match expr with
+      | Invariant _ | Const _ -> Op_invariant
+      | Prev (name, distance) ->
+        if distance < 1 then error "prev(%s): distance must be >= 1" name;
+        Op_prev (name, distance)
+      | Ref name ->
+        (match Hashtbl.find_opt st.defs name with
+         | Some id -> Op_node id
+         | None -> error "%s: used before its definition" name)
+      | Load array ->
+        let opcode = Opcode.Load (Opcode.Array array) in
+        Op_node (Ddg.Builder.add_node st.builder opcode ~label:(label st opcode))
+      | Add (a, b) -> binary st Opcode.Fadd a b
+      | Sub (a, b) -> binary st Opcode.Fsub a b
+      | Mul (a, b) -> binary st Opcode.Fmul a b
+      | Div (a, b) -> binary st Opcode.Fdiv a b
+      | Cvt a ->
+        let operand_a = compile_expr st a in
+        let id = Ddg.Builder.add_node st.builder Opcode.Fcvt ~label:(label st Opcode.Fcvt) in
+        add_operand_edge st ~dst:id operand_a;
+        Op_node id
+      | Select (c, a, b) ->
+        let operand_c = compile_expr st c in
+        let operand_a = compile_expr st a in
+        let operand_b = compile_expr st b in
+        let id =
+          Ddg.Builder.add_node st.builder Opcode.Fselect ~label:(label st Opcode.Fselect)
+        in
+        add_operand_edge st ~dst:id operand_c;
+        add_operand_edge st ~dst:id operand_a;
+        add_operand_edge st ~dst:id operand_b;
+        Op_node id
+    in
+    Hashtbl.replace st.cse expr operand;
+    operand
+
+and binary st opcode a b =
+  let operand_a = compile_expr st a in
+  let operand_b = compile_expr st b in
+  let id = Ddg.Builder.add_node st.builder opcode ~label:(label st opcode) in
+  add_operand_edge st ~dst:id operand_a;
+  add_operand_edge st ~dst:id operand_b;
+  Op_node id
+
+let compile_stmt st = function
+  | Def (name, expr) ->
+    if Hashtbl.mem st.defs name then error "def %s: bound twice" name;
+    (match compile_expr st expr with
+     | Op_node id -> Hashtbl.replace st.defs name id
+     | Op_invariant -> error "def %s: loop-invariant right-hand side" name
+     | Op_prev _ -> error "def %s: aliasing a recurrence is not supported" name)
+  | Store (array, expr) ->
+    let operand = compile_expr st expr in
+    let opcode = Opcode.Store (Opcode.Array array) in
+    let id = Ddg.Builder.add_node st.builder opcode ~label:(label st opcode) in
+    add_operand_edge st ~dst:id operand
+
+let compile ~name stmts =
+  let st =
+    {
+      builder = Ddg.Builder.create ~name;
+      cse = Hashtbl.create 16;
+      defs = Hashtbl.create 16;
+      deferred = [];
+      seq = 0;
+    }
+  in
+  List.iter (compile_stmt st) stmts;
+  let resolve (def_name, distance, consumer) =
+    match Hashtbl.find_opt st.defs def_name with
+    | Some src -> Ddg.Builder.add_edge st.builder ~src ~dst:consumer ~distance Ddg.Flow
+    | None -> error "prev(%s): no such definition" def_name
+  in
+  List.iter resolve st.deferred;
+  let graph = Ddg.Builder.freeze st.builder in
+  match Ddg.validate graph with
+  | Ok () -> graph
+  | Error msg -> error "%s: invalid graph: %s" name msg

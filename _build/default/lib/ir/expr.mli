@@ -1,0 +1,62 @@
+(** A small loop-body language that compiles to dependence graphs.
+
+    The language describes one iteration of a Fortran-style inner loop
+    over floating-point data, the only loops the paper schedules:
+
+    - [Load "x"] is a streaming array reference [x(i)];
+    - [Invariant "r"] is a loop-invariant value, held in the general
+      (non-rotating) register file and therefore {e not} represented by
+      a node;
+    - [Const c] behaves like an invariant;
+    - arithmetic operators map to FP functional units;
+    - [Prev (name, d)] reads the value that the statement [Def (name, _)]
+      produced [d] iterations ago — this is how recurrences are written.
+
+    Compilation hash-conses syntactically equal subexpressions (the
+    common-subexpression elimination that the paper inherits from the
+    optimizing front end). *)
+
+type t =
+  | Load of string
+  | Invariant of string
+  | Const of float
+  | Add of t * t
+  | Sub of t * t
+  | Mul of t * t
+  | Div of t * t
+  | Cvt of t
+  | Prev of string * int
+  | Ref of string
+      (** the value of a [Def] from the {e same} iteration; the
+          definition must appear before the use *)
+  | Select of t * t * t
+      (** [Select (p, a, b)]: IF-converted conditional — the value of
+          [a] when the predicate [p] is non-negative, of [b] otherwise;
+          executes as one predicated-select operation on the adders *)
+
+type stmt =
+  | Def of string * t  (** a scalar defined each iteration *)
+  | Store of string * t  (** [a(i) = expr] *)
+
+(** Convenience constructors. *)
+val ( + ) : t -> t -> t
+
+val ( - ) : t -> t -> t
+val ( * ) : t -> t -> t
+val ( / ) : t -> t -> t
+val load : string -> t
+val inv : string -> t
+val const : float -> t
+val prev : ?distance:int -> string -> t
+val ref_ : string -> t
+val select : t -> t -> t -> t
+
+exception Compile_error of string
+
+(** [compile ~name stmts] builds the dependence graph of the loop body.
+
+    @raise Compile_error if a [Prev] references an undefined name, a
+    [Prev] has distance < 1, a [Def] is bound twice, or a statement
+    reduces to an invariant-only expression (no FP operation and no
+    load, hence no node to represent it). *)
+val compile : name:string -> stmt list -> Ddg.t

@@ -1,0 +1,78 @@
+(* For each spill slot, the producer chain looks like
+
+     producer --flow--> store spill.k --mem--> load spill.k --flow--> consumer
+
+   We reconnect producer to every consumer of every load of the slot,
+   accumulating the iteration distances along the way, and drop the
+   stores and loads. *)
+
+let slot_of node =
+  match node.Ddg.opcode with
+  | Opcode.Load (Opcode.Spill k) -> Some (`Load, k)
+  | Opcode.Store (Opcode.Spill k) -> Some (`Store, k)
+  | Opcode.Load (Opcode.Array _)
+  | Opcode.Store (Opcode.Array _)
+  | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv | Opcode.Fcvt | Opcode.Fselect ->
+    None
+
+let run g =
+  (* Map slot -> (store node, producer edge) for stores with a unique
+     flow producer. *)
+  let stores = Hashtbl.create 8 in
+  let scan_store node =
+    match slot_of node with
+    | Some (`Store, k) ->
+      let producers =
+        List.filter (fun e -> e.Ddg.kind = Ddg.Flow) (Ddg.preds g node.Ddg.id)
+      in
+      (match producers with
+       | [ p ] -> Hashtbl.replace stores k (node.Ddg.id, p)
+       | [] | _ :: _ -> ())
+    | Some (`Load, _) | None -> ()
+  in
+  Ddg.iter_nodes g ~f:scan_store;
+  (* Collect removable nodes and the reconnection edges. *)
+  let removed = Hashtbl.create 8 in
+  let extra = ref [] in
+  let scan_load node =
+    match slot_of node with
+    | Some (`Load, k) ->
+      (match Hashtbl.find_opt stores k with
+       | None -> ()
+       | Some (store_id, producer_edge) ->
+         (* Distance from producer to this load: producer->store plus any
+            store->load memory distance. *)
+         let store_to_load =
+           List.filter
+             (fun e -> e.Ddg.src = store_id)
+             (Ddg.preds g node.Ddg.id)
+         in
+         let base = producer_edge.Ddg.distance in
+         let mem_distance =
+           match store_to_load with
+           | e :: _ -> e.Ddg.distance
+           | [] -> 0
+         in
+         Hashtbl.replace removed node.Ddg.id ();
+         Hashtbl.replace removed store_id ();
+         let reconnect e =
+           if e.Ddg.kind = Ddg.Flow then
+             extra :=
+               {
+                 Ddg.src = producer_edge.Ddg.src;
+                 dst = e.Ddg.dst;
+                 distance = base + mem_distance + e.Ddg.distance;
+                 kind = Ddg.Flow;
+               }
+               :: !extra
+         in
+         List.iter reconnect (Ddg.succs g node.Ddg.id))
+    | Some (`Store, _) | None -> ()
+  in
+  Ddg.iter_nodes g ~f:scan_load;
+  if Hashtbl.length removed = 0 then (g, 0)
+  else begin
+    let keep node = not (Hashtbl.mem removed node.Ddg.id) in
+    let cleaned, _remap = Ddg.remove_nodes g ~keep ~add_edges:!extra () in
+    (cleaned, Hashtbl.length removed)
+  end

@@ -1,0 +1,14 @@
+(** Removal of front-end spill code from a dependence graph.
+
+    The paper derives its dependence graphs from optimized R3000
+    assembler, which may contain spill code of its own: a store to a
+    stack slot followed by loads from the same slot.  Such pairs are
+    detected and removed, and the consumers of each spill load are
+    re-attached directly to the producer of the spilled value (paper
+    Section 5.1). *)
+
+(** [run g] removes every spill store/load pair (loads and stores whose
+    location is [Opcode.Spill _]) where the store has a unique flow
+    producer.  Returns the cleaned graph and the number of memory
+    operations removed. *)
+val run : Ddg.t -> Ddg.t * int

@@ -1,0 +1,1 @@
+lib/machine/config.ml: Array Format Ncdrf_ir Opcode Printf String

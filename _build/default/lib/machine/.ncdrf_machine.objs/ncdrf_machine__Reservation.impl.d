@@ -1,0 +1,1 @@
+lib/machine/reservation.ml: Array Config Ncdrf_ir Opcode

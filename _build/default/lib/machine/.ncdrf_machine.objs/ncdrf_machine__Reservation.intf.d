@@ -1,0 +1,1 @@
+lib/machine/reservation.mli: Config Ncdrf_ir Opcode

@@ -1,0 +1,101 @@
+open Ncdrf_ir
+
+type cluster = {
+  adders : int;
+  multipliers : int;
+  ls_units : int;
+}
+
+type t = {
+  name : string;
+  clusters : cluster array;
+  add_latency : int;
+  mul_latency : int;
+  mem_latency : int;
+  load_ports : int option;
+  store_ports : int option;
+}
+
+let make ~name ~clusters ~add_latency ~mul_latency ?(mem_latency = 1) ?load_ports
+    ?store_ports () =
+  if Array.length clusters = 0 then invalid_arg "Config.make: no clusters";
+  let positive what v = if v < 1 then invalid_arg (Printf.sprintf "Config.make: %s" what) in
+  positive "add_latency must be >= 1" add_latency;
+  positive "mul_latency must be >= 1" mul_latency;
+  positive "mem_latency must be >= 1" mem_latency;
+  let check_cluster c =
+    if c.adders < 0 || c.multipliers < 0 || c.ls_units < 0 then
+      invalid_arg "Config.make: negative unit count"
+  in
+  Array.iter check_cluster clusters;
+  { name; clusters; add_latency; mul_latency; mem_latency; load_ports; store_ports }
+
+let pxly ~parallelism ~latency =
+  make
+    ~name:(Printf.sprintf "P%dL%d" parallelism latency)
+    ~clusters:
+      [| { adders = parallelism; multipliers = parallelism; ls_units = 3 } |]
+    ~add_latency:latency ~mul_latency:latency ~load_ports:2 ~store_ports:1 ()
+
+let dual ~latency =
+  make
+    ~name:(Printf.sprintf "dual-L%d" latency)
+    ~clusters:
+      [|
+        { adders = 1; multipliers = 1; ls_units = 1 };
+        { adders = 1; multipliers = 1; ls_units = 1 };
+      |]
+    ~add_latency:latency ~mul_latency:latency ()
+
+let dual_unified ~latency =
+  make
+    ~name:(Printf.sprintf "unified-L%d" latency)
+    ~clusters:[| { adders = 2; multipliers = 2; ls_units = 2 } |]
+    ~add_latency:latency ~mul_latency:latency ()
+
+let example () =
+  make ~name:"example"
+    ~clusters:
+      [|
+        { adders = 1; multipliers = 1; ls_units = 2 };
+        { adders = 1; multipliers = 1; ls_units = 2 };
+      |]
+    ~add_latency:3 ~mul_latency:3 ()
+
+let num_clusters t = Array.length t.clusters
+
+let latency t op =
+  match Opcode.fu_class op with
+  | Opcode.Adder -> t.add_latency
+  | Opcode.Multiplier -> t.mul_latency
+  | Opcode.Memory -> t.mem_latency
+
+let sum_clusters t f = Array.fold_left (fun acc c -> acc + f c) 0 t.clusters
+let total_adders t = sum_clusters t (fun c -> c.adders)
+let total_multipliers t = sum_clusters t (fun c -> c.multipliers)
+let total_ls_units t = sum_clusters t (fun c -> c.ls_units)
+
+let memory_bandwidth t =
+  let units = total_ls_units t in
+  match t.load_ports, t.store_ports with
+  | Some l, Some s -> min units (l + s)
+  | Some l, None -> min units l
+  | None, Some s -> min units s
+  | None, None -> units
+
+let pp ppf t =
+  let cluster_desc c =
+    Printf.sprintf "%da+%dm+%dls" c.adders c.multipliers c.ls_units
+  in
+  let clusters =
+    String.concat " | " (Array.to_list (Array.map cluster_desc t.clusters))
+  in
+  let ports =
+    match t.load_ports, t.store_ports with
+    | None, None -> ""
+    | l, s ->
+      let show = function None -> "-" | Some n -> string_of_int n in
+      Printf.sprintf ", ports ld=%s st=%s" (show l) (show s)
+  in
+  Format.fprintf ppf "%s [%s], lat add=%d mul=%d mem=%d%s" t.name clusters
+    t.add_latency t.mul_latency t.mem_latency ports

@@ -1,0 +1,72 @@
+(** VLIW machine configurations.
+
+    A configuration is a set of {e clusters}, each holding a number of
+    adders, multipliers and load/store units, plus optional machine-wide
+    load/store port caps (used by the PxLy configurations of the paper's
+    Table 1, which constrain loads to 2 per cycle and stores to 1 per
+    cycle irrespective of unit counts).
+
+    All functional units are fully pipelined: a unit accepts a new
+    operation every cycle; latency only delays the result. *)
+
+open Ncdrf_ir
+
+type cluster = {
+  adders : int;
+  multipliers : int;
+  ls_units : int;  (** load/store units private to the cluster *)
+}
+
+type t = private {
+  name : string;
+  clusters : cluster array;  (** length 1 (unified) or 2 (dual) *)
+  add_latency : int;  (** adds, subtracts, conversions *)
+  mul_latency : int;  (** multiplies and divides *)
+  mem_latency : int;  (** loads and stores, 1 in the paper *)
+  load_ports : int option;  (** machine-wide cap on loads per cycle *)
+  store_ports : int option;  (** machine-wide cap on stores per cycle *)
+}
+
+val make :
+  name:string ->
+  clusters:cluster array ->
+  add_latency:int ->
+  mul_latency:int ->
+  ?mem_latency:int ->
+  ?load_ports:int ->
+  ?store_ports:int ->
+  unit ->
+  t
+
+(** Table 1 configuration PxLy: [x] adders and [x] multipliers of latency
+    [y], one store port and two load ports, single cluster. *)
+val pxly : parallelism:int -> latency:int -> t
+
+(** The evaluation configuration of Section 5.2: two clusters of {1
+    adder, 1 multiplier, 1 load/store unit}, FP latency
+    [latency] (3 or 6), memory latency 1. *)
+val dual : latency:int -> t
+
+(** Same resources as {!dual} collapsed into a single cluster — the
+    unified register-file machine the paper compares against. *)
+val dual_unified : latency:int -> t
+
+(** The machine of the worked example (Section 4.1): two clusters of {1
+    adder, 1 multiplier, 2 load/store units}, FP latency 3, memory
+    latency 1. *)
+val example : unit -> t
+
+val num_clusters : t -> int
+val latency : t -> Opcode.t -> int
+
+(** Per-class unit totals over the whole machine. *)
+val total_adders : t -> int
+
+val total_multipliers : t -> int
+val total_ls_units : t -> int
+
+(** Number of memory ports used in the density-of-traffic denominator:
+    the effective per-cycle memory issue bandwidth. *)
+val memory_bandwidth : t -> int
+
+val pp : Format.formatter -> t -> unit

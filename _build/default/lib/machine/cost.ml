@@ -1,0 +1,79 @@
+type file_spec = {
+  registers : int;
+  read_ports : int;
+  write_ports : int;
+  bits : int;
+}
+
+let area spec =
+  let ports = float_of_int (spec.read_ports + spec.write_ports) in
+  float_of_int spec.registers *. float_of_int spec.bits *. ports *. ports
+
+let log2 x = log (float_of_int x) /. log 2.0
+
+let access_time spec = log2 (max 2 spec.registers) +. log2 (1 + spec.read_ports)
+
+let operand_field_bits ~registers =
+  let rec bits n acc = if n <= 1 then acc else bits ((n + 1) / 2) (acc + 1) in
+  bits (max 2 registers) 0
+
+type organization =
+  | Unified
+  | Consistent_dual
+  | Non_consistent_dual
+  | Doubled_unified
+
+let organization_name = function
+  | Unified -> "unified"
+  | Consistent_dual -> "consistent-dual"
+  | Non_consistent_dual -> "non-consistent-dual"
+  | Doubled_unified -> "doubled-unified"
+
+(* FP-file port demand of one cluster: adders and multipliers read two
+   operands and write one result; a load/store unit reads one FP value
+   (store data) and writes one (load result). *)
+let cluster_reads c =
+  (2 * c.Config.adders) + (2 * c.Config.multipliers) + c.Config.ls_units
+
+let cluster_writes c = c.Config.adders + c.Config.multipliers + c.Config.ls_units
+
+let machine_reads cfg = Array.fold_left (fun acc c -> acc + cluster_reads c) 0 cfg.Config.clusters
+let machine_writes cfg = Array.fold_left (fun acc c -> acc + cluster_writes c) 0 cfg.Config.clusters
+
+let max_cluster_reads cfg =
+  Array.fold_left (fun acc c -> max acc (cluster_reads c)) 0 cfg.Config.clusters
+
+let specify cfg ~registers org =
+  let bits = 64 in
+  match org with
+  | Unified ->
+    ( { registers; read_ports = machine_reads cfg; write_ports = machine_writes cfg; bits },
+      1 )
+  | Doubled_unified ->
+    ( {
+        registers = 2 * registers;
+        read_ports = machine_reads cfg;
+        write_ports = machine_writes cfg;
+        bits;
+      },
+      1 )
+  | Consistent_dual | Non_consistent_dual ->
+    let copies = max 1 (Config.num_clusters cfg) in
+    (* Each copy serves one cluster's reads but receives every write
+       (the non-consistent file keeps the same write structure; it just
+       does not use every write for every value). *)
+    ( {
+        registers;
+        read_ports = max_cluster_reads cfg;
+        write_ports = machine_writes cfg;
+        bits;
+      },
+      copies )
+
+let total_area cfg ~registers org =
+  let spec, copies = specify cfg ~registers org in
+  float_of_int copies *. area spec
+
+let organization_access_time cfg ~registers org =
+  let spec, _ = specify cfg ~registers org in
+  access_time spec

@@ -1,0 +1,59 @@
+(** Register-file hardware cost models (paper Section 3.2).
+
+    The paper motivates the non-consistent dual file with two published
+    models: the {e area} of a multiported register file grows linearly
+    with the number of registers and bits and quadratically with the
+    number of ports (Lee'84), and the {e access time} grows
+    logarithmically with the number of registers and with the number of
+    read ports (Capitanio et al.'92).  This module implements both in
+    normalized units and derives the port counts of the four file
+    organizations discussed in the paper for any machine configuration,
+    so the "cheaper than doubling the number of registers and does not
+    penalize the access time" claim can be checked quantitatively
+    (bench experiment [cost]). *)
+
+type file_spec = {
+  registers : int;
+  read_ports : int;
+  write_ports : int;
+  bits : int;  (** width of one register, 64 for FP *)
+}
+
+(** Normalized area: [registers * bits * (read_ports + write_ports)^2].
+    One single-ported 64-bit register cell is the unit. *)
+val area : file_spec -> float
+
+(** Normalized access time: [log2 registers + log2 (1 + read_ports)].
+    The paper only uses the model comparatively. *)
+val access_time : file_spec -> float
+
+(** Bits needed to name one operand. *)
+val operand_field_bits : registers:int -> int
+
+type organization =
+  | Unified  (** one file, every port *)
+  | Consistent_dual
+      (** two identical copies: per-copy read ports halve, every result
+          is written to both copies *)
+  | Non_consistent_dual
+      (** two subfiles, same port structure as the consistent dual;
+          capacity counts per subfile but values are not all duplicated *)
+  | Doubled_unified  (** a unified file with twice the registers *)
+
+val organization_name : organization -> string
+
+(** Per-subfile specification of an organization on a machine:
+    [registers] is the per-(sub)file capacity; FP read ports = 2 per
+    adder + 2 per multiplier + 1 per load/store unit (store data), FP
+    write ports = 1 per adder/multiplier/load unit.  Dual organizations
+    serve each cluster's reads locally but accept every cluster's
+    writes.  Returns the spec of ONE subfile and how many subfiles the
+    organization instantiates. *)
+val specify : Config.t -> registers:int -> organization -> file_spec * int
+
+(** Total silicon area of the organization (all subfiles). *)
+val total_area : Config.t -> registers:int -> organization -> float
+
+(** Access time of one subfile — the machine's register-file critical
+    path. *)
+val organization_access_time : Config.t -> registers:int -> organization -> float

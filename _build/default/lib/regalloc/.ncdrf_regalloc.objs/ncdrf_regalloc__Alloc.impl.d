@@ -1,0 +1,1 @@
+lib/regalloc/alloc.ml: Lifetime List Printf

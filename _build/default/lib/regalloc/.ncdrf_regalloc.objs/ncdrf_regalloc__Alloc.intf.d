@@ -1,0 +1,1 @@
+lib/regalloc/alloc.mli: Lifetime

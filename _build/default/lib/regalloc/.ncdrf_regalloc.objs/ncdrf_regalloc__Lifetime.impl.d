@@ -1,0 +1,1 @@
+lib/regalloc/lifetime.ml: Config Ddg List Ncdrf_ir Ncdrf_machine Ncdrf_sched Opcode Schedule

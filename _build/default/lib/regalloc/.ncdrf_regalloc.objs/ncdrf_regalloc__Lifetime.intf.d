@@ -1,0 +1,1 @@
+lib/regalloc/lifetime.mli: Ncdrf_sched Schedule

@@ -1,0 +1,1 @@
+lib/regalloc/mve.ml: Lifetime List Printf

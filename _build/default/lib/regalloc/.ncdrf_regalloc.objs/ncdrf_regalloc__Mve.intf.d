@@ -1,0 +1,1 @@
+lib/regalloc/mve.mli: Lifetime

@@ -1,0 +1,70 @@
+(** Register allocation for modulo-scheduled loops on a rotating
+    register file.
+
+    With a rotating file of [capacity] registers, the instance of value
+    [v] born in iteration [k] occupies physical register
+    [(reg v + k) mod capacity] for [length v] cycles from its birth at
+    [start v + k * ii].  Allocation therefore assigns each value a
+    {e virtual} register so that no two live instances share a physical
+    register; conflicts are modular: values [v] at [rv] and [w] at [rw]
+    collide iff [(rw - rv) mod capacity] falls inside a residue window
+    derived from how their lifetimes overlap when shifted by multiples
+    of [ii].
+
+    The paper allocates with the {e Wands-Only} strategy (process values
+    by start time) and the {e First-Fit} schema (smallest conflict-free
+    register), citing Rau et al. 1992; Best-Fit and End-Fit schemas and
+    alternative orderings are provided for the ablation benchmarks. *)
+
+type strategy =
+  | First_fit  (** smallest conflict-free register (the paper's choice) *)
+  | Best_fit
+      (** conflict-free register closest (circularly) to the end of the
+          previously placed wand, minimising gaps *)
+  | End_fit  (** largest conflict-free register *)
+
+type order =
+  | Start_time  (** Wands-Only order (the paper's choice) *)
+  | Longest_first
+  | Node_order
+
+type placement = {
+  value : Lifetime.t;
+  register : int;
+}
+
+(** [conflict ~ii ~capacity (v, rv) (w, rw)] decides whether the two
+    allocations collide in some steady-state cycle. *)
+val conflict :
+  ii:int -> capacity:int -> Lifetime.t * int -> Lifetime.t * int -> bool
+
+(** [allocate ~ii ~capacity lifetimes] places every lifetime, honouring
+    [placed] (pre-allocated values, e.g. the globals shared by both
+    subfiles of a non-consistent dual register file).  [None] if some
+    value cannot be placed within [capacity]. *)
+val allocate :
+  ?strategy:strategy ->
+  ?order:order ->
+  ?placed:placement list ->
+  ii:int ->
+  capacity:int ->
+  Lifetime.t list ->
+  placement list option
+
+(** Smallest capacity for which {!allocate} succeeds, searched upward
+    from the [max_live]/longest-value lower bound.  0 for an empty value
+    list.
+
+    @raise Failure if no capacity up to a generous internal cap works
+    (indicates a bug; property-tested not to happen). *)
+val min_capacity :
+  ?strategy:strategy -> ?order:order -> ii:int -> Lifetime.t list -> int
+
+(** Registers used by a set of placements: highest register index + 1.
+    With First-Fit this is the compact requirement measure used
+    throughout the experiments. *)
+val registers_used : placement list -> int
+
+(** Exhaustive check that a set of placements is conflict-free —
+    [Ok ()] or a message naming the colliding pair.  Test helper. *)
+val check : ii:int -> capacity:int -> placement list -> (unit, string) result

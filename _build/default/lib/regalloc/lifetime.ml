@@ -1,0 +1,57 @@
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+
+type t = {
+  producer : int;
+  start : int;
+  stop : int;
+}
+
+let length t = t.stop - t.start
+
+let of_schedule sched =
+  let ddg = sched.Schedule.ddg in
+  let cfg = sched.Schedule.config in
+  let ii = Schedule.ii sched in
+  let lifetime node =
+    if not (Opcode.produces_value node.Ddg.opcode) then None
+    else begin
+      let start = Schedule.cycle sched node.Ddg.id in
+      let finish_of e =
+        let consumer = Ddg.node ddg e.Ddg.dst in
+        Schedule.cycle sched consumer.Ddg.id
+        + (e.Ddg.distance * ii)
+        + Config.latency cfg consumer.Ddg.opcode
+      in
+      let stop =
+        match Ddg.consumers ddg node.Ddg.id with
+        | [] -> start + Config.latency cfg node.Ddg.opcode
+        | consumers -> List.fold_left (fun acc e -> max acc (finish_of e)) start consumers
+      in
+      Some { producer = node.Ddg.id; start; stop }
+    end
+  in
+  Ddg.fold_nodes ddg ~init:[] ~f:(fun acc n ->
+      match lifetime n with Some l -> l :: acc | None -> acc)
+  |> List.rev
+
+let ceil_div a b = if a <= 0 then 0 else (a + b - 1) / b
+
+let live_at_slot t ~ii ~slot =
+  let r = (((slot - t.start) mod ii) + ii) mod ii in
+  ceil_div (length t - r) ii
+
+let max_live ~ii lifetimes =
+  let best = ref 0 in
+  for slot = 0 to ii - 1 do
+    let live =
+      List.fold_left (fun acc l -> acc + live_at_slot l ~ii ~slot) 0 lifetimes
+    in
+    if live > !best then best := live
+  done;
+  !best
+
+let min_registers ~ii t = ceil_div (length t) ii
+let total_min_registers ~ii lifetimes =
+  List.fold_left (fun acc l -> acc + min_registers ~ii l) 0 lifetimes

@@ -1,0 +1,42 @@
+(** Value lifetimes of a modulo schedule.
+
+    Following the paper (Section 2), the lifetime of a value starts when
+    its producer is issued and ends when all its consumers finish, so
+    that the code stays interruptible/restartable when issued operations
+    always run to completion.  A consumer reached through a
+    loop-carried edge of distance [d] finishes [d * II] cycles later
+    than its same-iteration instance.
+
+    A value with no consumer (dead code) lives until its producer
+    finishes writing it. *)
+
+open Ncdrf_sched
+
+type t = {
+  producer : int;  (** node id of the defining operation *)
+  start : int;  (** issue cycle of the producer *)
+  stop : int;  (** cycle at which the last consumer finishes *)
+}
+
+val length : t -> int
+
+(** Lifetimes of all value-producing operations (everything but stores),
+    in node-id order. *)
+val of_schedule : Schedule.t -> t list
+
+(** Number of live instances of the value at a steady-state cycle [c]
+    with [c mod ii = slot]: successive definitions are II apart, so this
+    is [ceil ((length - r) / ii)] with [r = (slot - start) mod ii]. *)
+val live_at_slot : t -> ii:int -> slot:int -> int
+
+(** Maximum over kernel slots of the number of simultaneously live value
+    instances — the lower bound on registers that the swapping pass
+    uses (paper Section 5.2). *)
+val max_live : ii:int -> t list -> int
+
+(** [ceil (length / ii)]: registers the value needs on its own. *)
+val min_registers : ii:int -> t -> int
+
+(** Sum over values of {!min_registers} — an upper bound on the
+    requirement (disjoint allocation always fits). *)
+val total_min_registers : ii:int -> t list -> int

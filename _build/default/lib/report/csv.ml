@@ -1,0 +1,25 @@
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n' || c = '\r') s
+
+let escape s =
+  if needs_quoting s then begin
+    let buf = Buffer.create (String.length s + 2) in
+    Buffer.add_char buf '"';
+    String.iter
+      (fun c ->
+        if c = '"' then Buffer.add_string buf "\"\"" else Buffer.add_char buf c)
+      s;
+    Buffer.add_char buf '"';
+    Buffer.contents buf
+  end
+  else s
+
+let line cells = String.concat "," (List.map escape cells)
+
+let write path rows =
+  let oc = open_out path in
+  (try List.iter (fun row -> output_string oc (line row ^ "\n")) rows
+   with e ->
+     close_out oc;
+     raise e);
+  close_out oc

@@ -1,0 +1,9 @@
+(** Minimal RFC-4180-style CSV output for experiment series. *)
+
+(** Quote a field if it contains a comma, quote or newline. *)
+val escape : string -> string
+
+val line : string list -> string
+
+(** [write path rows] writes the rows to [path], creating the file. *)
+val write : string -> string list list -> unit

@@ -1,0 +1,33 @@
+type t = {
+  columns : string list;
+  mutable rev_rows : string list list;
+}
+
+let create ~columns = { columns; rev_rows = [] }
+
+let add_row t row =
+  let width = List.length t.columns in
+  let given = List.length row in
+  if given > width then
+    invalid_arg (Printf.sprintf "Table.add_row: %d cells in a %d-column table" given width);
+  let padded = row @ List.init (width - given) (fun _ -> "") in
+  t.rev_rows <- padded :: t.rev_rows
+
+let num_rows t = List.length t.rev_rows
+let rows t = List.rev t.rev_rows
+
+let render t =
+  let all = t.columns :: rows t in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w cell -> max w (String.length cell)) acc row)
+      (List.map (fun _ -> 0) t.columns)
+      all
+  in
+  let line row =
+    String.concat "  " (List.map2 (fun w cell -> Printf.sprintf "%-*s" w cell) widths row)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line t.columns :: sep :: List.map line (rows t)) ^ "\n"
+
+let to_rows t = t.columns :: rows t

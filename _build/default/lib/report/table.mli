@@ -1,0 +1,20 @@
+(** Aligned text tables for experiment output. *)
+
+type t
+
+(** [create ~columns] starts a table with the given header. *)
+val create : columns:string list -> t
+
+(** Append a row; short rows are padded with empty cells, long rows
+    raise [Invalid_argument]. *)
+val add_row : t -> string list -> unit
+
+val num_rows : t -> int
+
+(** Render with columns padded to their widest cell, a separator under
+    the header, and two spaces between columns. *)
+val render : t -> string
+
+(** The rows as written, header first — the exact data {!Csv.write}
+    expects. *)
+val to_rows : t -> string list list

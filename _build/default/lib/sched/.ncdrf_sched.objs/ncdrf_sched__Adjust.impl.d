@@ -1,0 +1,1 @@
+lib/sched/adjust.ml: Array Config Ddg List Ncdrf_ir Ncdrf_machine Reservation Schedule

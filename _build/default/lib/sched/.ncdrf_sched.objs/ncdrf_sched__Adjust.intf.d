@@ -1,0 +1,1 @@
+lib/sched/adjust.mli: Ddg Ncdrf_ir Schedule

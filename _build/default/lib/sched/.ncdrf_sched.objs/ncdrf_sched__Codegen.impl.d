@@ -1,0 +1,1 @@
+lib/sched/codegen.ml: Array Buffer Kernel List Ncdrf_ir Printf Schedule String

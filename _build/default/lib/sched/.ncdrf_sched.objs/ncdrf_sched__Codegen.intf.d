@@ -1,0 +1,1 @@
+lib/sched/codegen.mli: Kernel Schedule

@@ -1,0 +1,1 @@
+lib/sched/kernel.ml: Array Buffer Config Ddg List Ncdrf_ir Ncdrf_machine Opcode Printf Schedule String

@@ -1,0 +1,1 @@
+lib/sched/kernel.mli: Ddg Ncdrf_ir Schedule

@@ -1,0 +1,1 @@
+lib/sched/mii.ml: Config Ddg Graph_algos Hashtbl List Ncdrf_ir Ncdrf_machine

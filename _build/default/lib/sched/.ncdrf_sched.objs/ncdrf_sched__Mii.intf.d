@@ -1,0 +1,1 @@
+lib/sched/mii.mli: Config Ddg Ncdrf_ir Ncdrf_machine

@@ -1,0 +1,1 @@
+lib/sched/modulo.ml: Array Config Ddg List Logs Mii Ncdrf_ir Ncdrf_machine Opcode Printf Reservation Schedule

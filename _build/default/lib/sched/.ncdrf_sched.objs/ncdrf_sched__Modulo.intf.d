@@ -1,0 +1,1 @@
+lib/sched/modulo.mli: Config Ddg Ncdrf_ir Ncdrf_machine Schedule

@@ -1,0 +1,1 @@
+lib/sched/schedule.ml: Array Config Ddg Format List Ncdrf_ir Ncdrf_machine Opcode Printf Reservation

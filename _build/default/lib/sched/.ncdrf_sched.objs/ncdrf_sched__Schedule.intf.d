@@ -1,0 +1,1 @@
+lib/sched/schedule.mli: Config Ddg Format Ncdrf_ir Ncdrf_machine

@@ -1,0 +1,18 @@
+(** Local schedule repair passes.
+
+    {!push_late} moves selected operations to the latest
+    dependence-feasible cycle with a free resource slot.  The spiller
+    uses it on spill loads: the modulo scheduler places operations at
+    their earliest feasible cycle, which would leave a reloaded value
+    live from just after its spill store to its consumer and defeat the
+    spill; pushing the load down shrinks the reloaded lifetime to
+    roughly the load latency. *)
+
+open Ncdrf_ir
+
+(** [push_late sched ~eligible] returns an equivalent valid schedule in
+    which every node satisfying [eligible] (and having at least one
+    successor) has been moved as late as its scheduled successors and
+    resources allow.  Nodes are processed latest-first; ineligible nodes
+    do not move. *)
+val push_late : Schedule.t -> eligible:(Ddg.node -> bool) -> Schedule.t

@@ -1,0 +1,148 @@
+open Ncdrf_ir
+open Ncdrf_machine
+
+type slot = {
+  node : Ddg.node;
+  stage : int;
+  cluster : int;
+}
+
+type t = {
+  ii : int;
+  rows : slot list array;
+}
+
+let extract sched =
+  let sched = Schedule.normalize sched in
+  let ii = Schedule.ii sched in
+  let rows = Array.make ii [] in
+  let add node =
+    let c = Schedule.cycle sched node.Ddg.id in
+    let slot = { node; stage = c / ii; cluster = Schedule.cluster sched node.Ddg.id } in
+    rows.(c mod ii) <- slot :: rows.(c mod ii)
+  in
+  Ddg.iter_nodes sched.Schedule.ddg ~f:add;
+  let order a b = compare (a.cluster, a.node.Ddg.id) (b.cluster, b.node.Ddg.id) in
+  Array.iteri (fun i slots -> rows.(i) <- List.sort order slots) rows;
+  { ii; rows }
+
+(* One column per functional unit: cluster 0's adders, multipliers,
+   load/store units, then cluster 1's, ... *)
+let unit_columns cfg =
+  let cols = ref [] in
+  let n_clusters = Config.num_clusters cfg in
+  for cl = n_clusters - 1 downto 0 do
+    let c = cfg.Config.clusters.(cl) in
+    let add_class count cls =
+      for i = count - 1 downto 0 do
+        cols := (cl, cls, i) :: !cols
+      done
+    in
+    (* Build in reverse so the final list reads adders, muls, ls. *)
+    add_class c.Config.ls_units Opcode.Memory;
+    add_class c.Config.multipliers Opcode.Multiplier;
+    add_class c.Config.adders Opcode.Adder
+  done;
+  Array.of_list !cols
+
+let render sched =
+  let cfg = sched.Schedule.config in
+  let kernel = extract sched in
+  let cols = unit_columns cfg in
+  let n_cols = Array.length cols in
+  let width = 10 in
+  let cell_text = function
+    | None -> "nop"
+    | Some slot -> Printf.sprintf "[%d] %s" slot.stage slot.node.Ddg.label
+  in
+  let buf = Buffer.create 512 in
+  let pad s = Printf.sprintf " %-*s" (width - 1) s in
+  (* Header: cluster banners then unit names. *)
+  let add_sep () =
+    for i = 0 to n_cols - 1 do
+      let cl, _, _ = cols.(i) in
+      let prev_cl = if i = 0 then cl else (fun (c, _, _) -> c) cols.(i - 1) in
+      if i > 0 && cl <> prev_cl then Buffer.add_string buf "++";
+      Buffer.add_string buf (String.make width '-')
+    done;
+    Buffer.add_char buf '\n'
+  in
+  let unit_name = function
+    | Opcode.Adder -> "add"
+    | Opcode.Multiplier -> "mul"
+    | Opcode.Memory -> "ld/st"
+  in
+  add_sep ();
+  for i = 0 to n_cols - 1 do
+    let cl, cls, idx = cols.(i) in
+    if i > 0 then begin
+      let prev_cl, _, _ = cols.(i - 1) in
+      if cl <> prev_cl then Buffer.add_string buf "||"
+    end;
+    Buffer.add_string buf (pad (Printf.sprintf "c%d %s%d" cl (unit_name cls) idx))
+  done;
+  Buffer.add_char buf '\n';
+  add_sep ();
+  (* Rows: distribute each row's slots over the unit columns. *)
+  let place_row slots =
+    let cells = Array.make n_cols None in
+    let next_free cl cls =
+      let rec find i =
+        if i >= n_cols then None
+        else begin
+          let ccl, ccls, _ = cols.(i) in
+          if ccl = cl && ccls = cls && cells.(i) = None then Some i else find (i + 1)
+        end
+      in
+      find 0
+    in
+    let put slot =
+      match next_free slot.cluster (Opcode.fu_class slot.node.Ddg.opcode) with
+      | Some i -> cells.(i) <- Some slot
+      | None -> () (* cannot happen on a valid schedule *)
+    in
+    List.iter put slots;
+    cells
+  in
+  Array.iter
+    (fun slots ->
+      let cells = place_row slots in
+      for i = 0 to n_cols - 1 do
+        if i > 0 then begin
+          let prev_cl, _, _ = cols.(i - 1) in
+          let cl, _, _ = cols.(i) in
+          if cl <> prev_cl then Buffer.add_string buf "||"
+        end;
+        Buffer.add_string buf (pad (cell_text cells.(i)))
+      done;
+      Buffer.add_char buf '\n')
+    kernel.rows;
+  add_sep ();
+  Buffer.contents buf
+
+let render_schedule_table sched =
+  let sched = Schedule.normalize sched in
+  let ddg = sched.Schedule.ddg in
+  let ii = Schedule.ii sched in
+  let buf = Buffer.create 512 in
+  let stages = Schedule.stages sched in
+  Buffer.add_string buf (Printf.sprintf "modulo schedule: II=%d, %d stages\n" ii stages);
+  for stage = 0 to stages - 1 do
+    for offset = 0 to ii - 1 do
+      let cycle = (stage * ii) + offset in
+      let at_cycle =
+        Ddg.fold_nodes ddg ~init:[] ~f:(fun acc n ->
+            if Schedule.cycle sched n.Ddg.id = cycle then n :: acc else acc)
+      in
+      match at_cycle with
+      | [] -> ()
+      | ops ->
+        let show n =
+          Printf.sprintf "%s(c%d)" n.Ddg.label (Schedule.cluster sched n.Ddg.id)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  cycle %3d (stage %2d): %s\n" cycle stage
+             (String.concat "  " (List.map show (List.rev ops))))
+    done
+  done;
+  Buffer.contents buf

@@ -1,0 +1,31 @@
+(** Kernel extraction and rendering.
+
+    The kernel is the steady-state body of the software-pipelined loop:
+    [ii] VLIW instructions; the operation scheduled at absolute cycle
+    [c] appears in kernel row [c mod ii], annotated with its stage
+    [c / ii] (operations from distinct stages belong to distinct
+    iterations of the original loop — paper Figure 4). *)
+
+open Ncdrf_ir
+
+type slot = {
+  node : Ddg.node;
+  stage : int;
+  cluster : int;
+}
+
+type t = {
+  ii : int;
+  rows : slot list array;  (** length [ii]; slots ordered by cluster *)
+}
+
+val extract : Schedule.t -> t
+
+(** ASCII table in the style of the paper's Figures 4 and 5: one line
+    per kernel row, one column per functional unit, clusters side by
+    side separated by [||], entries like ["[11] A6"]. *)
+val render : Schedule.t -> string
+
+(** The flat modulo schedule table of Figure 3: stage rows against
+    cycle-within-stage, annotated with cluster assignments. *)
+val render_schedule_table : Schedule.t -> string

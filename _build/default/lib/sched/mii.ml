@@ -1,0 +1,96 @@
+open Ncdrf_ir
+open Ncdrf_machine
+
+let ceil_div a b = (a + b - 1) / b
+
+let res_mii cfg ddg =
+  let adds = ref 0 and muls = ref 0 and mems = ref 0 in
+  Ddg.class_counts ddg ~adds ~muls ~mems;
+  let bound count units = if count = 0 then 1 else if units = 0 then max_int else ceil_div count units in
+  let candidates =
+    [
+      bound !adds (Config.total_adders cfg);
+      bound !muls (Config.total_multipliers cfg);
+      bound !mems (Config.total_ls_units cfg);
+    ]
+  in
+  let port_bounds =
+    let loads = Ddg.num_loads ddg and stores = Ddg.num_stores ddg in
+    let of_cap count = function Some cap -> [ bound count cap ] | None -> [] in
+    of_cap loads cfg.Config.load_ports @ of_cap stores cfg.Config.store_ports
+  in
+  List.fold_left max 1 (candidates @ port_bounds)
+
+let constraint_edges cfg ddg ~ii =
+  let weight e =
+    let op = (Ddg.node ddg e.Ddg.src).Ddg.opcode in
+    Config.latency cfg op - (ii * e.Ddg.distance)
+  in
+  List.map (fun e -> (e.Ddg.src, e.Ddg.dst, weight e)) (Ddg.edges ddg)
+
+let feasible cfg ddg ~ii =
+  not
+    (Graph_algos.has_positive_cycle ~num_nodes:(Ddg.num_nodes ddg)
+       ~edges:(constraint_edges cfg ddg ~ii))
+
+let rec_mii cfg ddg =
+  if feasible cfg ddg ~ii:1 then 1
+  else begin
+    (* The sum of all latencies is an upper bound on any circuit's
+       latency, hence on RecMII (distances are >= 1 on circuits). *)
+    let hi =
+      Ddg.fold_nodes ddg ~init:1 ~f:(fun acc n -> acc + Config.latency cfg n.Ddg.opcode)
+    in
+    let rec search lo hi =
+      (* invariant: lo infeasible, hi feasible *)
+      if hi - lo <= 1 then hi
+      else begin
+        let mid = (lo + hi) / 2 in
+        if feasible cfg ddg ~ii:mid then search lo mid else search mid hi
+      end
+    in
+    search 1 hi
+  end
+
+let rec_mii_by_circuits ?max_circuits cfg ddg =
+  let n = Ddg.num_nodes ddg in
+  (* Deduplicate parallel edges: keep, per (src,dst), max latency and min
+     distance, which dominates any parallel combination. *)
+  let best = Hashtbl.create 16 in
+  let note e =
+    let lat = Config.latency cfg (Ddg.node ddg e.Ddg.src).Ddg.opcode in
+    let key = (e.Ddg.src, e.Ddg.dst) in
+    match Hashtbl.find_opt best key with
+    | Some (l, d) -> Hashtbl.replace best key (max l lat, min d e.Ddg.distance)
+    | None -> Hashtbl.replace best key (lat, e.Ddg.distance)
+  in
+  List.iter note (Ddg.edges ddg);
+  let succs v =
+    Hashtbl.fold (fun (s, d) _ acc -> if s = v then d :: acc else acc) best []
+  in
+  let circuits = Graph_algos.elementary_circuits ?max_circuits ~num_nodes:n ~succs () in
+  let circuit_bound nodes =
+    let pairs =
+      match nodes with
+      | [] -> []
+      | first :: _ ->
+        let rec walk = function
+          | [ last ] -> [ (last, first) ]
+          | a :: (b :: _ as rest) -> (a, b) :: walk rest
+          | [] -> []
+        in
+        walk nodes
+    in
+    let lat, dist =
+      List.fold_left
+        (fun (l, d) key ->
+          match Hashtbl.find_opt best key with
+          | Some (el, ed) -> (l + el, d + ed)
+          | None -> (l, d))
+        (0, 0) pairs
+    in
+    if dist = 0 then max_int else ceil_div lat dist
+  in
+  List.fold_left (fun acc c -> max acc (circuit_bound c)) 1 circuits
+
+let mii cfg ddg = max (res_mii cfg ddg) (rec_mii cfg ddg)

@@ -1,0 +1,29 @@
+(** Lower bounds on the initiation interval.
+
+    The minimum initiation interval is
+    [MII = max (ResMII, RecMII)]: the resource-constrained bound (no
+    functional-unit class can execute more operations per II cycles than
+    it has units) and the recurrence-constrained bound (every dependence
+    circuit [C] forces [II >= ceil (latencies C / distances C)]). *)
+
+open Ncdrf_ir
+open Ncdrf_machine
+
+(** Resource-constrained lower bound, taking per-class unit totals and
+    machine-wide load/store port caps into account.  At least 1. *)
+val res_mii : Config.t -> Ddg.t -> int
+
+(** Recurrence-constrained bound computed by binary search on the
+    smallest [ii] for which the constraint graph with weights
+    [latency src - ii * distance] has no positive cycle.  At least 1. *)
+val rec_mii : Config.t -> Ddg.t -> int
+
+(** Recurrence bound by direct enumeration of elementary circuits
+    (Johnson).  Exponential in the worst case — used by tests to
+    cross-check {!rec_mii} and by the CLI to report critical circuits.
+    When parallel edges join the same node pair the maximal
+    latency/minimal distance edge is used, which dominates every
+    parallel-edge combination. *)
+val rec_mii_by_circuits : ?max_circuits:int -> Config.t -> Ddg.t -> int
+
+val mii : Config.t -> Ddg.t -> int

@@ -1,0 +1,1 @@
+lib/sim/executor.ml: Alloc Array Config Ddg Hashtbl Lifetime List Ncdrf_core Ncdrf_ir Ncdrf_machine Ncdrf_regalloc Ncdrf_sched Opcode Option Printf Reference Requirements Schedule Semantics

@@ -1,0 +1,1 @@
+lib/sim/executor.mli: Ncdrf_sched Reference Schedule

@@ -1,0 +1,1 @@
+lib/sim/memory_system.ml: Array Ddg Hashtbl List Ncdrf_ir Ncdrf_sched Opcode Printf Schedule

@@ -1,0 +1,1 @@
+lib/sim/memory_system.mli: Ncdrf_sched Schedule

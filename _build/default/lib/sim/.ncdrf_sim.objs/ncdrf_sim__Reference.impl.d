@@ -1,0 +1,1 @@
+lib/sim/reference.ml: Ddg Hashtbl Int64 List Ncdrf_ir Opcode Printf Semantics String

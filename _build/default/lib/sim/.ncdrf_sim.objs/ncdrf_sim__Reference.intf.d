@@ -1,0 +1,1 @@
+lib/sim/reference.mli: Ddg Ncdrf_ir

@@ -1,0 +1,1 @@
+lib/sim/semantics.ml: Char Ddg Float Int64 List Ncdrf_ir Opcode String

@@ -1,0 +1,1 @@
+lib/sim/semantics.mli: Ddg Ncdrf_ir Opcode

@@ -1,0 +1,218 @@
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_regalloc
+open Ncdrf_sched
+open Ncdrf_core
+
+exception Corrupted of string
+
+type outcome = {
+  stores : Reference.store_event list;
+  cycles : int;
+  register_reads : int;
+  capacity : int;
+}
+
+let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupted s)) fmt
+
+(* One rotating register file: value slots with provenance tags. *)
+type file = {
+  values : float array;
+  tags : (int * int) option array;  (* (node, iteration) currently held *)
+}
+
+let make_file capacity =
+  { values = Array.make (max capacity 1) 0.0; tags = Array.make (max capacity 1) None }
+
+(* Where a value lives and in which subfiles, per the model. *)
+type placement_info = {
+  register : int;
+  subfiles : int list;  (* indices of the files holding the value *)
+}
+
+type machine = {
+  files : file array;
+  capacity : int;
+  placements : placement_info option array;  (* per node; None for stores *)
+  read_file_of_cluster : int -> int;  (* consumer cluster -> file index *)
+}
+
+let physical machine ~register ~iteration =
+  (((register + iteration) mod machine.capacity) + machine.capacity) mod machine.capacity
+
+let write_value machine v ~iteration value =
+  match machine.placements.(v) with
+  | None -> ()
+  | Some p ->
+    let idx = physical machine ~register:p.register ~iteration in
+    List.iter
+      (fun f ->
+        machine.files.(f).values.(idx) <- value;
+        machine.files.(f).tags.(idx) <- Some (v, iteration))
+      p.subfiles
+
+let read_value machine ~consumer_cluster v ~iteration =
+  match machine.placements.(v) with
+  | None -> corrupt "read of a value-less node %d" v
+  | Some p ->
+    let file = machine.files.(machine.read_file_of_cluster consumer_cluster) in
+    let idx = physical machine ~register:p.register ~iteration in
+    (match file.tags.(idx) with
+     | Some (v', k') when v' = v && k' = iteration -> file.values.(idx)
+     | Some (v', k') ->
+       corrupt "register clobbered: wanted value of node %d iter %d, found node %d iter %d"
+         v iteration v' k'
+     | None -> corrupt "register read before write: node %d iter %d" v iteration)
+
+(* Build a machine for a unified rotating file. *)
+let unified_machine sched =
+  let ddg = sched.Schedule.ddg in
+  let ii = Schedule.ii sched in
+  let lifetimes = Lifetime.of_schedule sched in
+  let capacity = Alloc.min_capacity ~ii lifetimes in
+  let placements = Array.make (Ddg.num_nodes ddg) None in
+  (match Alloc.allocate ~ii ~capacity lifetimes with
+   | Some placed ->
+     List.iter
+       (fun p ->
+         placements.(p.Alloc.value.Lifetime.producer) <-
+           Some { register = p.Alloc.register; subfiles = [ 0 ] })
+       placed
+   | None -> if lifetimes <> [] then corrupt "unified allocation failed");
+  {
+    files = [| make_file capacity |];
+    capacity;
+    placements;
+    read_file_of_cluster = (fun _ -> 0);
+  }
+
+(* Build a machine for the non-consistent dual register file. *)
+let dual_machine sched =
+  let ddg = sched.Schedule.ddg in
+  let n_clusters = Config.num_clusters sched.Schedule.config in
+  if n_clusters < 2 then invalid_arg "Executor.run_dual: machine has a single cluster";
+  let alloc = Requirements.partitioned_allocation sched in
+  let capacity = alloc.Requirements.capacity in
+  let placements = Array.make (Ddg.num_nodes ddg) None in
+  let all_files = List.init n_clusters (fun i -> i) in
+  List.iter
+    (fun p ->
+      placements.(p.Alloc.value.Lifetime.producer) <-
+        Some { register = p.Alloc.register; subfiles = all_files })
+    alloc.Requirements.globals;
+  Array.iteri
+    (fun cluster placed ->
+      List.iter
+        (fun p ->
+          placements.(p.Alloc.value.Lifetime.producer) <-
+            Some { register = p.Alloc.register; subfiles = [ cluster ] })
+        placed)
+    alloc.Requirements.locals;
+  {
+    files = Array.init n_clusters (fun _ -> make_file capacity);
+    capacity;
+    placements;
+    read_file_of_cluster = (fun c -> c);
+  }
+
+(* The spill store feeding loads of a slot, and the store->load
+   iteration distance for a given load. *)
+let spill_source ddg load_id =
+  match
+    List.find_opt (fun e -> e.Ddg.kind = Ddg.Mem) (Ddg.preds ddg load_id)
+  with
+  | Some e -> (e.Ddg.src, e.Ddg.distance)
+  | None -> corrupt "spill load %d has no memory source" load_id
+
+let run_on machine sched ~iterations =
+  let ddg = sched.Schedule.ddg in
+  let cfg = sched.Schedule.config in
+  let sched = Schedule.normalize sched in
+  let ii = Schedule.ii sched in
+  let loop = Ddg.name ddg in
+  let n = Ddg.num_nodes ddg in
+  let reads = ref 0 in
+  let stores = ref [] in
+  let spill_buffer : (int * int, float) Hashtbl.t = Hashtbl.create 32 in
+  (* Values computed at issue, written back at finish. *)
+  let in_flight : (int * int, float) Hashtbl.t = Hashtbl.create 64 in
+  (* Event lists per cycle. *)
+  let last_cycle = ref 0 in
+  let issues : (int, (int * int) list) Hashtbl.t = Hashtbl.create 256 in
+  let finishes : (int, (int * int) list) Hashtbl.t = Hashtbl.create 256 in
+  let push tbl t ev = Hashtbl.replace tbl t (ev :: (Option.value ~default:[] (Hashtbl.find_opt tbl t))) in
+  for k = 0 to iterations - 1 do
+    Ddg.iter_nodes ddg ~f:(fun node ->
+        let v = node.Ddg.id in
+        let t_issue = Schedule.cycle sched v + (k * ii) in
+        let t_finish = t_issue + Config.latency cfg node.Ddg.opcode in
+        push issues t_issue (v, k);
+        if Opcode.produces_value node.Ddg.opcode then push finishes t_finish (v, k);
+        if t_finish > !last_cycle then last_cycle := t_finish)
+  done;
+  let operand_values v k =
+    let cluster = Schedule.cluster sched v in
+    List.map
+      (fun e ->
+        let src_iter = k - e.Ddg.distance in
+        if src_iter < 0 then Semantics.live_in ~loop ~node_id:e.Ddg.src ~iteration:src_iter
+        else begin
+          incr reads;
+          read_value machine ~consumer_cluster:cluster e.Ddg.src ~iteration:src_iter
+        end)
+      (Semantics.operand_edges ddg v)
+  in
+  let issue (v, k) =
+    let node = Ddg.node ddg v in
+    match node.Ddg.opcode with
+    | Opcode.Load (Opcode.Array a) ->
+      Hashtbl.replace in_flight (v, k) (Semantics.array_input ~array_name:a ~iteration:k)
+    | Opcode.Load (Opcode.Spill slot) ->
+      let _store, d = spill_source ddg v in
+      let x =
+        if k - d < 0 then Semantics.live_in ~loop ~node_id:v ~iteration:(k - d)
+        else
+          match Hashtbl.find_opt spill_buffer (slot, k - d) with
+          | Some x -> x
+          | None -> corrupt "spill slot %d read before write (iteration %d)" slot (k - d)
+      in
+      Hashtbl.replace in_flight (v, k) x
+    | Opcode.Store location ->
+      let value =
+        match operand_values v k with
+        | [ x ] -> x
+        | [] -> Semantics.invariant ~loop ~node_id:v
+        | x :: _ -> x
+      in
+      (match location with
+       | Opcode.Array a ->
+         stores := { Reference.array = a; iteration = k; value } :: !stores
+       | Opcode.Spill slot -> Hashtbl.replace spill_buffer (slot, k) value)
+    | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv | Opcode.Fcvt | Opcode.Fselect ->
+      let x = Semantics.apply ~loop ~node_id:v node.Ddg.opcode (operand_values v k) in
+      Hashtbl.replace in_flight (v, k) x
+  in
+  let finish (v, k) =
+    match Hashtbl.find_opt in_flight (v, k) with
+    | Some x ->
+      Hashtbl.remove in_flight (v, k);
+      write_value machine v ~iteration:k x
+    | None -> corrupt "completion of an operation that never issued: node %d iter %d" v k
+  in
+  for t = 0 to !last_cycle do
+    (* Results land before same-cycle issues read them. *)
+    List.iter finish (Option.value ~default:[] (Hashtbl.find_opt finishes t));
+    List.iter issue (Option.value ~default:[] (Hashtbl.find_opt issues t))
+  done;
+  ignore n;
+  {
+    stores = List.sort compare !stores;
+    cycles = !last_cycle + 1;
+    register_reads = !reads;
+    capacity = machine.capacity;
+  }
+
+let run_unified ~iterations sched =
+  run_on (unified_machine sched) sched ~iterations
+
+let run_dual ~iterations sched = run_on (dual_machine sched) sched ~iterations

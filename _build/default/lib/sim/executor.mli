@@ -1,0 +1,41 @@
+(** Pipelined executor: runs a modulo schedule cycle by cycle on a
+    machine state with real register files.
+
+    Instance [k] of operation [v] issues at [cycle v + k * II], reads
+    its register operands at issue, and writes its result at
+    issue + latency into physical register [(reg v + k) mod capacity]
+    of a rotating register file — a unified file ({!run_unified}) or the
+    two subfiles of a non-consistent dual file ({!run_dual}: global
+    values are written to both subfiles, local values only to their
+    cluster's; every consumer reads its own cluster's subfile).
+
+    Every register read checks that the register still holds the exact
+    value instance the dependence graph calls for; a clobbered read
+    raises {!Corrupted}.  This catches scheduling bugs (operand not
+    ready), allocation bugs (overlapping lifetimes sharing a register)
+    and classification bugs (a consumer's subfile never written).
+
+    The final array stores must equal the {!Reference} interpreter's
+    output exactly. *)
+
+open Ncdrf_sched
+
+exception Corrupted of string
+
+type outcome = {
+  stores : Reference.store_event list;  (** sorted like {!Reference.run} *)
+  cycles : int;  (** last completion cycle + 1 *)
+  register_reads : int;  (** reads that were tag-checked *)
+  capacity : int;  (** registers per (sub)file used *)
+}
+
+(** Execute on a single rotating register file allocated at its minimal
+    capacity. *)
+val run_unified : iterations:int -> Schedule.t -> outcome
+
+(** Execute on a non-consistent dual register file using the joint
+    global/local allocation of [Ncdrf_core.Requirements].
+
+    @raise Invalid_argument if the schedule's machine has fewer than 2
+    clusters. *)
+val run_dual : iterations:int -> Schedule.t -> outcome

@@ -1,0 +1,81 @@
+open Ncdrf_ir
+
+type store_event = {
+  array : string;
+  iteration : int;
+  value : float;
+}
+
+let equal_event a b =
+  String.equal a.array b.array
+  && a.iteration = b.iteration
+  && Int64.equal (Int64.bits_of_float a.value) (Int64.bits_of_float b.value)
+
+let equal_stores xs ys =
+  List.length xs = List.length ys && List.for_all2 equal_event xs ys
+
+(* Value of the spill store feeding a spill load of this slot. *)
+let spill_store_of ddg slot =
+  let found =
+    Ddg.fold_nodes ddg ~init:None ~f:(fun acc n ->
+        match n.Ddg.opcode with
+        | Opcode.Store (Opcode.Spill s) when s = slot -> Some n
+        | _ -> acc)
+  in
+  match found with
+  | Some n -> n
+  | None -> invalid_arg (Printf.sprintf "Reference.run: spill slot %d has no store" slot)
+
+let run ~iterations ddg =
+  let loop = Ddg.name ddg in
+  let memo : (int * int, float) Hashtbl.t = Hashtbl.create 256 in
+  let rec value v k =
+    if k < 0 then Semantics.live_in ~loop ~node_id:v ~iteration:k
+    else
+      match Hashtbl.find_opt memo (v, k) with
+      | Some x -> x
+      | None ->
+        let node = Ddg.node ddg v in
+        let operands () =
+          List.map (fun e -> value e.Ddg.src (k - e.Ddg.distance)) (Semantics.operand_edges ddg v)
+        in
+        let x =
+          match node.Ddg.opcode with
+          | Opcode.Load (Opcode.Array a) -> Semantics.array_input ~array_name:a ~iteration:k
+          | Opcode.Load (Opcode.Spill slot) ->
+            (* The load of iteration k reads what the slot's store wrote
+               [d] iterations earlier (the memory-ordering edge's
+               distance). *)
+            let store = spill_store_of ddg slot in
+            let d =
+              match
+                List.find_opt
+                  (fun e -> e.Ddg.kind = Ddg.Mem && e.Ddg.src = store.Ddg.id)
+                  (Ddg.preds ddg v)
+              with
+              | Some e -> e.Ddg.distance
+              | None -> 0
+            in
+            if k - d < 0 then Semantics.live_in ~loop ~node_id:v ~iteration:(k - d)
+            else value store.Ddg.id (k - d)
+          | Opcode.Store _ ->
+            (match operands () with
+             | [ x ] -> x
+             | [] -> Semantics.invariant ~loop ~node_id:v
+             | x :: _ -> x)
+          | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv | Opcode.Fcvt | Opcode.Fselect
+            ->
+            Semantics.apply ~loop ~node_id:v node.Ddg.opcode (operands ())
+        in
+        Hashtbl.replace memo (v, k) x;
+        x
+  in
+  let events = ref [] in
+  for k = 0 to iterations - 1 do
+    Ddg.iter_nodes ddg ~f:(fun n ->
+        match n.Ddg.opcode with
+        | Opcode.Store (Opcode.Array a) ->
+          events := { array = a; iteration = k; value = value n.Ddg.id k } :: !events
+        | _ -> ())
+  done;
+  List.sort compare !events

@@ -1,0 +1,1 @@
+lib/spill/fission.ml: Array Ddg Graph_algos Hashtbl List Ncdrf_ir Opcode Printf

@@ -1,0 +1,1 @@
+lib/spill/fission.mli: Ddg Ncdrf_ir

@@ -1,0 +1,1 @@
+lib/spill/spiller.ml: Adjust Ddg Lifetime List Logs Modulo Ncdrf_ir Ncdrf_regalloc Ncdrf_sched Opcode Printf Schedule

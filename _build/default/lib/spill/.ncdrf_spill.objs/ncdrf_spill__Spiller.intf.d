@@ -1,0 +1,1 @@
+lib/spill/spiller.mli: Config Ddg Ncdrf_ir Ncdrf_machine Ncdrf_sched Schedule

@@ -1,0 +1,1 @@
+lib/spill/traffic.ml: Config Ddg List Ncdrf_ir Ncdrf_machine Ncdrf_sched Schedule

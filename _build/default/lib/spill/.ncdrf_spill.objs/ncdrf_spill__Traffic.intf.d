@@ -1,0 +1,1 @@
+lib/spill/traffic.mli: Ddg Ncdrf_ir Ncdrf_sched Schedule

@@ -1,0 +1,149 @@
+open Ncdrf_ir
+
+type split = {
+  first : Ddg.t;
+  second : Ddg.t;
+  cut_values : int;
+  added_memops : int;
+}
+
+(* Build one piece: the member nodes, their internal edges, a store for
+   every member value consumed outside, and a load for every outside
+   value the members consume.  Cross-piece distances fold into the
+   scratch arrays' indexing, so reconnection edges have distance 0. *)
+let build_piece ~name ~suffix ddg ~member =
+  let n = Ddg.num_nodes ddg in
+  let b = Ddg.Builder.create ~name:(name ^ suffix) in
+  let remap = Array.make n (-1) in
+  Ddg.iter_nodes ddg ~f:(fun node ->
+      if member node.Ddg.id then
+        remap.(node.Ddg.id) <- Ddg.Builder.add_node b node.Ddg.opcode ~label:node.Ddg.label);
+  let added_memops = ref 0 in
+  (* Internal edges. *)
+  List.iter
+    (fun e ->
+      if remap.(e.Ddg.src) >= 0 && remap.(e.Ddg.dst) >= 0 then
+        Ddg.Builder.add_edge b ~src:remap.(e.Ddg.src) ~dst:remap.(e.Ddg.dst)
+          ~distance:e.Ddg.distance e.Ddg.kind)
+    (Ddg.edges ddg);
+  (* Outgoing cut values: store them. *)
+  Ddg.iter_nodes ddg ~f:(fun node ->
+      let v = node.Ddg.id in
+      if member v && Opcode.produces_value node.Ddg.opcode then begin
+        let escapes =
+          List.exists (fun e -> not (member e.Ddg.dst)) (Ddg.consumers ddg v)
+        in
+        if escapes then begin
+          let array = Printf.sprintf "fis.%d" v in
+          let store =
+            Ddg.Builder.add_node b
+              (Opcode.Store (Opcode.Array array))
+              ~label:(Printf.sprintf "fS%d" v)
+          in
+          incr added_memops;
+          Ddg.Builder.add_edge b ~src:remap.(v) ~dst:store ~distance:0 Ddg.Flow
+        end
+      end);
+  (* Incoming cut values: one load each, feeding every member consumer. *)
+  let loads = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      if
+        e.Ddg.kind = Ddg.Flow
+        && (not (member e.Ddg.src))
+        && member e.Ddg.dst
+      then begin
+        let load =
+          match Hashtbl.find_opt loads e.Ddg.src with
+          | Some id -> id
+          | None ->
+            let array = Printf.sprintf "fis.%d" e.Ddg.src in
+            let id =
+              Ddg.Builder.add_node b
+                (Opcode.Load (Opcode.Array array))
+                ~label:(Printf.sprintf "fL%d" e.Ddg.src)
+            in
+            incr added_memops;
+            Hashtbl.replace loads e.Ddg.src id;
+            id
+        in
+        Ddg.Builder.add_edge b ~src:load ~dst:remap.(e.Ddg.dst) ~distance:0 Ddg.Flow
+      end)
+    (Ddg.edges ddg);
+  (Ddg.Builder.freeze b, Hashtbl.length loads, !added_memops)
+
+let split ddg =
+  let n = Ddg.num_nodes ddg in
+  if n < 2 then None
+  else begin
+    (* Condensation order over ALL edges: recurrences and even
+       loop-carried forward dependences must not flow backwards across
+       the cut, because the second loop runs entirely after the first. *)
+    let succs v = List.map (fun e -> e.Ddg.dst) (Ddg.succs ddg v) in
+    (* The condensation comes out in topological order (sources first),
+       so any prefix is a legal first loop. *)
+    let order = Graph_algos.scc ~num_nodes:n ~succs in
+    if List.length order < 2 then None
+    else begin
+      (* Prefix whose size lands closest to half the nodes. *)
+      let target = n / 2 in
+      let rec choose acc size = function
+        | [] | [ _ ] -> acc
+        | comp :: rest ->
+          let size' = size + List.length comp in
+          let acc' =
+            match acc with
+            | None -> Some size'
+            | Some best -> if abs (size' - target) < abs (best - target) then Some size' else acc
+          in
+          choose acc' size' rest
+      in
+      match choose None 0 order with
+      | None -> None
+      | Some prefix_size ->
+        if prefix_size = 0 || prefix_size = n then None
+        else begin
+          let in_first = Array.make n false in
+          let rec mark size = function
+            | comp :: rest when size < prefix_size ->
+              List.iter (fun v -> in_first.(v) <- true) comp;
+              mark (size + List.length comp) rest
+            | _ -> ()
+          in
+          mark 0 order;
+          let member_first v = in_first.(v) in
+          let member_second v = not in_first.(v) in
+          let first, in1, mem1 = build_piece ~name:(Ddg.name ddg) ~suffix:".a" ddg ~member:member_first in
+          let second, in2, mem2 =
+            build_piece ~name:(Ddg.name ddg) ~suffix:".b" ddg ~member:member_second
+          in
+          assert (in1 = 0);
+          Some { first; second; cut_values = in2; added_memops = mem1 + mem2 }
+        end
+    end
+  end
+
+let split_until ~requirement ~capacity ?(max_pieces = 8) ddg =
+  let rec refine pieces =
+    if List.length pieces >= max_pieces then (pieces, false)
+    else begin
+      let over = List.filter (fun g -> requirement g > capacity) pieces in
+      match over with
+      | [] -> (pieces, true)
+      | _ ->
+        let progressed = ref false in
+        let expand g =
+          if requirement g > capacity then
+            match split g with
+            | Some s ->
+              progressed := true;
+              [ s.first; s.second ]
+            | None -> [ g ]
+          else [ g ]
+        in
+        let pieces' = List.concat_map expand pieces in
+        if !progressed then refine pieces'
+        else (pieces', List.for_all (fun g -> requirement g <= capacity) pieces')
+    end
+  in
+  refine [ ddg ]

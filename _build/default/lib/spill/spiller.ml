@@ -1,0 +1,166 @@
+open Ncdrf_ir
+open Ncdrf_sched
+open Ncdrf_regalloc
+
+type victim =
+  | Longest_lifetime
+  | Best_ratio
+  | Fewest_consumers
+
+type outcome = {
+  schedule : Schedule.t;
+  ddg : Ddg.t;
+  requirement : int;
+  fits : bool;
+  spilled : int;
+  added_memops : int;
+  ii_bumps : int;
+  rounds : int;
+}
+
+let src = Logs.Src.create "ncdrf.spiller" ~doc:"naive iterative spiller"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+let next_spill_slot ddg =
+  let slot_of node =
+    match node.Ddg.opcode with
+    | Opcode.Load (Opcode.Spill k) | Opcode.Store (Opcode.Spill k) -> k
+    | Opcode.Load (Opcode.Array _)
+    | Opcode.Store (Opcode.Array _)
+    | Opcode.Fadd | Opcode.Fsub | Opcode.Fmul | Opcode.Fdiv | Opcode.Fcvt | Opcode.Fselect ->
+      -1
+  in
+  1 + Ddg.fold_nodes ddg ~init:(-1) ~f:(fun acc n -> max acc (slot_of n))
+
+(* A value may be spilled if its producer is not itself a spill load and
+   it has not been spilled already (no spill-store consumer). *)
+let spillable ddg v =
+  let producer = Ddg.node ddg v in
+  let is_spill_load =
+    match producer.Ddg.opcode with
+    | Opcode.Load (Opcode.Spill _) -> true
+    | _ -> false
+  in
+  let already_spilled =
+    List.exists
+      (fun e ->
+        match (Ddg.node ddg e.Ddg.dst).Ddg.opcode with
+        | Opcode.Store (Opcode.Spill _) -> true
+        | _ -> false)
+      (Ddg.consumers ddg v)
+  in
+  (not is_spill_load) && not already_spilled
+
+(* Rewrite the graph to spill the value produced by node [v]. *)
+let spill_value ddg v =
+  let slot = next_spill_slot ddg in
+  let consumers = Ddg.consumers ddg v in
+  let base = Ddg.num_nodes ddg in
+  let store_id = base in
+  let store_node = (Opcode.Store (Opcode.Spill slot), Printf.sprintf "sS%d" slot) in
+  let load_nodes =
+    List.mapi
+      (fun i _ -> (Opcode.Load (Opcode.Spill slot), Printf.sprintf "sL%d.%d" slot i))
+      consumers
+  in
+  let reload_edges =
+    List.concat
+      (List.mapi
+         (fun i e ->
+           let load_id = base + 1 + i in
+           [
+             { Ddg.src = store_id; dst = load_id; distance = 0; kind = Ddg.Mem };
+             { Ddg.src = load_id; dst = e.Ddg.dst; distance = e.Ddg.distance; kind = Ddg.Flow };
+           ])
+         consumers)
+  in
+  let edges =
+    { Ddg.src = v; dst = store_id; distance = 0; kind = Ddg.Flow } :: reload_edges
+  in
+  let drop_edge e = e.Ddg.src = v && e.Ddg.kind = Ddg.Flow in
+  Ddg.transform ddg ~drop_edge ~add_nodes:(store_node :: load_nodes) ~add_edges:edges ()
+
+let is_spill_load node =
+  match node.Ddg.opcode with
+  | Opcode.Load (Opcode.Spill _) -> true
+  | _ -> false
+
+let schedule_once config ~min_ii ddg =
+  let raw = Modulo.schedule_with_min_ii ~min_ii config ddg in
+  Adjust.push_late raw ~eligible:is_spill_load
+
+(* Larger score = better victim. *)
+let score ~victim ~ii ddg l =
+  let consumers = List.length (Ddg.consumers ddg l.Lifetime.producer) in
+  match victim with
+  | Longest_lifetime -> (float_of_int (Lifetime.length l), 0.0)
+  | Best_ratio ->
+    let freed = float_of_int (Lifetime.min_registers ~ii l) in
+    (freed /. float_of_int (1 + consumers), float_of_int (Lifetime.length l))
+  | Fewest_consumers ->
+    (-.float_of_int consumers, float_of_int (Lifetime.length l))
+
+let pick_victim ~victim ~ii ddg candidates =
+  List.fold_left
+    (fun acc l ->
+      match acc with
+      | None -> Some l
+      | Some best ->
+        if score ~victim ~ii ddg l > score ~victim ~ii ddg best then Some l else acc)
+    None candidates
+
+let run ~config ~requirement ~capacity ?(victim = Longest_lifetime) ?(max_rounds = 64)
+    ?(max_ii_bumps = 32) ddg =
+  let original_memops = Ddg.num_memory_ops ddg in
+  let rec iterate ddg ~min_ii ~spilled ~ii_bumps ~rounds =
+    let sched = schedule_once config ~min_ii ddg in
+    let sched, req = requirement sched in
+    if req <= capacity then
+      {
+        schedule = sched;
+        ddg;
+        requirement = req;
+        fits = true;
+        spilled;
+        added_memops = Ddg.num_memory_ops ddg - original_memops;
+        ii_bumps;
+        rounds;
+      }
+    else if rounds >= max_rounds then
+      give_up sched ddg req ~spilled ~ii_bumps ~rounds
+    else begin
+      (* Pick the longest spillable lifetime of the current schedule. *)
+      let lifetimes = Lifetime.of_schedule sched in
+      let candidates =
+        List.filter (fun l -> spillable ddg l.Lifetime.producer) lifetimes
+      in
+      match pick_victim ~victim ~ii:(Schedule.ii sched) ddg candidates with
+      | Some l ->
+        Log.debug (fun m ->
+            m "%s: spilling value of node %d (lifetime %d), req %d > %d" (Ddg.name ddg)
+              l.Lifetime.producer (Lifetime.length l) req capacity);
+        let ddg = spill_value ddg l.Lifetime.producer in
+        iterate ddg ~min_ii ~spilled:(spilled + 1) ~ii_bumps ~rounds:(rounds + 1)
+      | None ->
+        if ii_bumps >= max_ii_bumps then give_up sched ddg req ~spilled ~ii_bumps ~rounds
+        else begin
+          let bumped = Schedule.ii sched + 1 in
+          Log.debug (fun m ->
+              m "%s: no spill candidate left, rescheduling at II=%d" (Ddg.name ddg) bumped);
+          iterate ddg ~min_ii:bumped ~spilled ~ii_bumps:(ii_bumps + 1) ~rounds:(rounds + 1)
+        end
+    end
+  and give_up sched ddg req ~spilled ~ii_bumps ~rounds =
+    {
+      schedule = sched;
+      ddg;
+      requirement = req;
+      fits = false;
+      spilled;
+      added_memops = Ddg.num_memory_ops ddg - original_memops;
+      ii_bumps;
+      rounds;
+    }
+  in
+  iterate ddg ~min_ii:1 ~spilled:0 ~ii_bumps:0 ~rounds:0

@@ -1,0 +1,74 @@
+(** The naive iterative spiller of the paper (Section 5.4):
+
+    {v
+    DO
+      modulo scheduling
+      register allocation
+      IF registers needed > physical registers
+        select a value to spill out
+        modify the dependence graph
+    UNTIL registers needed <= physical registers
+    v}
+
+    The selected value is the one with the longest lifetime (it frees
+    the most registers).  Spilling value [v] adds a store of [v] to a
+    fresh spill slot right after its producer and one reload per
+    consumer; the consumers then read the reloaded values.  Values
+    created by spill loads, and values already spilled, are not
+    candidates.
+
+    Spill slots behave as per-value rotating buffers (one live cell per
+    concurrent iteration), so no anti-dependences are added; the cost
+    model — more memory traffic, higher ResMII — is exactly the paper's.
+
+    If register pressure cannot be reduced below the capacity by
+    spilling alone (no candidates left), the loop is rescheduled with
+    II+1, the paper's first alternative, as a documented safety valve. *)
+
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+
+(** How to pick the value to spill.  The paper uses [Longest_lifetime]
+    ("the value with the highest lifetime, which in general will free a
+    higher number of registers") and explicitly calls for better
+    heuristics; the other two are the obvious candidates, compared in
+    the ablation bench. *)
+type victim =
+  | Longest_lifetime  (** the paper's choice *)
+  | Best_ratio
+      (** maximize registers freed per memory operation added:
+          [ceil(len/II) / (1 + consumers)] *)
+  | Fewest_consumers
+      (** cheapest reload cost first; lifetime length breaks ties *)
+
+type outcome = {
+  schedule : Schedule.t;  (** final schedule (after any model transform) *)
+  ddg : Ddg.t;  (** final graph, including spill code *)
+  requirement : int;  (** registers required by the final schedule *)
+  fits : bool;  (** requirement <= capacity *)
+  spilled : int;  (** number of values spilled *)
+  added_memops : int;  (** spill stores + loads added *)
+  ii_bumps : int;  (** safety-valve II increments *)
+  rounds : int;  (** schedule/allocate iterations *)
+}
+
+(** [run ~config ~requirement ~capacity ddg] iterates until the
+    requirement fits.  [requirement] maps a raw schedule to the
+    (possibly transformed, e.g. cluster-swapped) schedule and its
+    register requirement — this is how the four register-file models
+    plug in.
+
+    [max_rounds] (default 64) bounds spill iterations; [max_ii_bumps]
+    (default 32) bounds the safety valve.  If both run out the outcome
+    has [fits = false].  [victim] (default [Longest_lifetime]) selects
+    the spill heuristic. *)
+val run :
+  config:Config.t ->
+  requirement:(Schedule.t -> Schedule.t * int) ->
+  capacity:int ->
+  ?victim:victim ->
+  ?max_rounds:int ->
+  ?max_ii_bumps:int ->
+  Ddg.t ->
+  outcome

@@ -1,0 +1,27 @@
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+
+let memops_per_iteration ddg = Ddg.num_memory_ops ddg
+
+let density sched =
+  let ddg = sched.Schedule.ddg in
+  let cfg = sched.Schedule.config in
+  let bandwidth = Config.memory_bandwidth cfg in
+  if bandwidth = 0 then 0.0
+  else
+    float_of_int (memops_per_iteration ddg)
+    /. (float_of_int (Schedule.ii sched) *. float_of_int bandwidth)
+
+let aggregate_density scheds =
+  let num, den =
+    List.fold_left
+      (fun (num, den) (sched, weight) ->
+        let ddg = sched.Schedule.ddg in
+        let cfg = sched.Schedule.config in
+        let bandwidth = float_of_int (Config.memory_bandwidth cfg) in
+        ( num +. (weight *. float_of_int (memops_per_iteration ddg)),
+          den +. (weight *. float_of_int (Schedule.ii sched) *. bandwidth) ))
+      (0.0, 0.0) scheds
+  in
+  if den = 0.0 then 0.0 else num /. den

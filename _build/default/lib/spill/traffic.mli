@@ -1,0 +1,21 @@
+(** Memory traffic accounting.
+
+    The paper distinguishes {e memory traffic} (total accesses) from the
+    {e density of memory traffic}: the fraction of the memory bus
+    bandwidth used on average each cycle.  In steady state a loop issues
+    its memory operations once per II, so the density of one loop is
+    [memops / (ii * bandwidth)]. *)
+
+open Ncdrf_ir
+open Ncdrf_sched
+
+(** Loads plus stores per iteration, spill code included. *)
+val memops_per_iteration : Ddg.t -> int
+
+(** Density of memory traffic of one scheduled loop, in [0, 1]. *)
+val density : Schedule.t -> float
+
+(** Weighted average density over a collection of loops, each weighted
+    by its execution time [weight * ii] (the paper's dynamic
+    weighting): [sum (w * memops) / sum (w * ii * bandwidth)]. *)
+val aggregate_density : (Schedule.t * float) list -> float

@@ -1,0 +1,1 @@
+lib/workloads/generator.ml: Ddg List Ncdrf_ir Opcode Printf Random

@@ -1,0 +1,1 @@
+lib/workloads/generator.mli: Ddg Ncdrf_ir

@@ -1,0 +1,1 @@
+lib/workloads/kernels.ml: Ddg Expr List Ncdrf_ir Opcode String

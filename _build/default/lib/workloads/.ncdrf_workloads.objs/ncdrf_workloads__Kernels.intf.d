@@ -1,0 +1,1 @@
+lib/workloads/kernels.mli: Ddg Ncdrf_ir

@@ -1,0 +1,1 @@
+lib/workloads/suite.ml: Ddg Float Generator Kernels List Ncdrf_ir Printf Random

@@ -1,0 +1,32 @@
+(** Seeded random loop generator.
+
+    Generates dependence graphs with realistic shape for floating-point
+    inner loops: a mix of loads, stores and FP arithmetic, bounded
+    fan-in DAG structure, optional loop-carried recurrences wired
+    through deferred operand slots so that cycles are genuine (the
+    recurrence consumer is an ancestor of the producer whenever
+    possible).  Deterministic for a given seed. *)
+
+open Ncdrf_ir
+
+type params = {
+  min_ops : int;
+  max_ops : int;  (** inclusive *)
+  mem_fraction : float;  (** target fraction of memory operations *)
+  store_fraction : float;  (** fraction of memory ops that are stores *)
+  div_fraction : float;  (** fraction of multiplier-class ops that divide *)
+  invariant_operand_prob : float;
+      (** chance an operand is a loop invariant instead of a value *)
+  recurrence_prob : float;  (** chance an arith op closes a recurrence *)
+  max_distance : int;  (** max iteration distance of recurrences *)
+  store_sink_prob : float;  (** chance a dead value gets a store *)
+}
+
+val default : params
+
+(** Mildly bigger/more recurrent loops — the heavy tail of the suite. *)
+val heavy : params
+
+(** [generate params ~seed ~name] is deterministic in [(params, seed)].
+    The result always passes [Ddg.validate]. *)
+val generate : params -> seed:int -> name:string -> Ddg.t

@@ -1,0 +1,371 @@
+open Ncdrf_ir
+
+(* The worked example of Section 4.1, with the paper's node labels:
+
+     DO I = 1, N
+       z(I) = (x(I) * r + y(I)) * t + x(I)
+     ENDDO
+
+   L1 = load x; L2 = load y; M3 = L1 * r; A4 = M3 + L2; M5 = A4 * t;
+   A6 = M5 + L1; S7 = store z.  r and t are loop invariants. *)
+let paper_example () =
+  let b = Ddg.Builder.create ~name:"paper-example" in
+  let node op label = Ddg.Builder.add_node b op ~label in
+  let flow src dst = Ddg.Builder.add_edge b ~src ~dst ~distance:0 Ddg.Flow in
+  let l1 = node (Opcode.Load (Opcode.Array "x")) "L1" in
+  let l2 = node (Opcode.Load (Opcode.Array "y")) "L2" in
+  let m3 = node Opcode.Fmul "M3" in
+  let a4 = node Opcode.Fadd "A4" in
+  let m5 = node Opcode.Fmul "M5" in
+  let a6 = node Opcode.Fadd "A6" in
+  let s7 = node (Opcode.Store (Opcode.Array "z")) "S7" in
+  flow l1 m3;
+  flow m3 a4;
+  flow l2 a4;
+  flow a4 m5;
+  flow m5 a6;
+  flow l1 a6;
+  flow a6 s7;
+  Ddg.Builder.freeze b
+
+(* DSL kernels.  Each is (name, iterations, statements). *)
+let dsl_kernels () =
+  let open Expr in
+  let cvt_helper e = Cvt e in
+  [
+    ( "daxpy",
+      2000.0,
+      [ Store ("y", load "y" + (inv "a" * load "x")) ] );
+    ( "dot-product",
+      1500.0,
+      (* LL3: running inner-product reduction. *)
+      [
+        Def ("s", (load "x" * load "y") + prev "s");
+        Store ("partial", ref_ "s");
+      ] );
+    ( "ll1-hydro",
+      800.0,
+      (* LL1: x(k) = q + y(k) * (r*z(k+10) + t*z(k+11)) *)
+      [
+        Store ("x", inv "q" + (load "y" * ((inv "r" * load "z10") + (inv "t" * load "z11"))));
+      ] );
+    ( "ll5-tridiag",
+      900.0,
+      (* LL5: x(i) = z(i) * (y(i) - x(i-1)) *)
+      [ Def ("x", load "z" * (load "y" - prev "x")); Store ("xout", ref_ "x") ] );
+    ( "ll7-state",
+      400.0,
+      (* LL7: equation of state fragment. *)
+      [
+        Def ("inner", load "u6" + (inv "r" * (load "u5" + (inv "r" * load "u4"))));
+        Def ("mid", load "u3" + (inv "r" * (load "u2" + (inv "r" * load "u1"))));
+        Store
+          ( "x",
+            load "u"
+            + (inv "r" * (load "z" + (inv "r" * load "y")))
+            + (inv "t" * (ref_ "mid" + (inv "t" * ref_ "inner"))) );
+      ] );
+    ( "ll9-integrate",
+      600.0,
+      (* LL9: numerical integration predictor. *)
+      [
+        Store
+          ( "px",
+            (inv "dm28" * load "pz")
+            + (inv "dm27" * load "py")
+            + (inv "dm26" * load "p6")
+            + (inv "dm25" * load "p5")
+            + (inv "dm24" * load "p4")
+            + (inv "dm23" * load "p3")
+            + (inv "dm22" * load "p2")
+            + (inv "c0" * (load "p0" + load "p1")) );
+      ] );
+    ( "ll11-first-sum",
+      1200.0,
+      (* LL11: x(k) = x(k-1) + y(k) *)
+      [ Def ("x", prev "x" + load "y"); Store ("xout", ref_ "x") ] );
+    ( "ll12-first-diff",
+      1200.0,
+      (* LL12: x(k) = y(k+1) - y(k) *)
+      [ Store ("x", load "y1" - load "y0") ] );
+    ( "horner-6",
+      700.0,
+      [
+        Def ("h", (((((load "x" * inv "c6") + inv "c5") * load "x") + inv "c4") * load "x") + inv "c3");
+        Store ("p", (((ref_ "h" * load "x") + inv "c2") * load "x") + inv "c1");
+      ] );
+    ( "stencil-3",
+      1000.0,
+      [
+        Store ("b", (inv "c0" * load "a0") + (inv "c1" * load "a1") + (inv "c2" * load "a2"));
+      ] );
+    ( "stencil-5",
+      800.0,
+      [
+        Store
+          ( "b",
+            (inv "c0" * load "a0")
+            + (inv "c1" * load "a1")
+            + (inv "c2" * load "a2")
+            + (inv "c3" * load "a3")
+            + (inv "c4" * load "a4") );
+      ] );
+    ( "fft-butterfly",
+      500.0,
+      [
+        Def ("tr", (load "ar" * inv "wr") - (load "ai" * inv "wi"));
+        Def ("ti", (load "ar" * inv "wi") + (load "ai" * inv "wr"));
+        Store ("br", load "xr" + ref_ "tr");
+        Store ("bi", load "xi" + ref_ "ti");
+        Store ("cr", load "xr" - ref_ "tr");
+        Store ("ci", load "xi" - ref_ "ti");
+      ] );
+    ( "complex-multiply",
+      600.0,
+      [
+        Store ("zr", (load "xr" * load "yr") - (load "xi" * load "yi"));
+        Store ("zi", (load "xr" * load "yi") + (load "xi" * load "yr"));
+      ] );
+    ( "luminance",
+      900.0,
+      [
+        Store ("g", (const 0.299 * load "r") + (const 0.587 * load "gg") + (const 0.114 * load "b"));
+      ] );
+    ( "saxpy2",
+      1100.0,
+      [ Store ("z", (inv "a" * load "x") + (inv "b" * load "y")) ] );
+    ( "norm2",
+      1300.0,
+      [ Def ("s", (load "x" * load "x") + prev "s"); Store ("acc", ref_ "s") ] );
+    ( "divide-scale",
+      400.0,
+      [ Store ("y", (load "x" / load "w") + inv "c") ] );
+    ( "recurrence-d2",
+      700.0,
+      (* Second-order recurrence: s(i) = s(i-2) + x(i). *)
+      [ Def ("s", prev ~distance:2 "s" + load "x"); Store ("sout", ref_ "s") ] );
+    ( "coupled-recurrence",
+      500.0,
+      [
+        Def ("u", prev "v" + load "x");
+        Def ("v", prev "u" * inv "a");
+        Store ("us", ref_ "u");
+        Store ("vs", ref_ "v");
+      ] );
+    ( "poly-chain-8",
+      650.0,
+      [
+        Store
+          ( "y",
+            (((((((load "x" * inv "a") + inv "b") * inv "c") + inv "d") * inv "e")
+              + inv "f")
+             * inv "g")
+            + inv "h" );
+      ] );
+    ( "four-macs",
+      750.0,
+      [
+        Store ("o1", (load "a1" * inv "k1") + load "b1");
+        Store ("o2", (load "a2" * inv "k2") + load "b2");
+        Store ("o3", (load "a3" * inv "k3") + load "b3");
+        Store ("o4", (load "a4" * inv "k4") + load "b4");
+      ] );
+    ( "sum-8",
+      850.0,
+      [
+        Store
+          ( "y",
+            ((load "x1" + load "x2") + (load "x3" + load "x4"))
+            + ((load "x5" + load "x6") + (load "x7" + load "x8")) );
+      ] );
+    ( "shared-subexpr",
+      550.0,
+      [
+        Def ("t", (load "a" + load "b") * inv "k");
+        Store ("o1", ref_ "t" + load "c");
+        Store ("o2", ref_ "t" - load "d");
+        Store ("o3", ref_ "t" * load "e");
+      ] );
+    ( "convert-scale",
+      450.0,
+      [ Store ("y", Cvt (load "xi") * inv "scale") ] );
+    ( "ll4-banded",
+      350.0,
+      (* Banded linear equations fragment. *)
+      [
+        Def ("t", (load "x0" * load "y0") + (load "x1" * load "y1") + (load "x2" * load "y2"));
+        Store ("x", load "xlhs" - ref_ "t");
+      ] );
+    ( "ll10-diff",
+      420.0,
+      (* Difference predictors: cascading subtractions. *)
+      [
+        Def ("d1", load "cz" - load "b0");
+        Def ("d2", ref_ "d1" - load "b1");
+        Def ("d3", ref_ "d2" - load "b2");
+        Def ("d4", ref_ "d3" - load "b3");
+        Store ("o1", ref_ "d1");
+        Store ("o2", ref_ "d2");
+        Store ("o3", ref_ "d3");
+        Store ("o4", ref_ "d4");
+      ] );
+    ( "running-average",
+      600.0,
+      [
+        Def ("m", ((prev "m" * inv "decay") + load "x") * inv "norm");
+        Store ("mo", ref_ "m");
+      ] );
+    ( "interp-linear",
+      800.0,
+      [
+        Store ("y", load "lo" + (load "frac" * (load "hi" - load "lo")));
+      ] );
+    ( "rsqrt-newton",
+      300.0,
+      (* One Newton step of 1/sqrt using div as the reciprocal proxy. *)
+      [
+        Def ("g", load "guess");
+        Def ("half_x", load "x" * const 0.5);
+        Store ("out", ref_ "g" * (const 1.5 - (ref_ "half_x" * ref_ "g" * ref_ "g")));
+      ] );
+    ( "wave-1d",
+      550.0,
+      (* u_next = 2u - u_prev + c^2 (laplacian) *)
+      [
+        Store
+          ( "unext",
+            (const 2.0 * load "u")
+            - load "uprev"
+            + (inv "c2" * ((load "ul" - (const 2.0 * load "u")) + load "ur")) );
+      ] );
+    ( "ll2-iccg",
+      450.0,
+      (* Incomplete Cholesky / conjugate gradient excerpt. *)
+      [
+        Def ("q", load "x0" - (load "z0" * load "x1") - (load "z1" * load "x2"));
+        Store ("xout", ref_ "q" * inv "scale");
+      ] );
+    ( "ll6-linear-rec",
+      520.0,
+      (* General linear recurrence fragment: w += b*w_prev. *)
+      [
+        Def ("w", load "b" * prev "w" + load "g");
+        Store ("wout", ref_ "w");
+      ] );
+    ( "ll18-hydro2d",
+      380.0,
+      (* 2-D explicit hydrodynamics fragment (one of the three sweeps). *)
+      [
+        Def ("za", (load "zp_j" + load "zq_j") * (load "zr" - load "zr_j"));
+        Def ("zb", (load "zp" + load "zq") * (load "zr" - load "zr_k"));
+        Store ("zu", load "zu0" + (inv "s" * (ref_ "za" - ref_ "zb")));
+      ] );
+    ( "ll21-matmul-inner",
+      900.0,
+      (* Inner product of the matrix multiply loop. *)
+      [
+        Def ("px", prev "px" + (load "vy" * load "cx"));
+        Store ("pxout", ref_ "px");
+      ] );
+    ( "ll23-implicit",
+      360.0,
+      (* 2-D implicit hydrodynamics fragment. *)
+      [
+        Def ("qa", (load "za1" * load "zr") + (load "za2" * load "zb") + (load "za3" * load "zz"));
+        Def ("new", load "za0" + (inv "s" * (ref_ "qa" - load "za0")));
+        Store ("zaout", ref_ "new");
+      ] );
+    ( "blas-rot",
+      700.0,
+      (* Givens rotation applied to two vectors. *)
+      [
+        Store ("xo", (inv "c" * load "x") + (inv "s" * load "y"));
+        Store ("yo", (inv "c" * load "y") - (inv "s" * load "x"));
+      ] );
+    ( "blas-scal-add",
+      820.0,
+      [ Store ("y", inv "alpha" * (load "x" + inv "beta")) ] );
+    ( "gauss-seidel-step",
+      430.0,
+      (* Sweep with a carried dependence on the freshly written value. *)
+      [
+        Def ("u", (prev "u" + load "right" + load "up" + load "down") * const 0.25);
+        Store ("uo", ref_ "u");
+      ] );
+    ( "exp-taylor-4",
+      390.0,
+      (* Four-term Taylor evaluation with a shared power chain. *)
+      [
+        Def ("x2", load "x" * load "x");
+        Def ("x3", ref_ "x2" * load "x");
+        Def ("x4", ref_ "x2" * ref_ "x2");
+        Store
+          ( "e",
+            const 1.0 + load "x"
+            + (ref_ "x2" * const 0.5)
+            + (ref_ "x3" * inv "c3")
+            + (ref_ "x4" * inv "c4") );
+      ] );
+    ( "dot-unrolled-2",
+      780.0,
+      (* Dot product unrolled twice: two partial sums. *)
+      [
+        Def ("s0", prev "s0" + (load "x0" * load "y0"));
+        Def ("s1", prev "s1" + (load "x1" * load "y1"));
+        Store ("p0", ref_ "s0");
+        Store ("p1", ref_ "s1");
+      ] );
+    ( "prefix-product",
+      310.0,
+      [ Def ("p", prev "p" * load "x"); Store ("po", ref_ "p") ] );
+    ( "mixed-division-chain",
+      280.0,
+      (* Divisions on the multiplier pipes with long feeding chains. *)
+      [
+        Def ("r1", load "a" / load "b");
+        Def ("r2", ref_ "r1" / load "c");
+        Store ("o", ref_ "r2" + (ref_ "r1" * inv "k"));
+      ] );
+    ( "max-abs-proxy",
+      330.0,
+      (* Smooth |x| accumulation: s = s_prev + x*x / (x*x + eps). *)
+      [
+        Def ("xx", load "x" * load "x");
+        Def ("s", prev "s" + (ref_ "xx" / (ref_ "xx" + inv "eps")));
+        Store ("so", ref_ "s");
+      ] );
+    ( "boundary-blend",
+      290.0,
+      [
+        Def ("w", cvt_helper (load "mask"));
+        Store ("o", (ref_ "w" * load "a") + ((const 1.0 - ref_ "w") * load "b"));
+      ] );
+    ( "clip-saturate",
+      470.0,
+      (* IF-converted clamp: o = min(max(x, lo), hi). *)
+      [
+        Def ("lo_clamped", select (load "x" - inv "lo") (load "x") (inv "lo" + const 0.0));
+        Store ("o", select (inv "hi" - ref_ "lo_clamped") (ref_ "lo_clamped") (load "cap"));
+      ] );
+    ( "threshold-accumulate",
+      410.0,
+      (* IF-converted conditional sum: s += (x > t ? x : 0). *)
+      [
+        Def ("s", prev "s" + select (load "x" - inv "t") (load "x") (const 0.0 * load "x"));
+        Store ("so", ref_ "s");
+      ] );
+    ( "triad-offset",
+      640.0,
+      (* STREAM triad with an extra offset stream. *)
+      [ Store ("a", load "b" + (inv "q" * load "c") + load "d") ] );
+  ]
+
+let all () =
+  let example = (paper_example (), 1000.0) in
+  example
+  :: List.map (fun (name, iters, stmts) -> (Expr.compile ~name stmts, iters)) (dsl_kernels ())
+
+let find name =
+  List.find_map
+    (fun (g, _) -> if String.equal (Ddg.name g) name then Some g else None)
+    (all ())

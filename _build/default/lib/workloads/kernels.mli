@@ -1,0 +1,21 @@
+(** Hand-written floating-point loop kernels.
+
+    {!paper_example} is the worked example of the paper's Section 4.1
+    (Figure 2): [z(i) = (x(i)*r + y(i))*t + x(i)], built node by node so
+    the labels match the paper (L1, L2, M3, A4, M5, A6, S7).
+
+    {!all} are Livermore-/BLAS-style kernels written in the loop DSL;
+    together with the generated loops they stand in for the Perfect Club
+    inner loops (see DESIGN.md).  Each kernel carries a nominal
+    iteration count used as its dynamic weight. *)
+
+open Ncdrf_ir
+
+val paper_example : unit -> Ddg.t
+
+(** [(graph, iterations)] for every named kernel, paper example
+    included. *)
+val all : unit -> (Ddg.t * float) list
+
+(** Look a kernel up by its graph name. *)
+val find : string -> Ddg.t option

@@ -1,0 +1,1 @@
+test/helpers.ml: Alcotest Array Config Ddg List Ncdrf_ir Ncdrf_machine Ncdrf_regalloc Ncdrf_sched Ncdrf_workloads Schedule String

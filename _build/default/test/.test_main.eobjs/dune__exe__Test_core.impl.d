@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Classify Config Ddg Helpers List Model Modulo Ncdrf_core Ncdrf_ir Ncdrf_machine Ncdrf_sched Ncdrf_workloads Opcode Pipeline Requirements Schedule Suite_stats Swap

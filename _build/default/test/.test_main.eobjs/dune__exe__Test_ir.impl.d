@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Array Ddg Dot Expr Graph_algos Helpers List Loop_lang Ncdrf_ir Opcode Spill_cleanup

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Config Cost Ncdrf_ir Ncdrf_machine Opcode Reservation

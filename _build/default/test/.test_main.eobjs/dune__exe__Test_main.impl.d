@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_core Test_extensions Test_ir Test_machine Test_regalloc Test_sched Test_sim Test_spill Test_workloads

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Ddg List Ncdrf_ir Ncdrf_workloads Opcode

@@ -1,0 +1,13 @@
+let () =
+  Alcotest.run "ncdrf"
+    [
+      ("ir", Test_ir.suite);
+      ("machine", Test_machine.suite);
+      ("sched", Test_sched.suite);
+      ("regalloc", Test_regalloc.suite);
+      ("spill", Test_spill.suite);
+      ("core", Test_core.suite);
+      ("workloads", Test_workloads.suite);
+      ("extensions", Test_extensions.suite);
+      ("sim", Test_sim.suite);
+    ]

@@ -1,0 +1,325 @@
+(* Tests for MII computation, the iterative modulo scheduler, kernel
+   extraction/rendering and the push-late repair pass.  Includes qcheck
+   properties over randomly generated loops. *)
+
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let tridiag () =
+  match Ncdrf_workloads.Kernels.find "ll5-tridiag" with
+  | Some g -> g
+  | None -> Alcotest.fail "kernel missing"
+
+(* --- MII --- *)
+
+let test_res_mii_example () =
+  (* Example machine: 2 adders, 2 muls, 4 LS; graph has 2/2/3. *)
+  check_int "example" 1 (Mii.res_mii (Config.example ()) (Helpers.example_ddg ()));
+  (* Dual has only 2 LS units for 3 memory ops: ResMII 2. *)
+  check_int "dual" 2 (Mii.res_mii (Config.dual ~latency:3) (Helpers.example_ddg ()))
+
+let test_res_mii_port_caps () =
+  (* sum-8: 8 loads, 7 adds, 1 store.  On P1L3 the single adder binds
+     (7); on a machine with plenty of adders the 2 load ports bind
+     (ceil 8/2 = 4). *)
+  let g =
+    match Ncdrf_workloads.Kernels.find "sum-8" with
+    | Some g -> g
+    | None -> Alcotest.fail "kernel missing"
+  in
+  check_int "adder binds on P1L3" 7 (Mii.res_mii (Config.pxly ~parallelism:1 ~latency:3) g);
+  let wide =
+    Config.make ~name:"wide"
+      ~clusters:[| { Config.adders = 8; multipliers = 1; ls_units = 9 } |]
+      ~add_latency:3 ~mul_latency:3 ~load_ports:2 ~store_ports:1 ()
+  in
+  check_int "load ports bind" 4 (Mii.res_mii wide g)
+
+let test_rec_mii_acyclic () =
+  check_int "acyclic" 1 (Mii.rec_mii (Config.dual ~latency:6) (Helpers.example_ddg ()))
+
+let test_rec_mii_tridiag () =
+  (* LL5 cycle: sub -> mul -> sub (distance 1).  Latency 3 each: RecMII
+     = 6; at latency 6: 12. *)
+  check_int "latency 3" 6 (Mii.rec_mii (Config.dual ~latency:3) (tridiag ()));
+  check_int "latency 6" 12 (Mii.rec_mii (Config.dual ~latency:6) (tridiag ()))
+
+let test_rec_mii_matches_circuits () =
+  let configs = [ Config.dual ~latency:3; Config.dual ~latency:6 ] in
+  let kernels = Ncdrf_workloads.Kernels.all () in
+  List.iter
+    (fun cfg ->
+      List.iter
+        (fun (g, _) ->
+          let bs = Mii.rec_mii cfg g in
+          let circ = Mii.rec_mii_by_circuits cfg g in
+          if bs <> circ then
+            Alcotest.failf "%s on %s: binary-search %d <> circuits %d" (Ddg.name g)
+              cfg.Config.name bs circ)
+        kernels)
+    configs
+
+let test_distance2_recurrence_halves_recmii () =
+  let g =
+    match Ncdrf_workloads.Kernels.find "recurrence-d2" with
+    | Some g -> g
+    | None -> Alcotest.fail "kernel missing"
+  in
+  (* s = s(i-2) + x: one adder op of latency L in a distance-2 cycle:
+     RecMII = ceil(L/2). *)
+  check_int "latency 3" 2 (Mii.rec_mii (Config.dual ~latency:3) g);
+  check_int "latency 6" 3 (Mii.rec_mii (Config.dual ~latency:6) g)
+
+(* --- Modulo scheduler --- *)
+
+let test_example_schedules_at_ii_1 () =
+  let sched = Modulo.schedule (Config.example ()) (Helpers.example_ddg ()) in
+  check_int "II" 1 (Schedule.ii sched);
+  check_int "stages" 14 (Schedule.stages sched);
+  Helpers.check_valid "example" sched
+
+let test_schedules_are_valid_on_kernel_zoo () =
+  let kernels = Ncdrf_workloads.Kernels.all () in
+  List.iter
+    (fun cfg ->
+      List.iter
+        (fun (g, _) ->
+          let sched = Modulo.schedule cfg g in
+          Helpers.check_valid (Ddg.name g ^ " on " ^ cfg.Config.name) sched;
+          let mii = Mii.mii cfg g in
+          if Schedule.ii sched < mii then
+            Alcotest.failf "%s: II %d below MII %d" (Ddg.name g) (Schedule.ii sched) mii)
+        kernels)
+    (Helpers.configs ())
+
+let test_schedule_achieves_mii_mostly () =
+  (* IMS should reach MII on the overwhelming majority of these simple
+     kernels; allow a couple of exceptions. *)
+  let cfg = Config.dual ~latency:3 in
+  let misses =
+    List.fold_left
+      (fun acc (g, _) ->
+        let sched = Modulo.schedule cfg g in
+        if Schedule.ii sched > Mii.mii cfg g then acc + 1 else acc)
+      0
+      (Ncdrf_workloads.Kernels.all ())
+  in
+  check_bool "at most 2 misses" true (misses <= 2)
+
+let test_normalize_starts_at_zero () =
+  let sched = Modulo.schedule (Config.dual ~latency:3) (Helpers.example_ddg ()) in
+  check_int "first cycle" 0 (Schedule.first_cycle sched)
+
+let test_schedule_make_validations () =
+  let ddg = Helpers.example_ddg () in
+  let config = Config.example () in
+  (try
+     ignore (Schedule.make ~config ~ii:0 ~placements:[||] ddg);
+     Alcotest.fail "ii 0 accepted"
+   with Invalid_argument _ -> ());
+  try
+    ignore
+      (Schedule.make ~config ~ii:1
+         ~placements:(Array.make 3 { Schedule.cycle = 0; cluster = 0 })
+         ddg);
+    Alcotest.fail "wrong placement count accepted"
+  with Invalid_argument _ -> ()
+
+let test_validate_catches_violations () =
+  let sched = Helpers.paper_schedule () in
+  let ddg = sched.Schedule.ddg in
+  let m3 = Helpers.node_by_label ddg "M3" in
+  let broken =
+    let placements = Array.copy sched.Schedule.placements in
+    placements.(m3.Ddg.id) <- { Schedule.cycle = 0; cluster = 0 };
+    (* M3 at cycle 0 issues before L1's result is ready. *)
+    Schedule.make ~config:sched.Schedule.config ~ii:1 ~placements ddg
+  in
+  match Schedule.validate broken with
+  | Error _ -> ()
+  | Ok () -> Alcotest.fail "dependence violation accepted"
+
+let test_validate_catches_resource_overflow () =
+  (* Dual machine: 1 adder per cluster; put two adds of the same slot in
+     cluster 0. *)
+  let open Expr in
+  let g = compile ~name:"two-adds" [ Store ("o", (load "a" + inv "x") + inv "y") ] in
+  let config = Config.dual ~latency:3 in
+  let n = Ddg.num_nodes g in
+  (* load 0, add1 1, add2 2, store 3 *)
+  let placements =
+    Array.init n (fun v ->
+        match v with
+        | 0 -> { Schedule.cycle = 0; cluster = 0 }
+        | 1 -> { Schedule.cycle = 1; cluster = 0 }
+        | 2 -> { Schedule.cycle = 4; cluster = 0 }
+        | _ -> { Schedule.cycle = 7; cluster = 1 })
+  in
+  let sched = Schedule.make ~config ~ii:1 ~placements g in
+  match Schedule.validate sched with
+  | Error msg -> check_bool "mentions resources" true (Helpers.contains msg "resource")
+  | Ok () -> Alcotest.fail "resource overflow accepted"
+
+let test_min_ii_forcing () =
+  let cfg = Config.dual ~latency:3 in
+  let g = Helpers.example_ddg () in
+  let sched = Modulo.schedule_with_min_ii ~min_ii:5 cfg g in
+  check_bool "II at least 5" true (Schedule.ii sched >= 5);
+  Helpers.check_valid "forced II" sched
+
+(* --- Kernel rendering --- *)
+
+let test_kernel_extract_example () =
+  let sched = Helpers.paper_schedule () in
+  let kernel = Kernel.extract sched in
+  check_int "rows" 1 (Array.length kernel.Kernel.rows);
+  check_int "ops in row" 7 (List.length kernel.Kernel.rows.(0));
+  let stages = List.map (fun s -> s.Kernel.stage) kernel.Kernel.rows.(0) in
+  check_bool "stage 13 present (S7)" true (List.mem 13 stages);
+  check_bool "stage 0 present (L1)" true (List.mem 0 stages)
+
+let test_kernel_render_mentions_all_ops () =
+  let sched = Helpers.paper_schedule () in
+  let text = Kernel.render sched in
+  List.iter
+    (fun l -> check_bool l true (Helpers.contains text l))
+    [ "L1"; "L2"; "M3"; "A4"; "M5"; "A6"; "S7"; "[13]" ];
+  let table = Kernel.render_schedule_table sched in
+  check_bool "table has stages" true (Helpers.contains table "stage")
+
+(* --- Adjust (push late) --- *)
+
+let test_push_late_moves_only_eligible () =
+  let sched = Modulo.schedule (Config.example ()) (Helpers.example_ddg ()) in
+  let adjusted = Adjust.push_late sched ~eligible:(fun _ -> false) in
+  let same =
+    Ddg.fold_nodes sched.Schedule.ddg ~init:true ~f:(fun acc n ->
+        acc
+        && Schedule.cycle sched n.Ddg.id = Schedule.cycle adjusted n.Ddg.id
+        && Schedule.cluster sched n.Ddg.id = Schedule.cluster adjusted n.Ddg.id)
+  in
+  check_bool "nothing moved" true same
+
+let test_push_late_shrinks_load_lifetime () =
+  (* A load consumed very late: pushing it down must shrink its
+     lifetime and stay valid. *)
+  let open Expr in
+  let g =
+    compile ~name:"late-use"
+      [
+        Def ("chain", (((load "x" * inv "a") + inv "b") * inv "c") + inv "d");
+        Store ("o", ref_ "chain" + load "y");
+      ]
+  in
+  let cfg = Config.dual ~latency:6 in
+  let sched = Modulo.schedule cfg g in
+  let is_y n = match n.Ddg.opcode with Opcode.Load (Opcode.Array "y") -> true | _ -> false in
+  let adjusted = Adjust.push_late sched ~eligible:is_y in
+  Helpers.check_valid "adjusted" adjusted;
+  let lifetime_len s =
+    let y = List.find is_y (Ddg.nodes g) in
+    let l =
+      List.find
+        (fun l -> l.Ncdrf_regalloc.Lifetime.producer = y.Ddg.id)
+        (Ncdrf_regalloc.Lifetime.of_schedule s)
+    in
+    Ncdrf_regalloc.Lifetime.length l
+  in
+  check_bool "lifetime did not grow" true (lifetime_len adjusted <= lifetime_len sched)
+
+(* --- qcheck properties over generated loops --- *)
+
+let generated_ddg =
+  QCheck.make
+    ~print:(fun (seed, heavy) -> Printf.sprintf "seed=%d heavy=%b" seed heavy)
+    QCheck.Gen.(pair (int_bound 100_000) bool)
+
+let ddg_of (seed, is_heavy) =
+  let params =
+    if is_heavy then Ncdrf_workloads.Generator.heavy else Ncdrf_workloads.Generator.default
+  in
+  Ncdrf_workloads.Generator.generate params ~seed ~name:(Printf.sprintf "q%d" seed)
+
+let test_bidirectional_same_ii_fewer_regs () =
+  let config = Config.dual ~latency:6 in
+  let asap_total = ref 0 and bidir_total = ref 0 in
+  List.iter
+    (fun (g, _) ->
+      let a = Modulo.schedule ~placement_policy:Modulo.Asap config g in
+      let b = Modulo.schedule ~placement_policy:Modulo.Bidirectional config g in
+      Helpers.check_valid (Ddg.name g ^ " bidirectional") b;
+      check_int (Ddg.name g ^ " same II") (Schedule.ii a) (Schedule.ii b);
+      asap_total := !asap_total + Ncdrf_core.Requirements.unified a;
+      bidir_total := !bidir_total + Ncdrf_core.Requirements.unified b)
+    (Ncdrf_workloads.Kernels.all ());
+  check_bool "bidirectional saves registers overall" true (!bidir_total <= !asap_total)
+
+let prop_bidirectional_valid =
+  QCheck.Test.make ~count:40 ~name:"bidirectional placement stays valid" generated_ddg
+    (fun input ->
+      let g = ddg_of input in
+      let cfg = Config.dual ~latency:3 in
+      let sched = Modulo.schedule ~placement_policy:Modulo.Bidirectional cfg g in
+      Schedule.validate sched = Ok ())
+
+let prop_schedules_valid =
+  QCheck.Test.make ~count:60 ~name:"random loops schedule validly on dual-L3" generated_ddg
+    (fun input ->
+      let g = ddg_of input in
+      let cfg = Config.dual ~latency:3 in
+      let sched = Modulo.schedule cfg g in
+      Schedule.validate sched = Ok () && Schedule.ii sched >= Mii.mii cfg g)
+
+let prop_rec_mii_cross_check =
+  QCheck.Test.make ~count:40 ~name:"rec_mii = circuits on random loops" generated_ddg
+    (fun input ->
+      let g = ddg_of input in
+      let cfg = Config.dual ~latency:6 in
+      Mii.rec_mii cfg g = Mii.rec_mii_by_circuits cfg g)
+
+let prop_push_late_preserves_validity =
+  QCheck.Test.make ~count:40 ~name:"push_late keeps schedules valid" generated_ddg
+    (fun input ->
+      let g = ddg_of input in
+      let cfg = Config.dual ~latency:3 in
+      let sched = Modulo.schedule cfg g in
+      let adjusted = Adjust.push_late sched ~eligible:(fun n -> Opcode.is_load n.Ddg.opcode) in
+      Schedule.validate adjusted = Ok () && Schedule.ii adjusted = Schedule.ii sched)
+
+let suite =
+  [
+    Alcotest.test_case "res_mii on example" `Quick test_res_mii_example;
+    Alcotest.test_case "res_mii with port caps" `Quick test_res_mii_port_caps;
+    Alcotest.test_case "rec_mii acyclic" `Quick test_rec_mii_acyclic;
+    Alcotest.test_case "rec_mii on tridiagonal" `Quick test_rec_mii_tridiag;
+    Alcotest.test_case "rec_mii matches circuit enumeration" `Quick
+      test_rec_mii_matches_circuits;
+    Alcotest.test_case "distance-2 recurrence" `Quick test_distance2_recurrence_halves_recmii;
+    Alcotest.test_case "example schedules at II=1" `Quick test_example_schedules_at_ii_1;
+    Alcotest.test_case "kernel zoo schedules validly" `Slow
+      test_schedules_are_valid_on_kernel_zoo;
+    Alcotest.test_case "scheduler achieves MII mostly" `Quick test_schedule_achieves_mii_mostly;
+    Alcotest.test_case "normalize starts at zero" `Quick test_normalize_starts_at_zero;
+    Alcotest.test_case "schedule make validations" `Quick test_schedule_make_validations;
+    Alcotest.test_case "validate catches dependence violations" `Quick
+      test_validate_catches_violations;
+    Alcotest.test_case "validate catches resource overflow" `Quick
+      test_validate_catches_resource_overflow;
+    Alcotest.test_case "min II forcing" `Quick test_min_ii_forcing;
+    Alcotest.test_case "kernel extraction" `Quick test_kernel_extract_example;
+    Alcotest.test_case "kernel rendering" `Quick test_kernel_render_mentions_all_ops;
+    Alcotest.test_case "push_late no-op when ineligible" `Quick
+      test_push_late_moves_only_eligible;
+    Alcotest.test_case "push_late shrinks load lifetime" `Quick
+      test_push_late_shrinks_load_lifetime;
+    Alcotest.test_case "bidirectional placement" `Quick
+      test_bidirectional_same_ii_fewer_regs;
+    QCheck_alcotest.to_alcotest prop_bidirectional_valid;
+    QCheck_alcotest.to_alcotest prop_schedules_valid;
+    QCheck_alcotest.to_alcotest prop_rec_mii_cross_check;
+    QCheck_alcotest.to_alcotest prop_push_late_preserves_validity;
+  ]

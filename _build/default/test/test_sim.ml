@@ -1,0 +1,330 @@
+(* End-to-end execution tests: the pipelined executor (real rotating
+   register files, cycle-accurate issue/completion, dual-subfile
+   write/read policies) must produce exactly the sequential reference
+   interpreter's results, for every kernel, model, latency — and for
+   spilled code. *)
+
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+open Ncdrf_core
+open Ncdrf_sim
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let same_stores what expected actual =
+  if not (Reference.equal_stores expected actual) then begin
+    let show es =
+      String.concat "; "
+        (List.map
+           (fun e ->
+             Printf.sprintf "%s[%d]=%.6f" e.Reference.array e.Reference.iteration
+               e.Reference.value)
+           es)
+    in
+    Alcotest.failf "%s:\nreference: %s\nexecutor:  %s" what (show expected) (show actual)
+  end
+
+let test_example_unified_execution () =
+  let sched = Helpers.paper_schedule () in
+  let expected = Reference.run ~iterations:20 sched.Schedule.ddg in
+  let outcome = Executor.run_unified ~iterations:20 sched in
+  same_stores "paper example, unified" expected outcome.Executor.stores;
+  check_int "capacity is the unified requirement" 42 outcome.Executor.capacity;
+  check_int "one store per iteration" 20 (List.length outcome.Executor.stores);
+  check_bool "reads were checked" true (outcome.Executor.register_reads > 0)
+
+let test_example_dual_execution () =
+  let sched = Helpers.paper_schedule () in
+  let expected = Reference.run ~iterations:20 sched.Schedule.ddg in
+  let outcome = Executor.run_dual ~iterations:20 sched in
+  same_stores "paper example, dual" expected outcome.Executor.stores;
+  check_int "capacity is the partitioned requirement" 29 outcome.Executor.capacity
+
+let test_example_swapped_execution () =
+  let sched, _ = Swap.improve (Helpers.paper_schedule ()) in
+  let expected = Reference.run ~iterations:20 sched.Schedule.ddg in
+  let outcome = Executor.run_dual ~iterations:20 sched in
+  same_stores "paper example, swapped" expected outcome.Executor.stores;
+  check_int "capacity matches the swapped requirement" 23 outcome.Executor.capacity
+
+let test_all_kernels_execute_correctly () =
+  List.iter
+    (fun latency ->
+      let config = Config.dual ~latency in
+      List.iter
+        (fun (ddg, _) ->
+          let sched = Modulo.schedule config ddg in
+          let iterations = (2 * Schedule.stages sched) + 3 in
+          let expected = Reference.run ~iterations ddg in
+          let unified = Executor.run_unified ~iterations sched in
+          same_stores (Ddg.name ddg ^ " unified") expected unified.Executor.stores;
+          let dual = Executor.run_dual ~iterations sched in
+          same_stores (Ddg.name ddg ^ " dual") expected dual.Executor.stores;
+          let swapped, _ = Swap.improve sched in
+          let sw = Executor.run_dual ~iterations swapped in
+          same_stores (Ddg.name ddg ^ " swapped") expected sw.Executor.stores)
+        (Ncdrf_workloads.Kernels.all ()))
+    [ 3; 6 ]
+
+let test_spilled_code_executes_correctly () =
+  (* Spill code rewrites the graph; the reference interprets the
+     rewritten graph (spill slots included), so results must still
+     match the ORIGINAL graph's semantics for the original stores. *)
+  let config = Config.example () in
+  let ddg = Helpers.example_ddg () in
+  let outcome =
+    Ncdrf_spill.Spiller.run ~config
+      ~requirement:(fun s -> (s, Requirements.unified s))
+      ~capacity:20 ddg
+  in
+  check_bool "spilled" true (outcome.Ncdrf_spill.Spiller.spilled > 0);
+  let spilled_ddg = outcome.Ncdrf_spill.Spiller.ddg in
+  let sched = outcome.Ncdrf_spill.Spiller.schedule in
+  let iterations = (2 * Schedule.stages sched) + 3 in
+  let expected_original = Reference.run ~iterations ddg in
+  let expected_spilled = Reference.run ~iterations spilled_ddg in
+  same_stores "spilling preserves semantics (reference level)" expected_original
+    expected_spilled;
+  let exec = Executor.run_unified ~iterations sched in
+  same_stores "spilled code executes correctly" expected_spilled exec.Executor.stores
+
+let test_recurrence_kernels_execute () =
+  (* Loop-carried values cross the rotating-file boundary between
+     iterations: run long enough to wrap the register file several
+     times. *)
+  List.iter
+    (fun name ->
+      let ddg =
+        match Ncdrf_workloads.Kernels.find name with
+        | Some g -> g
+        | None -> Alcotest.failf "kernel %s missing" name
+      in
+      let sched = Modulo.schedule (Config.dual ~latency:6) ddg in
+      let iterations = 50 in
+      let expected = Reference.run ~iterations ddg in
+      let outcome = Executor.run_dual ~iterations sched in
+      same_stores name expected outcome.Executor.stores)
+    [ "ll5-tridiag"; "ll11-first-sum"; "recurrence-d2"; "coupled-recurrence";
+      "running-average" ]
+
+let test_port_capped_machine_executes () =
+  (* P1L3: one adder/multiplier, 1 store + 2 load ports — schedules are
+     port-constrained but must still execute bit-exactly. *)
+  let config = Config.pxly ~parallelism:1 ~latency:3 in
+  List.iter
+    (fun name ->
+      let ddg =
+        match Ncdrf_workloads.Kernels.find name with
+        | Some g -> g
+        | None -> Alcotest.failf "kernel %s missing" name
+      in
+      let sched = Modulo.schedule config ddg in
+      let iterations = Schedule.stages sched + 4 in
+      same_stores (name ^ " on P1L3")
+        (Reference.run ~iterations ddg)
+        (Executor.run_unified ~iterations sched).Executor.stores)
+    [ "sum-8"; "fft-butterfly"; "ll9-integrate"; "clip-saturate" ]
+
+let test_dual_rejects_single_cluster () =
+  let sched = Modulo.schedule (Config.pxly ~parallelism:2 ~latency:3) (Helpers.example_ddg ()) in
+  try
+    ignore (Executor.run_dual ~iterations:4 sched);
+    Alcotest.fail "single-cluster dual execution accepted"
+  with Invalid_argument _ -> ()
+
+let test_executor_cycle_count () =
+  let sched = Helpers.paper_schedule () in
+  let outcome = Executor.run_unified ~iterations:10 sched in
+  (* Last op of iteration 9 is S7: issue 13 + 9*1, finish +1, +1 for
+     the count. *)
+  check_int "cycles" (13 + 9 + 1 + 1) outcome.Executor.cycles
+
+let test_reference_deterministic () =
+  let ddg = Helpers.example_ddg () in
+  let a = Reference.run ~iterations:8 ddg in
+  let b = Reference.run ~iterations:8 ddg in
+  check_bool "deterministic" true (a = b);
+  check_bool "nonempty" true (a <> [])
+
+let prop_executor_matches_reference =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, lat, heavy) -> Printf.sprintf "seed=%d lat=%d heavy=%b" seed lat heavy)
+      QCheck.Gen.(triple (int_bound 50_000) (int_range 1 8) bool)
+  in
+  QCheck.Test.make ~count:60 ~name:"executor = reference on random loops (unified & dual)"
+    arb
+    (fun (seed, latency, heavy) ->
+      let params =
+        if heavy then Ncdrf_workloads.Generator.heavy else Ncdrf_workloads.Generator.default
+      in
+      let ddg = Ncdrf_workloads.Generator.generate params ~seed ~name:"sim-prop" in
+      let config = Config.dual ~latency in
+      let sched = Modulo.schedule config ddg in
+      let iterations = Schedule.stages sched + 5 in
+      let expected = Reference.run ~iterations ddg in
+      let unified = Executor.run_unified ~iterations sched in
+      let dual = Executor.run_dual ~iterations sched in
+      let swapped, _ = Swap.improve sched in
+      let sw = Executor.run_dual ~iterations swapped in
+      Reference.equal_stores expected unified.Executor.stores
+      && Reference.equal_stores expected dual.Executor.stores
+      && Reference.equal_stores expected sw.Executor.stores)
+
+let prop_affinity_schedules_execute =
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 50_000) in
+  QCheck.Test.make ~count:30 ~name:"affinity-scheduled loops execute correctly" arb
+    (fun seed ->
+      let ddg =
+        Ncdrf_workloads.Generator.generate Ncdrf_workloads.Generator.default ~seed
+          ~name:"sim-aff"
+      in
+      let sched =
+        Modulo.schedule ~cluster_policy:Modulo.Affinity (Config.dual ~latency:3) ddg
+      in
+      let iterations = Schedule.stages sched + 4 in
+      Reference.equal_stores
+        (Reference.run ~iterations ddg)
+        (Executor.run_dual ~iterations sched).Executor.stores)
+
+(* --- Failure injection --- *)
+
+let prop_mutations_caught =
+  (* Nudge one operation's cycle or cluster in a valid schedule: either
+     the static validator rejects the result, or — if the mutation
+     happens to produce another valid schedule — execution still matches
+     the reference.  This checks that Schedule.validate is strong enough
+     to protect the executor. *)
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, victim, delta, flip) ->
+        Printf.sprintf "seed=%d victim=%d delta=%d flip=%b" seed victim delta flip)
+      QCheck.Gen.(quad (int_bound 20_000) (int_bound 1_000) (int_range (-3) 3) bool)
+  in
+  QCheck.Test.make ~count:60 ~name:"schedule mutations are caught or harmless" arb
+    (fun (seed, victim, delta, flip_cluster) ->
+      let ddg =
+        Ncdrf_workloads.Generator.generate Ncdrf_workloads.Generator.default ~seed
+          ~name:"mut-prop"
+      in
+      let config = Config.dual ~latency:3 in
+      let sched = Modulo.schedule config ddg in
+      let n = Ddg.num_nodes ddg in
+      let v = victim mod n in
+      let placements =
+        Array.init n (fun i ->
+            let cycle = Schedule.cycle sched i in
+            let cluster = Schedule.cluster sched i in
+            if i = v then
+              {
+                Schedule.cycle = (cycle + delta);
+                cluster = (if flip_cluster then 1 - cluster else cluster);
+              }
+            else { Schedule.cycle; cluster })
+      in
+      let mutated =
+        Schedule.make ~config ~ii:(Schedule.ii sched) ~placements ddg
+      in
+      match Schedule.validate mutated with
+      | Error _ -> true (* the validator caught it *)
+      | Ok () ->
+        (* Still a legal schedule: it must also execute correctly. *)
+        let iterations = Schedule.stages mutated + 4 in
+        let expected = Reference.run ~iterations ddg in
+        (try
+           Reference.equal_stores expected
+             (Executor.run_unified ~iterations mutated).Executor.stores
+           && Reference.equal_stores expected
+                (Executor.run_dual ~iterations mutated).Executor.stores
+         with Executor.Corrupted _ -> false))
+
+(* --- Memory system model --- *)
+
+let kernel_for_memory name =
+  match Ncdrf_workloads.Kernels.find name with
+  | Some g -> g
+  | None -> Alcotest.failf "kernel %s missing" name
+
+let test_memory_no_accesses () =
+  let open Expr in
+  (* Arithmetic-only loop: defs consumed by one store... we need at
+     least a store to be realistic; use an all-arith body and strip by
+     checking a loop with no memory is impossible here, so instead use a
+     single-store loop on a wide-banked memory: zero contention. *)
+  let g = compile ~name:"light" [ Store ("o", inv "a" + inv "b") ] in
+  let sched = Modulo.schedule (Config.dual ~latency:3) g in
+  let r =
+    Memory_system.simulate
+      ~config:{ Memory_system.banks = 8; service_time = 1; tolerance = 4 }
+      ~iterations:20 sched
+  in
+  Alcotest.(check (float 1e-9)) "no slowdown" 1.0 r.Memory_system.slowdown;
+  check_int "one access per iteration" 20 r.Memory_system.accesses
+
+let test_memory_single_bank_contention () =
+  (* sum-8 issues 8 loads + 1 store per iteration; with a single slow
+     bank the memory must become the bottleneck. *)
+  let g =
+    match Ncdrf_workloads.Kernels.find "sum-8" with
+    | Some g -> g
+    | None -> Alcotest.fail "kernel missing"
+  in
+  let sched = Modulo.schedule (Config.dual ~latency:3) g in
+  let tight =
+    Memory_system.simulate
+      ~config:{ Memory_system.banks = 1; service_time = 2; tolerance = 2 }
+      ~iterations:30 sched
+  in
+  check_bool "slowdown" true (tight.Memory_system.slowdown > 1.5);
+  check_bool "delays observed" true (tight.Memory_system.delayed > 0);
+  check_bool "pipeline slipped" true (tight.Memory_system.pipeline_slips > 0);
+  let wide =
+    Memory_system.simulate
+      ~config:{ Memory_system.banks = 64; service_time = 2; tolerance = 2 }
+      ~iterations:30 sched
+  in
+  check_bool "more banks help" true
+    (wide.Memory_system.slowdown <= tight.Memory_system.slowdown)
+
+let test_memory_slower_banks_hurt_more () =
+  (* Monotonicity in the service time: a slower memory can only add
+     slowdown; and the slowdown correlates with the schedule's traffic
+     density when comparing at a fixed II (the paper's Figure 9
+     argument). *)
+  let config = Config.dual ~latency:6 in
+  let sched = Modulo.schedule config (kernel_for_memory "ll9-integrate") in
+  let slow service_time =
+    (Memory_system.simulate
+       ~config:{ Memory_system.banks = 2; service_time; tolerance = 2 }
+       ~iterations:40 sched)
+      .Memory_system.slowdown
+  in
+  check_bool "service 4 >= service 2" true (slow 4 >= slow 2 -. 1e-9);
+  check_bool "service 2 >= service 1" true (slow 2 >= slow 1 -. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "example executes (unified)" `Quick test_example_unified_execution;
+    Alcotest.test_case "example executes (dual)" `Quick test_example_dual_execution;
+    Alcotest.test_case "example executes (swapped)" `Quick test_example_swapped_execution;
+    Alcotest.test_case "all kernels execute correctly" `Slow
+      test_all_kernels_execute_correctly;
+    Alcotest.test_case "spilled code executes correctly" `Quick
+      test_spilled_code_executes_correctly;
+    Alcotest.test_case "recurrence kernels execute" `Quick test_recurrence_kernels_execute;
+    Alcotest.test_case "port-capped machine executes" `Quick
+      test_port_capped_machine_executes;
+    Alcotest.test_case "dual rejects single cluster" `Quick test_dual_rejects_single_cluster;
+    Alcotest.test_case "executor cycle count" `Quick test_executor_cycle_count;
+    Alcotest.test_case "reference deterministic" `Quick test_reference_deterministic;
+    Alcotest.test_case "memory: light loop has no slowdown" `Quick test_memory_no_accesses;
+    Alcotest.test_case "memory: single-bank contention" `Quick
+      test_memory_single_bank_contention;
+    Alcotest.test_case "memory: slower banks hurt more" `Quick
+      test_memory_slower_banks_hurt_more;
+    QCheck_alcotest.to_alcotest prop_executor_matches_reference;
+    QCheck_alcotest.to_alcotest prop_affinity_schedules_execute;
+    QCheck_alcotest.to_alcotest prop_mutations_caught;
+  ]

@@ -1,0 +1,285 @@
+(* Tests for the naive spiller and traffic accounting. *)
+
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+open Ncdrf_spill
+open Ncdrf_core
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let kernel name =
+  match Ncdrf_workloads.Kernels.find name with
+  | Some g -> g
+  | None -> Alcotest.failf "kernel %s missing" name
+
+let unified_requirement sched = (sched, Requirements.unified sched)
+
+let test_no_spill_when_capacity_suffices () =
+  let config = Config.example () in
+  let ddg = Helpers.example_ddg () in
+  let outcome = Spiller.run ~config ~requirement:unified_requirement ~capacity:64 ddg in
+  check_bool "fits" true outcome.Spiller.fits;
+  check_int "no spills" 0 outcome.Spiller.spilled;
+  check_int "requirement is 42" 42 outcome.Spiller.requirement
+
+let test_spilling_reduces_requirement () =
+  let config = Config.example () in
+  let ddg = Helpers.example_ddg () in
+  let outcome = Spiller.run ~config ~requirement:unified_requirement ~capacity:30 ddg in
+  check_bool "fits" true outcome.Spiller.fits;
+  check_bool "spilled something" true (outcome.Spiller.spilled > 0);
+  check_bool "requirement within capacity" true (outcome.Spiller.requirement <= 30);
+  check_bool "memops added" true (outcome.Spiller.added_memops > 0);
+  Helpers.check_valid "spilled schedule" outcome.Spiller.schedule
+
+let test_spill_adds_store_and_loads () =
+  (* Spilling a value with k consumers adds 1 store + k loads. *)
+  let config = Config.example () in
+  let ddg = Helpers.example_ddg () in
+  let outcome = Spiller.run ~config ~requirement:unified_requirement ~capacity:35 ddg in
+  check_bool "one spill expected" true (outcome.Spiller.spilled >= 1);
+  (* First spilled value is L1 (longest lifetime, 2 consumers):
+     1 store + 2 loads. *)
+  check_bool "memops consistent" true
+    (outcome.Spiller.added_memops >= (2 * outcome.Spiller.spilled));
+  let spill_ops =
+    Ddg.fold_nodes outcome.Spiller.ddg ~init:0 ~f:(fun acc n ->
+        if Opcode.is_spill_access n.Ddg.opcode then acc + 1 else acc)
+  in
+  check_int "spill ops in graph" outcome.Spiller.added_memops spill_ops
+
+let test_spill_first_victim_is_longest () =
+  let config = Config.example () in
+  let ddg = Helpers.example_ddg () in
+  let outcome = Spiller.run ~config ~requirement:unified_requirement ~capacity:35 ddg in
+  (* L1 (lifetime 13) must be the first victim: its consumers M3 and A6
+     now read spill loads, so L1's only consumer is the spill store. *)
+  let l1 = Helpers.node_by_label outcome.Spiller.ddg "L1" in
+  let consumers = Ddg.consumers outcome.Spiller.ddg l1.Ddg.id in
+  (match consumers with
+   | [ e ] ->
+     let c = Ddg.node outcome.Spiller.ddg e.Ddg.dst in
+     check_bool "consumer is a spill store" true
+       (match c.Ddg.opcode with Opcode.Store (Opcode.Spill _) -> true | _ -> false)
+   | _ -> Alcotest.failf "L1 has %d consumers after spill" (List.length consumers))
+
+let test_spilled_values_not_respilled () =
+  (* Tiny capacity forces many rounds; termination + no spill-of-spill. *)
+  let config = Config.example () in
+  let ddg = Helpers.example_ddg () in
+  let outcome = Spiller.run ~config ~requirement:unified_requirement ~capacity:12 ddg in
+  check_bool "terminates" true (outcome.Spiller.rounds <= 64);
+  let ok =
+    Ddg.fold_nodes outcome.Spiller.ddg ~init:true ~f:(fun acc n ->
+        match n.Ddg.opcode with
+        | Opcode.Load (Opcode.Spill _) ->
+          (* a spill load's value must never feed a spill store *)
+          acc
+          && List.for_all
+               (fun e ->
+                 match (Ddg.node outcome.Spiller.ddg e.Ddg.dst).Ddg.opcode with
+                 | Opcode.Store (Opcode.Spill _) -> false
+                 | _ -> true)
+               (Ddg.consumers outcome.Spiller.ddg n.Ddg.id)
+        | _ -> acc)
+  in
+  check_bool "no spill chains" true ok
+
+let test_spill_raises_ii_under_memory_pressure () =
+  (* dual has 2 LS units; the example already uses 3 memory ops, so
+     spilling must push ResMII (and II) up. *)
+  let config = Config.dual ~latency:6 in
+  let ddg = Helpers.example_ddg () in
+  let free = Pipeline.run ~config ~model:Model.Unified ddg in
+  let tight = Pipeline.run ~config ~model:Model.Unified ~capacity:20 ddg in
+  check_bool "fits" true tight.Pipeline.fits;
+  check_bool "II grew or no spill was needed" true
+    (tight.Pipeline.spilled = 0 || tight.Pipeline.ii >= free.Pipeline.ii)
+
+let test_safety_valve_ii_bump () =
+  (* Capacity below what spilling alone can reach: every value spilled
+     still needs ~latency-long reload lifetimes.  The spiller must fall
+     back to II bumps and still terminate. *)
+  let config = Config.dual ~latency:6 in
+  let ddg = kernel "ll7-state" in
+  let outcome = Spiller.run ~config ~requirement:unified_requirement ~capacity:4 ddg in
+  check_bool "terminated" true (outcome.Spiller.rounds <= 64 + 32);
+  check_bool "bumped II or fit" true (outcome.Spiller.fits || outcome.Spiller.ii_bumps > 0)
+
+let test_traffic_density () =
+  let config = Config.dual ~latency:3 in
+  let ddg = Helpers.example_ddg () in
+  let sched = Modulo.schedule config ddg in
+  (* 3 memory ops, bandwidth 2: II is at least 2 (ResMII); density =
+     3 / (II * 2). *)
+  let expected =
+    3.0 /. (float_of_int (Schedule.ii sched) *. 2.0)
+  in
+  Alcotest.(check (float 1e-9)) "density" expected (Traffic.density sched);
+  check_int "memops" 3 (Traffic.memops_per_iteration ddg)
+
+let test_aggregate_density_weighted () =
+  let config = Config.dual ~latency:3 in
+  let s1 = Modulo.schedule config (Helpers.example_ddg ()) in
+  let s2 = Modulo.schedule config (kernel "daxpy") in
+  let agg = Traffic.aggregate_density [ (s1, 1.0); (s2, 0.0) ] in
+  Alcotest.(check (float 1e-9)) "zero weight ignored" (Traffic.density s1) agg;
+  let agg2 = Traffic.aggregate_density [ (s1, 2.0); (s2, 2.0) ] in
+  check_bool "between the two densities" true
+    (let lo = min (Traffic.density s1) (Traffic.density s2)
+     and hi = max (Traffic.density s1) (Traffic.density s2) in
+     agg2 >= lo -. 1e-9 && agg2 <= hi +. 1e-9)
+
+let test_spiller_under_partitioned_model () =
+  let config = Config.dual ~latency:6 in
+  let ddg = kernel "ll9-integrate" in
+  let requirement sched =
+    let swapped, _ = Swap.improve sched in
+    (swapped, (Requirements.partitioned swapped).Requirements.requirement)
+  in
+  let outcome = Spiller.run ~config ~requirement ~capacity:16 ddg in
+  check_bool "fits" true outcome.Spiller.fits;
+  check_bool "within capacity" true (outcome.Spiller.requirement <= 16);
+  Helpers.check_valid "swapped+spilled schedule" outcome.Spiller.schedule
+
+(* --- Fission (paper 5.4 option 2) --- *)
+
+let test_fission_splits_example () =
+  let ddg = Helpers.example_ddg () in
+  match Fission.split ddg with
+  | None -> Alcotest.fail "example loop should be splittable"
+  | Some s ->
+    check_bool "first validates" true (Ddg.validate s.Fission.first = Ok ());
+    check_bool "second validates" true (Ddg.validate s.Fission.second = Ok ());
+    check_bool "cut is non-trivial" true (s.Fission.cut_values > 0);
+    (* Each cut value costs one store and one load. *)
+    check_int "memops added" (2 * s.Fission.cut_values) s.Fission.added_memops;
+    (* All original operations survive, plus the scratch traffic. *)
+    check_int "node conservation"
+      (Ddg.num_nodes ddg + s.Fission.added_memops)
+      (Ddg.num_nodes s.Fission.first + Ddg.num_nodes s.Fission.second)
+
+let test_fission_reduces_pressure () =
+  let config = Config.dual ~latency:6 in
+  let requirement g = Requirements.unified (Modulo.schedule config g) in
+  let ddg = kernel "ll7-state" in
+  let original = requirement ddg in
+  match Fission.split ddg with
+  | None -> Alcotest.fail "ll7-state should be splittable"
+  | Some s ->
+    let worst = max (requirement s.Fission.first) (requirement s.Fission.second) in
+    check_bool "pieces need fewer registers" true (worst < original)
+
+let test_fission_respects_recurrences () =
+  (* {load} -> {s-add recurrence} -> {store}: splittable, but the
+     recurrence cycle must end up whole inside exactly one piece. *)
+  let open Expr in
+  let g =
+    compile ~name:"one-scc" [ Def ("s", prev "s" + load "x"); Store ("o", ref_ "s") ]
+  in
+  match Fission.split g with
+  | None -> Alcotest.fail "three-component loop should be splittable"
+  | Some s ->
+    let carried piece = List.exists (fun e -> e.Ddg.distance > 0) (Ddg.edges piece) in
+    let pieces_with_recurrence =
+      List.length (List.filter carried [ s.Fission.first; s.Fission.second ])
+    in
+    check_int "recurrence in exactly one piece" 1 pieces_with_recurrence
+
+let test_fission_split_until () =
+  let config = Config.dual ~latency:6 in
+  let requirement g = Requirements.unified (Modulo.schedule config g) in
+  let ddg = kernel "ll9-integrate" in
+  let original = requirement ddg in
+  let capacity = max 6 (original / 2) in
+  let pieces, fits = Fission.split_until ~requirement ~capacity ddg in
+  check_bool "at least two pieces" true (List.length pieces >= 2);
+  List.iter
+    (fun g -> check_bool "piece validates" true (Ddg.validate g = Ok ()))
+    pieces;
+  if fits then
+    List.iter
+      (fun g -> check_bool "piece fits" true (requirement g <= capacity))
+      pieces
+
+let test_fission_unsplittable () =
+  let open Expr in
+  (* Two ops locked in one SCC plus nothing else splittable off. *)
+  let g = compile ~name:"lock" [ Def ("s", prev "s" + inv "c"); Store ("o", ref_ "s") ] in
+  (* load-free; components: {add} -> {store}: still splittable into 2.
+     A single node is not. *)
+  (match Fission.split g with
+   | Some s ->
+     check_bool "both pieces non-empty" true
+       (Ddg.num_nodes s.Fission.first > 0 && Ddg.num_nodes s.Fission.second > 0)
+   | None -> ());
+  let single =
+    let b = Ddg.Builder.create ~name:"single" in
+    ignore (Ddg.Builder.add_node b (Opcode.Load (Opcode.Array "x")) ~label:"L");
+    Ddg.Builder.freeze b
+  in
+  check_bool "single node unsplittable" true (Fission.split single = None)
+
+let prop_spiller_terminates_and_fits =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, cap) -> Printf.sprintf "seed=%d cap=%d" seed cap)
+      QCheck.Gen.(pair (int_bound 20_000) (int_range 12 48))
+  in
+  QCheck.Test.make ~count:25 ~name:"spiller terminates with a valid schedule" arb
+    (fun (seed, capacity) ->
+      let g =
+        Ncdrf_workloads.Generator.generate Ncdrf_workloads.Generator.default ~seed
+          ~name:"spill-prop"
+      in
+      let config = Config.dual ~latency:3 in
+      let outcome =
+        Spiller.run ~config ~requirement:unified_requirement ~capacity g
+      in
+      Schedule.validate outcome.Spiller.schedule = Ok ()
+      && ((not outcome.Spiller.fits) || outcome.Spiller.requirement <= capacity))
+
+let prop_fission_structural =
+  let arb = QCheck.make ~print:string_of_int QCheck.Gen.(int_bound 30_000) in
+  QCheck.Test.make ~count:40 ~name:"fission pieces are valid and conserve operations" arb
+    (fun seed ->
+      let g =
+        Ncdrf_workloads.Generator.generate Ncdrf_workloads.Generator.heavy ~seed
+          ~name:"fis-prop"
+      in
+      match Fission.split g with
+      | None -> true
+      | Some s ->
+        Ddg.validate s.Fission.first = Ok ()
+        && Ddg.validate s.Fission.second = Ok ()
+        && Ddg.num_nodes s.Fission.first + Ddg.num_nodes s.Fission.second
+           = Ddg.num_nodes g + s.Fission.added_memops)
+
+let suite =
+  [
+    Alcotest.test_case "no spill when capacity suffices" `Quick
+      test_no_spill_when_capacity_suffices;
+    Alcotest.test_case "spilling reduces requirement" `Quick test_spilling_reduces_requirement;
+    Alcotest.test_case "spill adds store and loads" `Quick test_spill_adds_store_and_loads;
+    Alcotest.test_case "first victim is the longest lifetime" `Quick
+      test_spill_first_victim_is_longest;
+    Alcotest.test_case "spilled values are not respilled" `Quick
+      test_spilled_values_not_respilled;
+    Alcotest.test_case "spilling raises II under memory pressure" `Quick
+      test_spill_raises_ii_under_memory_pressure;
+    Alcotest.test_case "safety valve II bump" `Quick test_safety_valve_ii_bump;
+    Alcotest.test_case "traffic density" `Quick test_traffic_density;
+    Alcotest.test_case "aggregate density is weighted" `Quick test_aggregate_density_weighted;
+    Alcotest.test_case "spiller under the swapped model" `Quick
+      test_spiller_under_partitioned_model;
+    Alcotest.test_case "fission: splits the example" `Quick test_fission_splits_example;
+    Alcotest.test_case "fission: reduces pressure" `Quick test_fission_reduces_pressure;
+    Alcotest.test_case "fission: respects recurrences" `Quick
+      test_fission_respects_recurrences;
+    Alcotest.test_case "fission: split_until" `Quick test_fission_split_until;
+    Alcotest.test_case "fission: unsplittable loops" `Quick test_fission_unsplittable;
+    QCheck_alcotest.to_alcotest prop_spiller_terminates_and_fits;
+    QCheck_alcotest.to_alcotest prop_fission_structural;
+  ]
