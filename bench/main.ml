@@ -9,17 +9,44 @@
 
    Experiment ids: example table1 fig6 fig7 fig8 fig9 ablation spill-victims
    cluster-policy mve doubling fission cost sacks lifetime-postpass bechamel.
-   --csv DIR mirrors the figure series to CSV files. *)
+   --csv DIR mirrors the figure series to CSV files.
+   --jobs N runs the per-loop pipeline on N domains (default: the
+   recommended domain count); results are identical to --jobs 1.
+   --metrics FILE emits a JSON report (wall clock and per-stage span
+   breakdown per experiment, loops/sec, and — when N > 1 — measured
+   speedup against a silenced serial rerun), in a shape suitable for
+   committing as BENCH_*.json.
+   --size N / --seed N pick the suite; the suite cache is keyed on
+   (size, seed) so mixed-size runs never see stale entries. *)
 
 open Ncdrf_ir
 open Ncdrf_machine
 open Ncdrf_sched
 open Ncdrf_regalloc
 open Ncdrf_core
+module Pool = Ncdrf_parallel.Pool
+module Telemetry = Ncdrf_telemetry.Telemetry
+module Json = Telemetry.Json
 
 let suite_size = ref 795
+let suite_seed = ref 42
 let quick () = suite_size := 150
 let csv_dir : string option ref = ref None
+let metrics_path : string option ref = ref None
+let requested_jobs = ref (Pool.default_jobs ())
+
+(* The session pool; [None] means serial.  The serial-baseline rerun
+   (see [run_experiment]) swaps this to [None] temporarily. *)
+let the_pool : Pool.t option ref = ref None
+let current_jobs () = match !the_pool with Some p -> Pool.jobs p | None -> 1
+let pool () = !the_pool
+
+(* Map the per-loop stage of an experiment over the session pool,
+   keeping input order; serial when no pool is active. *)
+let pool_map f loops =
+  match !the_pool with
+  | None -> List.map f loops
+  | Some p -> Pool.map p ~label:(fun l -> Ddg.name l.Suite_stats.ddg) f loops
 
 let banner title = Printf.printf "\n==== %s ====\n%!" title
 
@@ -33,13 +60,16 @@ let emit_csv name rows =
     Ncdrf_report.Csv.write path rows;
     Printf.printf "  [csv: %s]\n%!" path
 
-let suite_cache : Suite_stats.workload list option ref = ref None
+(* Keyed on (size, seed): a run that builds the suite at one size must
+   not serve stale entries to a figure that needs a different one. *)
+let suite_cache : ((int * int) * Suite_stats.workload list) option ref = ref None
 
 let workloads () =
+  let key = (!suite_size, !suite_seed) in
   match !suite_cache with
-  | Some w -> w
-  | None ->
-    let entries = Ncdrf_workloads.Suite.full ~size:!suite_size () in
+  | Some (k, w) when k = key -> w
+  | Some _ | None ->
+    let entries = Ncdrf_workloads.Suite.full ~size:!suite_size ~seed:!suite_seed () in
     let w =
       List.map
         (fun e ->
@@ -49,7 +79,7 @@ let workloads () =
           })
         entries
     in
-    suite_cache := Some w;
+    suite_cache := Some (key, w);
     w
 
 (* ------------------------------------------------------------------ *)
@@ -128,7 +158,7 @@ let run_table1 () =
   Printf.printf "%s\n" (String.make 64 '-');
   List.iter
     (fun cfg ->
-      let ms = Suite_stats.measure ~config:cfg ~model:Model.Unified loops in
+      let ms = Suite_stats.measure ?pool:(pool ()) ~config:cfg ~model:Model.Unified loops in
       let cell r =
         let s, d = Suite_stats.allocatable ms ~r in
         Printf.sprintf "%7.1f%% %7.1f%%" s d
@@ -139,7 +169,9 @@ let run_table1 () =
     ([ "config"; "r"; "static_pct"; "dynamic_pct" ]
      :: List.concat_map
           (fun cfg ->
-            let ms = Suite_stats.measure ~config:cfg ~model:Model.Unified loops in
+            let ms =
+              Suite_stats.measure ?pool:(pool ()) ~config:cfg ~model:Model.Unified loops
+            in
             List.map
               (fun r ->
                 let s, d = Suite_stats.allocatable ms ~r in
@@ -169,7 +201,7 @@ let run_distribution ~dynamic () =
       print_newline ();
       List.iter
         (fun model ->
-          let ms = Suite_stats.measure ~config ~model loops in
+          let ms = Suite_stats.measure ?pool:(pool ()) ~config ~model loops in
           let dist =
             if dynamic then Suite_stats.dynamic_cumulative ms ~points:distribution_points
             else Suite_stats.static_cumulative ms ~points:distribution_points
@@ -201,7 +233,9 @@ let performance_grid () =
           let cells =
             List.map
               (fun model ->
-                let p = Suite_stats.performance ~config ~model ~capacity loops in
+                let p =
+                  Suite_stats.performance ?pool:(pool ()) ~config ~model ~capacity loops
+                in
                 (model, p))
               Model.all
           in
@@ -210,14 +244,17 @@ let performance_grid () =
     [ 3; 6 ];
   List.rev !grid
 
-let grid_cache = ref None
+(* Keyed by the active job count so the serial-baseline rerun never
+   reuses (or poisons) the parallel run's grid. *)
+let grid_cache = ref []
 
 let get_grid () =
-  match !grid_cache with
+  let key = current_jobs () in
+  match List.assoc_opt key !grid_cache with
   | Some g -> g
   | None ->
     let g = performance_grid () in
-    grid_cache := Some g;
+    grid_cache := (key, g) :: !grid_cache;
     g
 
 let run_fig8 () =
@@ -341,17 +378,22 @@ let run_spill_victims () =
       let num = ref 0.0 and den = ref 0.0 in
       let spills = ref 0 and unfit = ref 0 in
       let bandwidth = float_of_int (Config.memory_bandwidth config) in
+      let compiled =
+        pool_map
+          (fun l ->
+            (l, Pipeline.run ~config ~model:Model.Swapped ~capacity ~victim
+               l.Suite_stats.ddg))
+          loops
+      in
       List.iter
-        (fun l ->
-          let st = Pipeline.run ~config ~model:Model.Swapped ~capacity ~victim
-              l.Suite_stats.ddg in
+        (fun (l, st) ->
           ideal := !ideal +. (l.Suite_stats.weight *. float_of_int st.Pipeline.mii);
           achieved := !achieved +. (l.Suite_stats.weight *. float_of_int st.Pipeline.ii);
           num := !num +. (l.Suite_stats.weight *. float_of_int st.Pipeline.memops_per_iter);
           den := !den +. (l.Suite_stats.weight *. float_of_int st.Pipeline.ii *. bandwidth);
           spills := !spills + st.Pipeline.spilled;
           if not st.Pipeline.fits then incr unfit)
-        loops;
+        compiled;
       Printf.printf "%-18s %10.3f %12.3f %10d %8d\n%!" name (!ideal /. !achieved)
         (!num /. !den) !spills !unfit)
     [ ("longest (paper)", Ncdrf_spill.Spiller.Longest_lifetime);
@@ -420,9 +462,13 @@ let run_doubling () =
       List.iter
         (fun r ->
           let config = Config.dual ~latency in
-          let dual = Suite_stats.performance ~config ~model:Model.Swapped ~capacity:r loops in
+          let dual =
+            Suite_stats.performance ?pool:(pool ()) ~config ~model:Model.Swapped
+              ~capacity:r loops
+          in
           let doubled =
-            Suite_stats.performance ~config ~model:Model.Unified ~capacity:(2 * r) loops
+            Suite_stats.performance ?pool:(pool ()) ~config ~model:Model.Unified
+              ~capacity:(2 * r) loops
           in
           Printf.printf "L=%d,R=%-4d %22.3f %22.3f%s\n%!" latency r
             dual.Suite_stats.relative doubled.Suite_stats.relative
@@ -472,14 +518,20 @@ let run_memory () =
       let density_num = ref 0.0 and density_den = ref 0.0 in
       let base = ref 0.0 and effective = ref 0.0 and ideal = ref 0.0 in
       let bw = float_of_int (Config.memory_bandwidth config) in
+      let compiled =
+        pool_map
+          (fun l ->
+            let st = Pipeline.run ~config ~model ~capacity l.Suite_stats.ddg in
+            let r =
+              Ncdrf_sim.Memory_system.simulate ~config:mem ~iterations:25
+                st.Pipeline.schedule
+            in
+            (l, st, r))
+          loops
+      in
       List.iter
-        (fun l ->
-          let st = Pipeline.run ~config ~model ~capacity l.Suite_stats.ddg in
+        (fun (l, st, r) ->
           let w = l.Suite_stats.weight in
-          let r =
-            Ncdrf_sim.Memory_system.simulate ~config:mem ~iterations:25
-              st.Pipeline.schedule
-          in
           density_num := !density_num +. (w *. float_of_int st.Pipeline.memops_per_iter);
           density_den := !density_den +. (w *. float_of_int st.Pipeline.ii *. bw);
           base := !base +. (w *. float_of_int st.Pipeline.ii);
@@ -487,7 +539,7 @@ let run_memory () =
             !effective
             +. (w *. float_of_int st.Pipeline.ii *. r.Ncdrf_sim.Memory_system.slowdown);
           ideal := !ideal +. (w *. float_of_int st.Pipeline.mii))
-        loops;
+        compiled;
       Printf.printf "%-14s %10.3f %12.3f %14.3f\n%!" (Model.to_string model)
         (!density_num /. !density_den)
         (!effective /. !base) (!ideal /. !effective))
@@ -715,18 +767,157 @@ let experiments =
     ("bechamel", run_bechamel);
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Metrics-instrumented driver.                                        *)
+(* ------------------------------------------------------------------ *)
+
+(* Experiments whose per-loop stage runs on the pool — the only ones
+   worth a serial-baseline rerun for the speedup figure. *)
+let pooled_experiments =
+  [ "table1"; "fig6"; "fig7"; "fig8"; "fig9"; "doubling"; "spill-victims"; "memory" ]
+
+type experiment_metric = {
+  ex_name : string;
+  wall_s : float;
+  loops : int;  (** pipeline invocations during the timed run *)
+  spans : (string * Telemetry.span) list;
+  counters : (string * int) list;
+  serial_wall_s : float option;
+}
+
+(* Run [f] with stdout sent to /dev/null: the serial-baseline rerun
+   must not duplicate the experiment's report. *)
+let silence_stdout f =
+  flush stdout;
+  let saved = Unix.dup Unix.stdout in
+  let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+  Unix.dup2 devnull Unix.stdout;
+  Fun.protect
+    ~finally:(fun () ->
+      flush stdout;
+      Unix.dup2 saved Unix.stdout;
+      Unix.close saved;
+      Unix.close devnull)
+    f
+
+let run_experiment ~collect (name, f) =
+  match !metrics_path with
+  | None -> f ()
+  | Some _ ->
+    (* Warm the suite cache outside the timed region so the parallel
+       run and the serial baseline both measure the pipeline, not the
+       one-off suite generation. *)
+    ignore (workloads ());
+    Telemetry.reset ();
+    let t0 = Telemetry.now () in
+    f ();
+    let wall_s = Telemetry.now () -. t0 in
+    let spans = Telemetry.spans () in
+    let counters = Telemetry.counters () in
+    let loops = Telemetry.counter "pipeline.loops" in
+    let serial_wall_s =
+      if current_jobs () > 1 && List.mem name pooled_experiments then begin
+        Telemetry.reset ();
+        let saved_pool = !the_pool in
+        the_pool := None;
+        let t1 = Telemetry.now () in
+        silence_stdout f;
+        let serial = Telemetry.now () -. t1 in
+        the_pool := saved_pool;
+        Some serial
+      end
+      else None
+    in
+    collect { ex_name = name; wall_s; loops; spans; counters; serial_wall_s }
+
+let metric_json m =
+  let span_json (name, s) =
+    ( name,
+      Json.Obj
+        [ ("total_s", Json.Float s.Telemetry.total_s);
+          ("count", Json.Int s.Telemetry.count);
+          ("max_s", Json.Float s.Telemetry.max_s) ] )
+  in
+  let base =
+    [
+      ("name", Json.String m.ex_name);
+      ("wall_s", Json.Float m.wall_s);
+      ("loops", Json.Int m.loops);
+      ( "loops_per_sec",
+        if m.wall_s > 0.0 then Json.Float (float_of_int m.loops /. m.wall_s)
+        else Json.Null );
+      ("stages", Json.Obj (List.map span_json m.spans));
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) m.counters));
+    ]
+  in
+  let speedup =
+    match m.serial_wall_s with
+    | None -> []
+    | Some s ->
+      [ ("serial_wall_s", Json.Float s);
+        ( "speedup_vs_serial",
+          if m.wall_s > 0.0 then Json.Float (s /. m.wall_s) else Json.Null ) ]
+  in
+  Json.Obj (base @ speedup)
+
+let write_metrics ~total_wall_s collected =
+  match !metrics_path with
+  | None -> ()
+  | Some path ->
+    let json =
+      Json.Obj
+        [
+          ("schema", Json.String "ncdrf-bench-metrics/1");
+          ("jobs", Json.Int !requested_jobs);
+          ("recommended_jobs", Json.Int (Pool.default_jobs ()));
+          ("suite_size", Json.Int !suite_size);
+          ("suite_seed", Json.Int !suite_seed);
+          ("total_wall_s", Json.Float total_wall_s);
+          ("experiments", Json.List (List.map metric_json (List.rev collected)));
+        ]
+    in
+    Telemetry.write_json ~path json;
+    Printf.printf "\n[metrics: %s]\n%!" path
+
+let usage () =
+  Printf.eprintf
+    "usage: main.exe [EXPERIMENT...] [--quick] [--size N] [--seed N] [--jobs N]\n\
+    \       [--csv DIR] [--metrics FILE]\n";
+  exit 2
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  if List.mem "--quick" args then quick ();
-  let rec extract_csv = function
+  let int_arg flag v =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None ->
+      Printf.eprintf "%s: not an integer: %S\n" flag v;
+      usage ()
+  in
+  let rec parse = function
+    | "--quick" :: rest ->
+      quick ();
+      parse rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
-      rest
-    | a :: rest -> a :: extract_csv rest
+      parse rest
+    | "--jobs" :: n :: rest ->
+      requested_jobs := max 1 (int_arg "--jobs" n);
+      parse rest
+    | "--metrics" :: file :: rest ->
+      metrics_path := Some file;
+      parse rest
+    | "--seed" :: n :: rest ->
+      suite_seed := int_arg "--seed" n;
+      parse rest
+    | "--size" :: n :: rest ->
+      suite_size := max 1 (int_arg "--size" n);
+      parse rest
+    | ("--csv" | "--jobs" | "--metrics" | "--seed" | "--size") :: [] -> usage ()
+    | a :: rest -> a :: parse rest
     | [] -> []
   in
-  let args = extract_csv args in
-  let selected = List.filter (fun a -> a <> "--quick") args in
+  let selected = parse args in
   let to_run =
     match selected with
     | [] -> experiments
@@ -741,4 +932,12 @@ let () =
             exit 2)
         names
   in
-  List.iter (fun (_, f) -> f ()) to_run
+  if !requested_jobs > 1 then the_pool := Some (Pool.create ~jobs:!requested_jobs ());
+  Telemetry.enable (!metrics_path <> None);
+  let collected = ref [] in
+  let collect m = collected := m :: !collected in
+  let t0 = Telemetry.now () in
+  Fun.protect
+    ~finally:(fun () -> Option.iter Pool.shutdown !the_pool)
+    (fun () -> List.iter (run_experiment ~collect) to_run);
+  write_metrics ~total_wall_s:(Telemetry.now () -. t0) !collected

@@ -139,7 +139,9 @@ let dot_cmd =
 (* ------------------------------------------------------------------ *)
 
 let suite_cmd =
-  let run latency size registers =
+  let run latency size registers jobs metrics =
+    let module Pool = Ncdrf_parallel.Pool in
+    let module Telemetry = Ncdrf_telemetry.Telemetry in
     let config = Config.dual ~latency in
     let loops =
       List.map
@@ -148,14 +150,43 @@ let suite_cmd =
             weight = e.Ncdrf_workloads.Suite.iterations })
         (Ncdrf_workloads.Suite.full ~size ())
     in
-    Format.printf "suite of %d loops on %a@.@." size Config.pp config;
-    Format.printf "%-12s | %22s@." "model" (Printf.sprintf "allocatable in %d regs" registers);
-    List.iter
-      (fun model ->
-        let ms = Suite_stats.measure ~config ~model loops in
-        let s, d = Suite_stats.allocatable ms ~r:registers in
-        Format.printf "%-12s | %5.1f%% loops %5.1f%% cycles@." (Model.to_string model) s d)
-      [ Model.Unified; Model.Partitioned; Model.Swapped ];
+    Telemetry.enable (metrics <> None);
+    let t0 = Telemetry.now () in
+    Pool.with_pool ~jobs (fun pool ->
+        let n_jobs = Pool.jobs pool in
+        Format.printf "suite of %d loops on %a (%d job%s)@.@." size Config.pp config
+          n_jobs
+          (if n_jobs = 1 then "" else "s");
+        Format.printf "%-12s | %22s@." "model"
+          (Printf.sprintf "allocatable in %d regs" registers);
+        List.iter
+          (fun model ->
+            let ms = Suite_stats.measure ~pool ~config ~model loops in
+            let s, d = Suite_stats.allocatable ms ~r:registers in
+            Format.printf "%-12s | %5.1f%% loops %5.1f%% cycles@." (Model.to_string model)
+              s d)
+          [ Model.Unified; Model.Partitioned; Model.Swapped ]);
+    (match metrics with
+     | None -> ()
+     | Some path ->
+       let wall = Telemetry.now () -. t0 in
+       let json =
+         Telemetry.Json.Obj
+           [
+             ("schema", Telemetry.Json.String "ncdrf-suite-metrics/1");
+             ("jobs", Telemetry.Json.Int (max 1 jobs));
+             ("suite_size", Telemetry.Json.Int size);
+             ("wall_s", Telemetry.Json.Float wall);
+             ( "loops_per_sec",
+               if wall > 0.0 then
+                 Telemetry.Json.Float
+                   (float_of_int (Telemetry.counter "pipeline.loops") /. wall)
+               else Telemetry.Json.Null );
+             ("telemetry", Telemetry.to_json ());
+           ]
+       in
+       Telemetry.write_json ~path json;
+       Format.printf "[metrics: %s]@." path);
     0
   in
   let size_arg =
@@ -166,8 +197,21 @@ let suite_cmd =
     let doc = "Register budget to test against." in
     Arg.(value & opt int 32 & info [ "r"; "registers" ] ~docv:"N" ~doc)
   in
+  let jobs_arg =
+    let doc =
+      "Worker domains for the per-loop pipeline (default: the recommended domain \
+       count).  Results are identical whatever the value."
+    in
+    Arg.(value & opt int (Ncdrf_parallel.Pool.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let metrics_arg =
+    let doc = "Write a JSON telemetry report (timers, counters, stage spans) to $(docv)." in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
   let doc = "Register-pressure summary over the synthetic Perfect-Club-like suite." in
-  Cmd.v (Cmd.info "suite" ~doc) Term.(const run $ latency_arg $ size_arg $ registers_arg)
+  Cmd.v (Cmd.info "suite" ~doc)
+    Term.(const run $ latency_arg $ size_arg $ registers_arg $ jobs_arg $ metrics_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)

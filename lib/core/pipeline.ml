@@ -1,6 +1,7 @@
 open Ncdrf_ir
 open Ncdrf_sched
 open Ncdrf_spill
+module Telemetry = Ncdrf_telemetry.Telemetry
 
 type stats = {
   name : string;
@@ -22,26 +23,46 @@ type stats = {
 
 let requirement_of_model model sched =
   match model with
-  | Model.Ideal | Model.Unified -> (sched, Requirements.unified sched)
-  | Model.Partitioned -> (sched, (Requirements.partitioned sched).Requirements.requirement)
+  | Model.Ideal | Model.Unified ->
+    (sched, Telemetry.time "alloc" (fun () -> Requirements.unified sched))
+  | Model.Partitioned ->
+    ( sched,
+      Telemetry.time "alloc" (fun () ->
+          (Requirements.partitioned sched).Requirements.requirement) )
   | Model.Swapped ->
-    let swapped, _ = Swap.improve sched in
-    (swapped, (Requirements.partitioned swapped).Requirements.requirement)
+    let swapped, _ = Telemetry.time "swap" (fun () -> Swap.improve sched) in
+    ( swapped,
+      Telemetry.time "alloc" (fun () ->
+          (Requirements.partitioned swapped).Requirements.requirement) )
 
 let count_swaps model before after =
   match model with
   | Model.Swapped ->
-    (* Swaps applied = cluster assignments that changed. *)
+    (* A swap exchanges the clusters of two operations, so the swaps
+       applied are the pairs of nodes that moved in opposite directions
+       between the same two clusters.  A one-sided migration (a node
+       whose move has no partner) is not half a swap: pair the moves
+       per cluster pair instead of dividing the total, which would
+       silently truncate on odd counts. *)
     let n = Ddg.num_nodes before.Schedule.ddg in
-    let changed = ref 0 in
+    let moves : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
     for v = 0 to n - 1 do
-      if Schedule.cluster before v <> Schedule.cluster after v then incr changed
+      let b = Schedule.cluster before v and a = Schedule.cluster after v in
+      if b <> a then
+        Hashtbl.replace moves (b, a)
+          (1 + Option.value ~default:0 (Hashtbl.find_opt moves (b, a)))
     done;
-    !changed / 2
+    Hashtbl.fold
+      (fun (b, a) count acc ->
+        if b < a then
+          acc + min count (Option.value ~default:0 (Hashtbl.find_opt moves (a, b)))
+        else acc)
+      moves 0
   | Model.Ideal | Model.Unified | Model.Partitioned -> 0
 
 let run ~config ~model ?capacity ?victim ddg =
-  let mii = Mii.mii config ddg in
+  Telemetry.incr "pipeline.loops";
+  let mii = Telemetry.time "mii" (fun () -> Mii.mii config ddg) in
   let finish ~final_ddg ~sched_before ~sched ~requirement ~fits ~spilled ~added_memops
       ~ii_bumps =
     {
@@ -64,7 +85,7 @@ let run ~config ~model ?capacity ?victim ddg =
   in
   match capacity, model with
   | None, _ | Some _, Model.Ideal ->
-    let raw = Modulo.schedule config ddg in
+    let raw = Telemetry.time "schedule" (fun () -> Modulo.schedule config ddg) in
     let sched, requirement = requirement_of_model model raw in
     let fits =
       match capacity, model with
@@ -74,10 +95,17 @@ let run ~config ~model ?capacity ?victim ddg =
     finish ~final_ddg:ddg ~sched_before:raw ~sched ~requirement ~fits ~spilled:0
       ~added_memops:0 ~ii_bumps:0
   | Some cap, _ ->
+    (* The "spill" span wraps the whole iterative spill loop, which
+       re-schedules and re-allocates internally — so the nested
+       "schedule"/"alloc"/"swap" records of those rounds are included
+       in its total.  Spans are inclusive wall time per stage. *)
     let outcome =
-      Spiller.run ~config ~requirement:(requirement_of_model model) ~capacity:cap ?victim
-        ddg
+      Telemetry.time "spill" (fun () ->
+          Spiller.run ~config ~requirement:(requirement_of_model model) ~capacity:cap
+            ?victim ddg)
     in
+    Telemetry.incr ~by:outcome.Spiller.spilled "pipeline.spilled";
+    Telemetry.incr ~by:outcome.Spiller.ii_bumps "pipeline.ii_bumps";
     (* [sched_before] for swap counting: recover the pre-transform
        cluster assignment by comparing against a fresh requirement run
        is unnecessary — count against the raw schedule of the final

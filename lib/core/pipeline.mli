@@ -2,7 +2,15 @@
     modulo scheduling, optional swapping, register allocation, and —
     when a register capacity is given — the naive spill loop.
 
-    This is the function every experiment in the paper is built from. *)
+    This is the function every experiment in the paper is built from.
+
+    When telemetry is enabled ([Ncdrf_telemetry.Telemetry.enable]),
+    every run records inclusive wall-time spans for its stages —
+    ["mii"], ["schedule"], ["alloc"], ["swap"], ["spill"] — and bumps
+    the ["pipeline.loops"], ["pipeline.spilled"] and
+    ["pipeline.ii_bumps"] counters.  The ["spill"] span wraps the whole
+    iterative spill loop, so the allocation/swap records of its inner
+    rounds are nested inside its total. *)
 
 open Ncdrf_ir
 open Ncdrf_machine
@@ -31,6 +39,13 @@ type stats = {
     reports the unified requirement but never fails to fit. *)
 val requirement_of_model :
   Model.t -> Schedule.t -> Schedule.t * int
+
+(** Swaps applied between two schedules of the same graph, for the
+    [Swapped] model: pairs of nodes that exchanged clusters (moves in
+    opposite directions between the same two clusters, paired up).
+    One-sided migrations are not swaps and are not counted.  Other
+    models report 0. *)
+val count_swaps : Model.t -> Schedule.t -> Schedule.t -> int
 
 (** [run ~config ~model ?capacity ddg] compiles the loop.  Without
     [capacity], registers are unlimited (the paper's Section 5.3

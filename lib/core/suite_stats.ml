@@ -13,13 +13,26 @@ type measurement = {
   ii : int;
 }
 
-let measure ~config ~model loops =
+module Pool = Ncdrf_parallel.Pool
+
+(* Parallel map over the suite, deterministic: the pool returns results
+   in input order, so serial and parallel runs are observably
+   identical.  Failures surface with the loop's name attached. *)
+let suite_map ?pool ~f loops =
+  match pool with
+  | None -> List.map f loops
+  | Some pool -> Pool.map pool ~label:(fun l -> Ddg.name l.ddg) f loops
+
+let measure ?pool ~config ~model loops =
   let one loop =
-    let raw = Modulo.schedule config loop.ddg in
+    Ncdrf_telemetry.Telemetry.incr "pipeline.loops";
+    let raw =
+      Ncdrf_telemetry.Telemetry.time "schedule" (fun () -> Modulo.schedule config loop.ddg)
+    in
     let sched, requirement = Pipeline.requirement_of_model model raw in
     { loop; requirement; ii = Schedule.ii sched }
   in
-  List.map one loops
+  suite_map ?pool ~f:one loops
 
 let cumulative ~weight_of measurements ~points =
   let total = List.fold_left (fun acc m -> acc +. weight_of m) 0.0 measurements in
@@ -56,7 +69,7 @@ type performance = {
   unfit : int;
 }
 
-let performance ~config ~model ~capacity loops =
+let performance ?pool ~config ~model ~capacity loops =
   let ideal_time = ref 0.0 in
   let achieved_time = ref 0.0 in
   let traffic_num = ref 0.0 in
@@ -65,9 +78,17 @@ let performance ~config ~model ~capacity loops =
   let loops_spilled = ref 0 in
   let unfit = ref 0 in
   let bandwidth = float_of_int (Config.memory_bandwidth config) in
-  let one loop =
-    let stats = Pipeline.run ~config ~model ~capacity loop.ddg in
-    let ideal_ii = float_of_int (Mii.mii config loop.ddg) in
+  (* Per-loop compilation fans out over the pool; the float accumulation
+     stays a serial fold in input order so the sums are bit-identical
+     whatever the worker count. *)
+  let compiled =
+    suite_map ?pool ~f:(fun loop -> (loop, Pipeline.run ~config ~model ~capacity loop.ddg))
+      loops
+  in
+  let one (loop, stats) =
+    (* [stats.mii] is the MII of the original (pre-spill) graph, the
+       same bound the serial code recomputed here. *)
+    let ideal_ii = float_of_int stats.Pipeline.mii in
     (* The Ideal model achieves the spill-free II; use the actual
        scheduler result for it rather than the bound. *)
     let ideal_ii =
@@ -83,7 +104,7 @@ let performance ~config ~model ~capacity loops =
     if stats.Pipeline.spilled > 0 then incr loops_spilled;
     if not stats.Pipeline.fits then incr unfit
   in
-  List.iter one loops;
+  List.iter one compiled;
   {
     relative = (if !achieved_time = 0.0 then 1.0 else !ideal_time /. !achieved_time);
     density = (if !traffic_den = 0.0 then 0.0 else !traffic_num /. !traffic_den);

@@ -21,8 +21,12 @@ type measurement = {
 
 (** Requirement of every loop under a model with unlimited registers
     (Figures 6 and 7 input).  Loops are scheduled once per config; the
-    models reuse the same schedule. *)
+    models reuse the same schedule.
+
+    [pool] fans the per-loop work out over domains; results keep input
+    order, so output is identical to the serial run. *)
 val measure :
+  ?pool:Ncdrf_parallel.Pool.t ->
   config:Config.t -> model:Model.t -> workload list -> measurement list
 
 (** Static cumulative distribution: fraction (in percent) of loops whose
@@ -49,6 +53,11 @@ type performance = {
 }
 
 (** Run the full spill pipeline on every loop at a register capacity and
-    aggregate (Figures 8 and 9 input). *)
+    aggregate (Figures 8 and 9 input).
+
+    [pool] parallelizes the per-loop pipeline; the aggregation itself is
+    a serial fold in input order, so every float sum is bit-identical to
+    the serial run's. *)
 val performance :
+  ?pool:Ncdrf_parallel.Pool.t ->
   config:Config.t -> model:Model.t -> capacity:int -> workload list -> performance

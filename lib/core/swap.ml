@@ -13,26 +13,34 @@ type stats = {
 }
 
 let candidates sched =
+  (* Candidates are pairs with the same functional-unit class and the
+     same kernel slot (cycle congruent modulo II) on different
+     clusters.  Bucket the nodes by [(fu_class, cycle mod ii)] and pair
+     within buckets: same candidate set as the all-pairs scan, without
+     the quadratic blowup on heavy generated loops where most pairs
+     fail the class/slot test.  Emission order stays the all-pairs
+     order (ascending node position) so the greedy pass breaks ties
+     identically. *)
   let ddg = sched.Schedule.ddg in
   let ii = Schedule.ii sched in
-  let nodes = Array.of_list (Ddg.nodes ddg) in
-  let n = Array.length nodes in
+  let slot cycle = ((cycle mod ii) + ii) mod ii in
+  let buckets : (Opcode.fu_class * int, int list) Hashtbl.t = Hashtbl.create 16 in
   let pairs = ref [] in
-  for i = 0 to n - 1 do
-    for j = i + 1 to n - 1 do
-      let a = nodes.(i) and b = nodes.(j) in
-      let same_class = Opcode.fu_class a.Ddg.opcode = Opcode.fu_class b.Ddg.opcode in
-      let same_slot =
-        (Schedule.cycle sched a.Ddg.id - Schedule.cycle sched b.Ddg.id) mod ii = 0
-      in
-      let different_cluster =
-        Schedule.cluster sched a.Ddg.id <> Schedule.cluster sched b.Ddg.id
-      in
-      if same_class && same_slot && different_cluster then
-        pairs := (a.Ddg.id, b.Ddg.id) :: !pairs
-    done
-  done;
-  List.rev !pairs
+  List.iter
+    (fun b ->
+      let key = (Opcode.fu_class b.Ddg.opcode, slot (Schedule.cycle sched b.Ddg.id)) in
+      let earlier = Option.value ~default:[] (Hashtbl.find_opt buckets key) in
+      (* [earlier] holds ids of prior same-bucket nodes, most recent
+         first; collect (i, j) pairs and restore ascending order at the
+         end with one sort over the (much smaller) candidate list. *)
+      List.iter
+        (fun a_id ->
+          if Schedule.cluster sched a_id <> Schedule.cluster sched b.Ddg.id then
+            pairs := (a_id, b.Ddg.id) :: !pairs)
+        earlier;
+      Hashtbl.replace buckets key (b.Ddg.id :: earlier))
+    (Ddg.nodes ddg);
+  List.sort compare !pairs
 
 let cost ~estimate sched =
   match estimate with

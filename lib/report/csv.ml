@@ -16,10 +16,77 @@ let escape s =
 
 let line cells = String.concat "," (List.map escape cells)
 
+(* Write to a temp file in the destination directory, then rename: the
+   rename is atomic on POSIX, so an interrupted run leaves either the
+   old file or the new one, never a truncated CSV. *)
 let write path rows =
-  let oc = open_out path in
+  let dir = Filename.dirname path in
+  let tmp = Filename.temp_file ~temp_dir:dir ".csv" ".tmp" in
+  let oc = open_out tmp in
   (try List.iter (fun row -> output_string oc (line row ^ "\n")) rows
    with e ->
-     close_out oc;
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
      raise e);
-  close_out oc
+  close_out oc;
+  Sys.rename tmp path
+
+exception Parse_error of string
+
+let parse_string s =
+  let n = String.length s in
+  let rows = ref [] in
+  let cells = ref [] in
+  let buf = Buffer.create 32 in
+  let flush_cell () =
+    cells := Buffer.contents buf :: !cells;
+    Buffer.clear buf
+  in
+  let flush_row () =
+    flush_cell ();
+    rows := List.rev !cells :: !rows;
+    cells := []
+  in
+  (* [i] scans outside quotes; [quoted i] scans inside a quoted cell. *)
+  let rec plain i =
+    if i >= n then begin
+      (* No trailing newline: flush the pending row unless it is the
+         empty row implied by end-of-input right after a newline. *)
+      if Buffer.length buf > 0 || !cells <> [] then flush_row ()
+    end
+    else
+      match s.[i] with
+      | ',' ->
+        flush_cell ();
+        plain (i + 1)
+      | '\n' ->
+        flush_row ();
+        plain (i + 1)
+      | '\r' when i + 1 < n && s.[i + 1] = '\n' ->
+        flush_row ();
+        plain (i + 2)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        plain (i + 1)
+  and quoted i =
+    if i >= n then raise (Parse_error "unterminated quoted cell")
+    else
+      match s.[i] with
+      | '"' when i + 1 < n && s.[i + 1] = '"' ->
+        Buffer.add_char buf '"';
+        quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+        Buffer.add_char buf c;
+        quoted (i + 1)
+  in
+  plain 0;
+  List.rev !rows
+
+let read path =
+  let ic = open_in_bin path in
+  let len = in_channel_length ic in
+  let contents = really_input_string ic len in
+  close_in ic;
+  parse_string contents

@@ -1,0 +1,13 @@
+/* Monotonic clock for telemetry spans.  CLOCK_MONOTONIC is immune to
+   wall-clock adjustments, which matters for long benchmark runs. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value ncdrf_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + ts.tv_nsec);
+}

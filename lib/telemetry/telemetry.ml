@@ -1,0 +1,186 @@
+module Json = struct
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  let escape s =
+    let buf = Buffer.create (String.length s + 2) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string buf "\\\""
+        | '\\' -> Buffer.add_string buf "\\\\"
+        | '\n' -> Buffer.add_string buf "\\n"
+        | '\r' -> Buffer.add_string buf "\\r"
+        | '\t' -> Buffer.add_string buf "\\t"
+        | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char buf c)
+      s;
+    Buffer.contents buf
+
+  let float_str f =
+    if not (Float.is_finite f) then "null" (* NaN/inf are not JSON *)
+    else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+    else Printf.sprintf "%.9g" f
+
+  let to_string t =
+    let buf = Buffer.create 256 in
+    let pad n = Buffer.add_string buf (String.make n ' ') in
+    let rec go indent = function
+      | Null -> Buffer.add_string buf "null"
+      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+      | Int i -> Buffer.add_string buf (string_of_int i)
+      | Float f -> Buffer.add_string buf (float_str f)
+      | String s ->
+        Buffer.add_char buf '"';
+        Buffer.add_string buf (escape s);
+        Buffer.add_char buf '"'
+      | List [] -> Buffer.add_string buf "[]"
+      | List items ->
+        Buffer.add_string buf "[\n";
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (indent + 2);
+            go (indent + 2) item)
+          items;
+        Buffer.add_char buf '\n';
+        pad indent;
+        Buffer.add_char buf ']'
+      | Obj [] -> Buffer.add_string buf "{}"
+      | Obj fields ->
+        Buffer.add_string buf "{\n";
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_string buf ",\n";
+            pad (indent + 2);
+            Buffer.add_char buf '"';
+            Buffer.add_string buf (escape k);
+            Buffer.add_string buf "\": ";
+            go (indent + 2) v)
+          fields;
+        Buffer.add_char buf '\n';
+        pad indent;
+        Buffer.add_char buf '}'
+    in
+    go 0 t;
+    Buffer.contents buf
+end
+
+external now_ns : unit -> int64 = "ncdrf_monotonic_ns"
+
+let now () = Int64.to_float (now_ns ()) *. 1e-9
+
+type span = {
+  total_s : float;
+  count : int;
+  max_s : float;
+}
+
+(* One global registry.  Counters are Atomic cells created under the
+   lock (creation is rare, increments are lock-free); spans are plain
+   records mutated under the lock. *)
+let on = Atomic.make false
+let lock = Mutex.create ()
+let counter_tbl : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 16
+let span_tbl : (string, span ref) Hashtbl.t = Hashtbl.create 16
+
+let enable b = Atomic.set on b
+let enabled () = Atomic.get on
+
+let with_lock f =
+  Mutex.lock lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock lock) f
+
+let counter_cell name =
+  match Hashtbl.find_opt counter_tbl name with
+  | Some c -> c
+  | None ->
+    with_lock (fun () ->
+        match Hashtbl.find_opt counter_tbl name with
+        | Some c -> c
+        | None ->
+          let c = Atomic.make 0 in
+          Hashtbl.add counter_tbl name c;
+          c)
+
+let incr ?(by = 1) name =
+  if Atomic.get on then ignore (Atomic.fetch_and_add (counter_cell name) by)
+
+let counter name =
+  match Hashtbl.find_opt counter_tbl name with
+  | Some c -> Atomic.get c
+  | None -> 0
+
+let record_span name seconds =
+  if Atomic.get on then
+    with_lock (fun () ->
+        match Hashtbl.find_opt span_tbl name with
+        | Some r ->
+          let s = !r in
+          r :=
+            {
+              total_s = s.total_s +. seconds;
+              count = s.count + 1;
+              max_s = Float.max s.max_s seconds;
+            }
+        | None ->
+          Hashtbl.add span_tbl name
+            (ref { total_s = seconds; count = 1; max_s = seconds }))
+
+let time name f =
+  if not (Atomic.get on) then f ()
+  else begin
+    let t0 = now () in
+    Fun.protect ~finally:(fun () -> record_span name (now () -. t0)) f
+  end
+
+let sorted_bindings tbl value =
+  with_lock (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let spans () = sorted_bindings span_tbl (fun r -> !r)
+let counters () = sorted_bindings counter_tbl Atomic.get
+
+let reset () =
+  with_lock (fun () ->
+      Hashtbl.reset counter_tbl;
+      Hashtbl.reset span_tbl)
+
+let to_json () =
+  let span_json (name, s) =
+    ( name,
+      Json.Obj
+        [ ("total_s", Json.Float s.total_s); ("count", Json.Int s.count);
+          ("max_s", Json.Float s.max_s) ] )
+  in
+  Json.Obj
+    [
+      ("spans", Json.Obj (List.map span_json (spans ())));
+      ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters ())));
+    ]
+
+let write_json ~path json =
+  let dir = Filename.dirname path in
+  let tmp =
+    try Filename.temp_file ~temp_dir:dir ".metrics" ".tmp"
+    with Sys_error msg ->
+      raise (Sys_error (Printf.sprintf "cannot write metrics to %s: %s" path msg))
+  in
+  let oc = open_out tmp in
+  (try
+     output_string oc (Json.to_string json);
+     output_char oc '\n'
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  close_out oc;
+  Sys.rename tmp path

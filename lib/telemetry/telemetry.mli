@@ -1,0 +1,75 @@
+(** Observability for the experiment pipeline: monotonic timers, named
+    counters, per-stage spans and a JSON metrics emitter.
+
+    All state lives in one global, domain-safe registry so that worker
+    domains of the parallel suite runner can record into it directly.
+    Span accumulation takes a mutex per record; counters are atomic.
+    Recording is gated on {!enable} (default off) so the hot pipeline
+    pays one atomic load per stage when telemetry is unused. *)
+
+(** Minimal JSON tree, enough for metrics files.  No external
+    dependency; strings are escaped per RFC 8259. *)
+module Json : sig
+  type t =
+    | Null
+    | Bool of bool
+    | Int of int
+    | Float of float
+    | String of string
+    | List of t list
+    | Obj of (string * t) list
+
+  (** Render with stable field order and 2-space indentation. *)
+  val to_string : t -> string
+end
+
+(** Monotonic time in seconds since an arbitrary origin.  Differences
+    are meaningful; absolute values are not. *)
+val now : unit -> float
+
+(** Monotonic time in integer nanoseconds. *)
+val now_ns : unit -> int64
+
+(** Turn recording on or off.  Disabled spans and counters cost one
+    atomic load; {!time} still runs its thunk. *)
+val enable : bool -> unit
+
+val enabled : unit -> bool
+
+(** [incr name] bumps counter [name] by [by] (default 1), creating it
+    at zero on first use.  Domain-safe. *)
+val incr : ?by:int -> string -> unit
+
+(** Current value of a counter; 0 if never incremented. *)
+val counter : string -> int
+
+(** Accumulated statistics of one named span. *)
+type span = {
+  total_s : float;  (** summed duration across all records *)
+  count : int;  (** number of records *)
+  max_s : float;  (** longest single record *)
+}
+
+(** [time name f] runs [f ()] and, when enabled, adds its duration to
+    span [name].  Exceptions propagate; the span still records. *)
+val time : string -> (unit -> 'a) -> 'a
+
+(** [record_span name seconds] adds one measurement directly. *)
+val record_span : string -> float -> unit
+
+(** All spans, sorted by name. *)
+val spans : unit -> (string * span) list
+
+(** All counters, sorted by name. *)
+val counters : unit -> (string * int) list
+
+(** Clear every span and counter (the enabled flag is untouched). *)
+val reset : unit -> unit
+
+(** Snapshot of the registry as JSON:
+    [{"spans": {name: {"total_s":..,"count":..,"max_s":..}},
+      "counters": {name: n}}]. *)
+val to_json : unit -> Json.t
+
+(** Write a JSON value to a file atomically (temp file + rename). *)
+val write_json : path:string -> Json.t -> unit

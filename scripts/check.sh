@@ -1,0 +1,7 @@
+#!/bin/sh
+# Tier-1 gate: build everything and run the full test suite.
+# Any failure here blocks a merge.
+set -eu
+cd "$(dirname "$0")/.."
+dune build
+dune runtest

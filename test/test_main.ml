@@ -8,6 +8,7 @@ let () =
       ("spill", Test_spill.suite);
       ("core", Test_core.suite);
       ("workloads", Test_workloads.suite);
+      ("parallel", Test_parallel.suite);
       ("extensions", Test_extensions.suite);
       ("sim", Test_sim.suite);
     ]
