@@ -13,9 +13,13 @@
    --jobs N runs the per-loop pipeline on N domains (default: the
    recommended domain count); results are identical to --jobs 1.
    --metrics FILE emits a JSON report (wall clock and per-stage span
-   breakdown per experiment, loops/sec, and — when N > 1 — measured
-   speedup against a silenced serial rerun), in a shape suitable for
-   committing as BENCH_*.json.
+   breakdown per experiment, loops/sec, cache.hits/misses/evictions,
+   and — when N > 1 — measured speedup against a silenced serial
+   rerun), in a shape suitable for committing as BENCH_*.json.  Under
+   --metrics the artifact cache is cleared before each experiment's
+   timed region so every report is self-contained.
+   --no-cache disables the artifact compile cache (every stage
+   recomputes); results are byte-identical either way.
    --size N / --seed N pick the suite; the suite cache is keyed on
    (size, seed) so mixed-size runs never see stale entries. *)
 
@@ -199,9 +203,15 @@ let run_distribution ~dynamic () =
       Printf.printf "%-12s" "R:";
       List.iter (fun r -> Printf.printf "%6d" r) distribution_points;
       print_newline ();
+      (* One scheduling pass per loop; the three models read the same
+         artifact (one Modulo.schedule per (config, loop)). *)
+      let by_model =
+        Suite_stats.measure_all ?pool:(pool ()) ~config
+          ~models:[ Model.Unified; Model.Partitioned; Model.Swapped ]
+          loops
+      in
       List.iter
-        (fun model ->
-          let ms = Suite_stats.measure ?pool:(pool ()) ~config ~model loops in
+        (fun (model, ms) ->
           let dist =
             if dynamic then Suite_stats.dynamic_cumulative ms ~points:distribution_points
             else Suite_stats.static_cumulative ms ~points:distribution_points
@@ -215,7 +225,7 @@ let run_distribution ~dynamic () =
                latency (Model.to_string model))
             ([ "registers"; "cumulative_pct" ]
              :: List.map (fun (r, pct) -> [ string_of_int r; Printf.sprintf "%.2f" pct ]) dist))
-        [ Model.Unified; Model.Partitioned; Model.Swapped ])
+        by_model)
     [ 3; 6 ]
 
 (* ------------------------------------------------------------------ *)
@@ -313,7 +323,9 @@ let run_ablation () =
   banner "Ablation: allocation schema (Wands-Only order)";
   let loops = workloads () in
   let config = Config.dual ~latency:6 in
-  let schedules = List.map (fun l -> Modulo.schedule config l.Suite_stats.ddg) loops in
+  let schedules =
+    List.map (fun l -> Artifact.raw_schedule ~config l.Suite_stats.ddg) loops
+  in
   let total strategy order =
     List.fold_left (fun acc sched -> acc + Requirements.unified ~strategy ~order sched) 0
       schedules
@@ -430,7 +442,7 @@ let run_mve () =
   let count = ref 0 in
   List.iter
     (fun l ->
-      let sched = Modulo.schedule config l.Suite_stats.ddg in
+      let sched = Artifact.raw_schedule ~config l.Suite_stats.ddg in
       let ii = Schedule.ii sched in
       let lifetimes = Lifetime.of_schedule sched in
       let best = Mve.best ~ii lifetimes in
@@ -550,7 +562,7 @@ let run_fission () =
   let loops = workloads () in
   let config = Config.dual ~latency:6 in
   let capacity = 32 in
-  let requirement g = Requirements.unified (Modulo.schedule config g) in
+  let requirement g = Requirements.unified (Artifact.raw_schedule ~config g) in
   let spill_t = ref 0.0 and bump_t = ref 0.0 and fission_t = ref 0.0 in
   let fission_unfit = ref 0 and fission_memops = ref 0 in
   List.iter
@@ -572,7 +584,9 @@ let run_fission () =
       let pieces, fits = Ncdrf_spill.Fission.split_until ~requirement ~capacity g in
       if not fits then incr fission_unfit;
       let total_ii =
-        List.fold_left (fun acc p -> acc + Schedule.ii (Modulo.schedule config p)) 0 pieces
+        List.fold_left
+          (fun acc p -> acc + Schedule.ii (Artifact.raw_schedule ~config p))
+          0 pieces
       in
       let extra_mem =
         List.fold_left (fun acc p -> acc + Ddg.num_memory_ops p) 0 pieces
@@ -632,7 +646,7 @@ let run_sacks () =
   let placed = ref 0 and eligible = ref 0 and values = ref 0 in
   List.iter
     (fun l ->
-      let sched = Modulo.schedule config l.Suite_stats.ddg in
+      let sched = Artifact.raw_schedule ~config l.Suite_stats.ddg in
       unified := !unified + Requirements.unified sched;
       let swapped, _ = Swap.improve sched in
       ncdrf := !ncdrf + (Requirements.partitioned swapped).Requirements.requirement;
@@ -663,7 +677,7 @@ let run_lifetime_postpass () =
       let base = ref 0 and pushed = ref 0 in
       List.iter
         (fun l ->
-          let sched = Modulo.schedule config l.Suite_stats.ddg in
+          let sched = Artifact.raw_schedule ~config l.Suite_stats.ddg in
           base := !base + Requirements.unified sched;
           let adjusted = Adjust.push_late sched ~eligible:(fun _ -> true) in
           pushed := !pushed + Requirements.unified adjusted)
@@ -727,21 +741,28 @@ let run_bechamel () =
   let open Bechamel in
   let instances = Toolkit.Instance.[ monotonic_clock ] in
   let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.25) ~kde:(Some 100) () in
-  List.iter
-    (fun test ->
-      let results = Benchmark.all cfg instances test in
-      let analyzed =
-        Analyze.all
-          (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |])
-          (List.hd instances) results
-      in
-      Hashtbl.iter
-        (fun name ols ->
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n%!" name est
-          | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
-        analyzed)
-    (bechamel_tests ())
+  (* Timing benches must measure the algorithms, not cache hits: the
+     second iteration of a memoized stage would be a table lookup. *)
+  let was_cached = Artifact.cache_enabled () in
+  Artifact.set_cache_enabled false;
+  Fun.protect
+    ~finally:(fun () -> Artifact.set_cache_enabled was_cached)
+    (fun () ->
+      List.iter
+        (fun test ->
+          let results = Benchmark.all cfg instances test in
+          let analyzed =
+            Analyze.all
+              (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| "run" |])
+              (List.hd instances) results
+          in
+          Hashtbl.iter
+            (fun name ols ->
+              match Analyze.OLS.estimates ols with
+              | Some [ est ] -> Printf.printf "  %-28s %12.1f ns/run\n%!" name est
+              | Some _ | None -> Printf.printf "  %-28s (no estimate)\n%!" name)
+            analyzed)
+        (bechamel_tests ()))
 
 (* ------------------------------------------------------------------ *)
 
@@ -806,8 +827,12 @@ let run_experiment ~collect (name, f) =
   | Some _ ->
     (* Warm the suite cache outside the timed region so the parallel
        run and the serial baseline both measure the pipeline, not the
-       one-off suite generation. *)
+       one-off suite generation.  The artifact cache is cleared so each
+       experiment's metrics are self-contained: its hit/miss counters
+       and span counts describe the sharing within that experiment, not
+       leftovers from the previous one. *)
     ignore (workloads ());
+    Artifact.clear_cache ();
     Telemetry.reset ();
     let t0 = Telemetry.now () in
     f ();
@@ -817,6 +842,7 @@ let run_experiment ~collect (name, f) =
     let loops = Telemetry.counter "pipeline.loops" in
     let serial_wall_s =
       if current_jobs () > 1 && List.mem name pooled_experiments then begin
+        Artifact.clear_cache ();
         Telemetry.reset ();
         let saved_pool = !the_pool in
         the_pool := None;
@@ -882,7 +908,7 @@ let write_metrics ~total_wall_s collected =
 let usage () =
   Printf.eprintf
     "usage: main.exe [EXPERIMENT...] [--quick] [--size N] [--seed N] [--jobs N]\n\
-    \       [--csv DIR] [--metrics FILE]\n";
+    \       [--csv DIR] [--metrics FILE] [--no-cache]\n";
   exit 2
 
 let () =
@@ -897,6 +923,9 @@ let () =
   let rec parse = function
     | "--quick" :: rest ->
       quick ();
+      parse rest
+    | "--no-cache" :: rest ->
+      Artifact.set_cache_enabled false;
       parse rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;

@@ -159,13 +159,15 @@ let suite_cmd =
           (if n_jobs = 1 then "" else "s");
         Format.printf "%-12s | %22s@." "model"
           (Printf.sprintf "allocatable in %d regs" registers);
+        (* One scheduling pass per loop, shared by the three models. *)
         List.iter
-          (fun model ->
-            let ms = Suite_stats.measure ~pool ~config ~model loops in
+          (fun (model, ms) ->
             let s, d = Suite_stats.allocatable ms ~r:registers in
             Format.printf "%-12s | %5.1f%% loops %5.1f%% cycles@." (Model.to_string model)
               s d)
-          [ Model.Unified; Model.Partitioned; Model.Swapped ]);
+          (Suite_stats.measure_all ~pool ~config
+             ~models:[ Model.Unified; Model.Partitioned; Model.Swapped ]
+             loops));
     (match metrics with
      | None -> ()
      | Some path ->

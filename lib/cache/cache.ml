@@ -1,0 +1,140 @@
+module Telemetry = Ncdrf_telemetry.Telemetry
+
+type 'a entry = {
+  value : 'a;
+  mutable last_use : int;  (** stripe-local tick of the most recent use *)
+}
+
+type 'a stripe = {
+  lock : Mutex.t;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+}
+
+type 'a t = {
+  cache_name : string;
+  stripes : 'a stripe array;
+  per_stripe : int;  (** max entries per stripe *)
+  total_capacity : int;
+  hit_count : int Atomic.t;
+  miss_count : int Atomic.t;
+  eviction_count : int Atomic.t;
+}
+
+type stats = {
+  hits : int;
+  misses : int;
+  evictions : int;
+  size : int;
+}
+
+let create ?(stripes = 8) ~name ~capacity () =
+  if capacity < 1 then invalid_arg (Printf.sprintf "Cache.create %s: capacity < 1" name);
+  if stripes < 1 then invalid_arg (Printf.sprintf "Cache.create %s: stripes < 1" name);
+  let per_stripe = max 1 ((capacity + stripes - 1) / stripes) in
+  {
+    cache_name = name;
+    stripes =
+      Array.init stripes (fun _ ->
+          { lock = Mutex.create (); tbl = Hashtbl.create 64; tick = 0 });
+    per_stripe;
+    total_capacity = capacity;
+    hit_count = Atomic.make 0;
+    miss_count = Atomic.make 0;
+    eviction_count = Atomic.make 0;
+  }
+
+let name t = t.cache_name
+let capacity t = t.total_capacity
+
+let stripe_of t key = t.stripes.(Hashtbl.hash key mod Array.length t.stripes)
+
+let with_lock s f =
+  Mutex.lock s.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.lock) f
+
+let touch s e =
+  s.tick <- s.tick + 1;
+  e.last_use <- s.tick
+
+(* Caller holds the stripe lock.  Capacities are small, so a linear scan
+   for the LRU entry per eviction is cheaper than maintaining an intrusive
+   list would be worth. *)
+let evict_over_capacity t s =
+  while Hashtbl.length s.tbl > t.per_stripe do
+    let victim =
+      Hashtbl.fold
+        (fun key e acc ->
+          match acc with
+          | Some (_, best) when best.last_use <= e.last_use -> acc
+          | _ -> Some (key, e))
+        s.tbl None
+    in
+    match victim with
+    | None -> assert false (* length > capacity >= 1 implies an entry *)
+    | Some (key, _) ->
+      Hashtbl.remove s.tbl key;
+      Atomic.incr t.eviction_count;
+      Telemetry.incr "cache.evictions"
+  done
+
+let record_hit t =
+  Atomic.incr t.hit_count;
+  Telemetry.incr "cache.hits"
+
+let find t ~key =
+  let s = stripe_of t key in
+  with_lock s (fun () ->
+      match Hashtbl.find_opt s.tbl key with
+      | Some e ->
+        touch s e;
+        Some e.value
+      | None -> None)
+
+let find_or_add t ~key compute =
+  let s = stripe_of t key in
+  let cached =
+    with_lock s (fun () ->
+        match Hashtbl.find_opt s.tbl key with
+        | Some e ->
+          touch s e;
+          Some e.value
+        | None -> None)
+  in
+  match cached with
+  | Some v ->
+    record_hit t;
+    v
+  | None ->
+    (* Compute outside the lock: scheduling a loop can take milliseconds
+       and must not serialize the worker domains.  A concurrent insert of
+       the same key wins; both values are equal by the purity contract. *)
+    let v = compute () in
+    Atomic.incr t.miss_count;
+    Telemetry.incr "cache.misses";
+    with_lock s (fun () ->
+        match Hashtbl.find_opt s.tbl key with
+        | Some e ->
+          touch s e;
+          e.value
+        | None ->
+          s.tick <- s.tick + 1;
+          Hashtbl.replace s.tbl key { value = v; last_use = s.tick };
+          evict_over_capacity t s;
+          v)
+
+let stats t =
+  let size =
+    Array.fold_left
+      (fun acc s -> acc + with_lock s (fun () -> Hashtbl.length s.tbl))
+      0 t.stripes
+  in
+  {
+    hits = Atomic.get t.hit_count;
+    misses = Atomic.get t.miss_count;
+    evictions = Atomic.get t.eviction_count;
+    size;
+  }
+
+let clear t =
+  Array.iter (fun s -> with_lock s (fun () -> Hashtbl.reset s.tbl)) t.stripes

@@ -1,0 +1,160 @@
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+module Cache = Ncdrf_cache.Cache
+module Telemetry = Ncdrf_telemetry.Telemetry
+
+type t = {
+  ddg : Ddg.t;
+  config : Config.t;
+  mii : int;
+  raw : Schedule.t;
+}
+
+type view = {
+  sched : Schedule.t;
+  requirement : int;
+  swaps : int;
+}
+
+(* One cache holds every stage; the variant keeps the table monomorphic
+   while the key's stage tag keeps entries distinct. *)
+type cached =
+  | Mii_of of int
+  | Raw_of of Schedule.t
+  | View_of of view
+  | Spill_of of Schedule.t
+
+let default_capacity = 65536
+
+let make_cache capacity =
+  Cache.create ~stripes:(max 1 (min 8 capacity)) ~name:"artifact" ~capacity ()
+
+let cache : cached Cache.t ref = ref (make_cache default_capacity)
+let enabled = Atomic.make true
+
+let set_cache_enabled b = Atomic.set enabled b
+let cache_enabled () = Atomic.get enabled
+let set_cache_capacity capacity = cache := make_cache capacity
+let clear_cache () = Cache.clear !cache
+let cache_stats () = Cache.stats !cache
+
+let memo key compute =
+  if Atomic.get enabled then Cache.find_or_add !cache ~key compute else compute ()
+
+let wrong_stage () = invalid_arg "Artifact: cache key collided across stages"
+
+(* Key layout: config fingerprint + '\x01' + ddg digest + '#stage'.
+   Fingerprint and digest are both injective serializations, so equal
+   keys mean equal compilation inputs. *)
+let base_key ~config ddg = Config.fingerprint config ^ "\x01" ^ Ddg.digest ddg
+
+let mii ~config ddg =
+  let compute () = Mii_of (Telemetry.time "mii" (fun () -> Mii.mii config ddg)) in
+  match memo (base_key ~config ddg ^ "#mii") compute with
+  | Mii_of m -> m
+  | Raw_of _ | View_of _ | Spill_of _ -> wrong_stage ()
+
+let raw_schedule ~config ddg =
+  let compute () =
+    Raw_of (Telemetry.time "schedule" (fun () -> Modulo.schedule config ddg))
+  in
+  match memo (base_key ~config ddg ^ "#raw") compute with
+  | Raw_of s -> s
+  | Mii_of _ | View_of _ | Spill_of _ -> wrong_stage ()
+
+let scheduled ~config ddg =
+  { ddg; config; mii = mii ~config ddg; raw = raw_schedule ~config ddg }
+
+let apply_model model sched =
+  match model with
+  | Model.Ideal | Model.Unified ->
+    (sched, Telemetry.time "alloc" (fun () -> Requirements.unified sched))
+  | Model.Partitioned ->
+    ( sched,
+      Telemetry.time "alloc" (fun () ->
+          (Requirements.partitioned sched).Requirements.requirement) )
+  | Model.Swapped ->
+    let swapped, _ = Telemetry.time "swap" (fun () -> Swap.improve sched) in
+    ( swapped,
+      Telemetry.time "alloc" (fun () ->
+          (Requirements.partitioned swapped).Requirements.requirement) )
+
+let count_swaps model before after =
+  match model with
+  | Model.Swapped ->
+    (* A swap exchanges the clusters of two operations, so the swaps
+       applied are the pairs of nodes that moved in opposite directions
+       between the same two clusters.  A one-sided migration (a node
+       whose move has no partner) is not half a swap: pair the moves
+       per cluster pair instead of dividing the total, which would
+       silently truncate on odd counts. *)
+    let n = Ddg.num_nodes before.Schedule.ddg in
+    let moves : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
+    for v = 0 to n - 1 do
+      let b = Schedule.cluster before v and a = Schedule.cluster after v in
+      if b <> a then
+        Hashtbl.replace moves (b, a)
+          (1 + Option.value ~default:0 (Hashtbl.find_opt moves (b, a)))
+    done;
+    Hashtbl.fold
+      (fun (b, a) count acc ->
+        if b < a then
+          acc + min count (Option.value ~default:0 (Hashtbl.find_opt moves (a, b)))
+        else acc)
+      moves 0
+  | Model.Ideal | Model.Unified | Model.Partitioned -> 0
+
+(* Ideal and Unified apply the same transform (no transform, unified
+   allocation), so they share one view entry. *)
+let view_tag = function
+  | Model.Ideal | Model.Unified -> "unified"
+  | Model.Partitioned -> "partitioned"
+  | Model.Swapped -> "swapped"
+
+(* A view's input is the schedule, not just the graph: the spiller calls
+   it on schedules of intermediate graphs at bumped IIs, so the key
+   includes the placements.  Digesting them keeps keys short. *)
+let schedule_key sched =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (string_of_int sched.Schedule.ii);
+  Array.iter
+    (fun p ->
+      Buffer.add_char buf ';';
+      Buffer.add_string buf (string_of_int p.Schedule.cycle);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int p.Schedule.cluster))
+    sched.Schedule.placements;
+  Config.fingerprint sched.Schedule.config
+  ^ "\x01"
+  ^ Ddg.digest sched.Schedule.ddg
+  ^ "#view:"
+  ^ Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let view_of_schedule ~model sched =
+  let compute () =
+    let transformed, requirement = apply_model model sched in
+    View_of { sched = transformed; requirement; swaps = count_swaps model sched transformed }
+  in
+  match memo (schedule_key sched ^ ":" ^ view_tag model) compute with
+  | View_of v -> v
+  | Mii_of _ | Raw_of _ | Spill_of _ -> wrong_stage ()
+
+let view t ~model = view_of_schedule ~model t.raw
+
+let is_spill_load node =
+  match node.Ddg.opcode with
+  | Opcode.Load (Opcode.Spill _) -> true
+  | _ -> false
+
+(* The spiller's scheduling step (Spiller.run's default), memoized.  No
+   "schedule" span here: spiller rounds are profiled by the enclosing
+   "spill" span, as before the cache existed. *)
+let spill_schedule ~config ~min_ii ddg =
+  let compute () =
+    let raw = Modulo.schedule_with_min_ii ~min_ii config ddg in
+    Spill_of (Adjust.push_late raw ~eligible:is_spill_load)
+  in
+  match memo (base_key ~config ddg ^ "#spill:" ^ string_of_int min_ii) compute with
+  | Spill_of s -> s
+  | Mii_of _ | Raw_of _ | View_of _ -> wrong_stage ()

@@ -21,50 +21,13 @@ type stats = {
   schedule : Schedule.t;
 }
 
-let requirement_of_model model sched =
-  match model with
-  | Model.Ideal | Model.Unified ->
-    (sched, Telemetry.time "alloc" (fun () -> Requirements.unified sched))
-  | Model.Partitioned ->
-    ( sched,
-      Telemetry.time "alloc" (fun () ->
-          (Requirements.partitioned sched).Requirements.requirement) )
-  | Model.Swapped ->
-    let swapped, _ = Telemetry.time "swap" (fun () -> Swap.improve sched) in
-    ( swapped,
-      Telemetry.time "alloc" (fun () ->
-          (Requirements.partitioned swapped).Requirements.requirement) )
-
-let count_swaps model before after =
-  match model with
-  | Model.Swapped ->
-    (* A swap exchanges the clusters of two operations, so the swaps
-       applied are the pairs of nodes that moved in opposite directions
-       between the same two clusters.  A one-sided migration (a node
-       whose move has no partner) is not half a swap: pair the moves
-       per cluster pair instead of dividing the total, which would
-       silently truncate on odd counts. *)
-    let n = Ddg.num_nodes before.Schedule.ddg in
-    let moves : (int * int, int) Hashtbl.t = Hashtbl.create 8 in
-    for v = 0 to n - 1 do
-      let b = Schedule.cluster before v and a = Schedule.cluster after v in
-      if b <> a then
-        Hashtbl.replace moves (b, a)
-          (1 + Option.value ~default:0 (Hashtbl.find_opt moves (b, a)))
-    done;
-    Hashtbl.fold
-      (fun (b, a) count acc ->
-        if b < a then
-          acc + min count (Option.value ~default:0 (Hashtbl.find_opt moves (a, b)))
-        else acc)
-      moves 0
-  | Model.Ideal | Model.Unified | Model.Partitioned -> 0
+let requirement_of_model = Artifact.apply_model
+let count_swaps = Artifact.count_swaps
 
 let run ~config ~model ?capacity ?victim ddg =
   Telemetry.incr "pipeline.loops";
-  let mii = Telemetry.time "mii" (fun () -> Mii.mii config ddg) in
-  let finish ~final_ddg ~sched_before ~sched ~requirement ~fits ~spilled ~added_memops
-      ~ii_bumps =
+  let mii = Artifact.mii ~config ddg in
+  let finish ~final_ddg ~sched ~requirement ~fits ~spilled ~added_memops ~ii_bumps ~swaps =
     {
       name = Ddg.name ddg;
       model;
@@ -79,39 +42,45 @@ let run ~config ~model ?capacity ?victim ddg =
       ii_bumps;
       memops_per_iter = Traffic.memops_per_iteration final_ddg;
       density = Traffic.density sched;
-      swaps = count_swaps model sched_before sched;
+      swaps;
       schedule = sched;
     }
   in
   match capacity, model with
   | None, _ | Some _, Model.Ideal ->
-    let raw = Telemetry.time "schedule" (fun () -> Modulo.schedule config ddg) in
-    let sched, requirement = requirement_of_model model raw in
+    let artifact = Artifact.scheduled ~config ddg in
+    let v = Artifact.view artifact ~model in
     let fits =
       match capacity, model with
       | _, Model.Ideal | None, _ -> true
-      | Some cap, _ -> requirement <= cap
+      | Some cap, _ -> v.Artifact.requirement <= cap
     in
-    finish ~final_ddg:ddg ~sched_before:raw ~sched ~requirement ~fits ~spilled:0
-      ~added_memops:0 ~ii_bumps:0
+    finish ~final_ddg:ddg ~sched:v.Artifact.sched ~requirement:v.Artifact.requirement
+      ~fits ~spilled:0 ~added_memops:0 ~ii_bumps:0 ~swaps:v.Artifact.swaps
   | Some cap, _ ->
     (* The "spill" span wraps the whole iterative spill loop, which
        re-schedules and re-allocates internally — so the nested
-       "schedule"/"alloc"/"swap" records of those rounds are included
-       in its total.  Spans are inclusive wall time per stage. *)
+       "alloc"/"swap" records of those rounds are included in its
+       total.  Spans are inclusive wall time per stage, and only cache
+       misses record: a warm round contributes nothing. *)
     let outcome =
       Telemetry.time "spill" (fun () ->
-          Spiller.run ~config ~requirement:(requirement_of_model model) ~capacity:cap
-            ?victim ddg)
+          Spiller.run ~config
+            ~requirement:(fun raw ->
+              let v = Artifact.view_of_schedule ~model raw in
+              (v.Artifact.sched, v.Artifact.requirement))
+            ~schedule:(fun ~min_ii ddg -> Artifact.spill_schedule ~config ~min_ii ddg)
+            ~capacity:cap ?victim ddg)
     in
     Telemetry.incr ~by:outcome.Spiller.spilled "pipeline.spilled";
     Telemetry.incr ~by:outcome.Spiller.ii_bumps "pipeline.ii_bumps";
-    (* [sched_before] for swap counting: recover the pre-transform
-       cluster assignment by comparing against a fresh requirement run
-       is unnecessary — count against the raw schedule of the final
-       graph. *)
-    let raw = outcome.Spiller.schedule in
-    finish ~final_ddg:outcome.Spiller.ddg ~sched_before:raw ~sched:outcome.Spiller.schedule
+    (* Swaps are counted against the final round's pre-transform
+       schedule, which the spiller now threads out — counting the final
+       schedule against itself reported 0 for every capacity run. *)
+    let swaps =
+      Artifact.count_swaps model outcome.Spiller.raw_schedule outcome.Spiller.schedule
+    in
+    finish ~final_ddg:outcome.Spiller.ddg ~sched:outcome.Spiller.schedule
       ~requirement:outcome.Spiller.requirement ~fits:outcome.Spiller.fits
       ~spilled:outcome.Spiller.spilled ~added_memops:outcome.Spiller.added_memops
-      ~ii_bumps:outcome.Spiller.ii_bumps
+      ~ii_bumps:outcome.Spiller.ii_bumps ~swaps

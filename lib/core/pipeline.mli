@@ -4,13 +4,21 @@
 
     This is the function every experiment in the paper is built from.
 
+    Since the artifact refactor this is a thin wrapper over {!Artifact}:
+    MII, the raw schedule and the per-model view are memoized in the
+    compile cache, so running the four models (or several capacities) on
+    the same [(config, loop)] schedules it once.  Results are
+    byte-identical to a cache-disabled run.
+
     When telemetry is enabled ([Ncdrf_telemetry.Telemetry.enable]),
-    every run records inclusive wall-time spans for its stages —
-    ["mii"], ["schedule"], ["alloc"], ["swap"], ["spill"] — and bumps
-    the ["pipeline.loops"], ["pipeline.spilled"] and
-    ["pipeline.ii_bumps"] counters.  The ["spill"] span wraps the whole
-    iterative spill loop, so the allocation/swap records of its inner
-    rounds are nested inside its total. *)
+    cache-missing runs record inclusive wall-time spans for their
+    stages — ["mii"], ["schedule"], ["alloc"], ["swap"], ["spill"] —
+    and every run bumps the ["pipeline.loops"], ["pipeline.spilled"]
+    and ["pipeline.ii_bumps"] counters; the cache itself bumps
+    ["cache.hits"] / ["cache.misses"] / ["cache.evictions"].  The
+    ["spill"] span wraps the whole iterative spill loop, so the
+    allocation/swap records of its inner rounds are nested inside its
+    total; a warm (cache-hitting) stage records no span. *)
 
 open Ncdrf_ir
 open Ncdrf_machine
@@ -34,17 +42,18 @@ type stats = {
   schedule : Schedule.t;  (** final schedule *)
 }
 
-(** The model's requirement function on a fixed schedule: returns the
-    (possibly swapped) schedule and its register requirement.  [Ideal]
-    reports the unified requirement but never fails to fit. *)
+(** The model's requirement function on a fixed schedule (uncached;
+    alias of {!Artifact.apply_model}): returns the (possibly swapped)
+    schedule and its register requirement.  [Ideal] reports the unified
+    requirement but never fails to fit. *)
 val requirement_of_model :
   Model.t -> Schedule.t -> Schedule.t * int
 
 (** Swaps applied between two schedules of the same graph, for the
-    [Swapped] model: pairs of nodes that exchanged clusters (moves in
-    opposite directions between the same two clusters, paired up).
-    One-sided migrations are not swaps and are not counted.  Other
-    models report 0. *)
+    [Swapped] model (alias of {!Artifact.count_swaps}): pairs of nodes
+    that exchanged clusters (moves in opposite directions between the
+    same two clusters, paired up).  One-sided migrations are not swaps
+    and are not counted.  Other models report 0. *)
 val count_swaps : Model.t -> Schedule.t -> Schedule.t -> int
 
 (** [run ~config ~model ?capacity ddg] compiles the loop.  Without

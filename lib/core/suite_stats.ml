@@ -23,27 +23,51 @@ let suite_map ?pool ~f loops =
   | None -> List.map f loops
   | Some pool -> Pool.map pool ~label:(fun l -> Ddg.name l.ddg) f loops
 
-let measure ?pool ~config ~model loops =
+let measure_all ?pool ~config ~models loops =
   let one loop =
     Ncdrf_telemetry.Telemetry.incr "pipeline.loops";
-    let raw =
-      Ncdrf_telemetry.Telemetry.time "schedule" (fun () -> Modulo.schedule config loop.ddg)
-    in
-    let sched, requirement = Pipeline.requirement_of_model model raw in
-    { loop; requirement; ii = Schedule.ii sched }
+    let raw = Artifact.raw_schedule ~config loop.ddg in
+    List.map
+      (fun model ->
+        let v = Artifact.view_of_schedule ~model raw in
+        { loop; requirement = v.Artifact.requirement; ii = Schedule.ii v.Artifact.sched })
+      models
   in
-  suite_map ?pool ~f:one loops
+  let per_loop = suite_map ?pool ~f:one loops in
+  List.mapi (fun i model -> (model, List.map (fun row -> List.nth row i) per_loop)) models
+
+let measure ?pool ~config ~model loops =
+  match measure_all ?pool ~config ~models:[ model ] loops with
+  | [ (_, ms) ] -> ms
+  | _ -> assert false
 
 let cumulative ~weight_of measurements ~points =
-  let total = List.fold_left (fun acc m -> acc +. weight_of m) 0.0 measurements in
-  let at r =
-    let covered =
-      List.fold_left
-        (fun acc m -> if m.requirement <= r then acc +. weight_of m else acc)
-        0.0 measurements
-    in
-    if total = 0.0 then 0.0 else 100.0 *. covered /. total
+  (* Sort the requirements once and prefix-sum the weights, then answer
+     each point with a binary search: O((n + points) log n) instead of
+     the old O(n * points) rescan.  Re-ordering the summation is safe
+     for byte-identity because suite weights are integer-valued floats
+     and [weight * ii] products are exact integers well below 2^53, so
+     every partial sum is exact whatever the order. *)
+  let arr =
+    Array.of_list (List.map (fun m -> (m.requirement, weight_of m)) measurements)
   in
+  Array.sort (fun (a, _) (b, _) -> compare (a : int) b) arr;
+  let n = Array.length arr in
+  let prefix = Array.make (n + 1) 0.0 in
+  for i = 0 to n - 1 do
+    prefix.(i + 1) <- prefix.(i) +. snd arr.(i)
+  done;
+  let total = prefix.(n) in
+  let covered r =
+    (* number of entries with requirement <= r *)
+    let lo = ref 0 and hi = ref n in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if fst arr.(mid) <= r then lo := mid + 1 else hi := mid
+    done;
+    prefix.(!lo)
+  in
+  let at r = if total = 0.0 then 0.0 else 100.0 *. covered r /. total in
   List.map (fun r -> (r, at r)) points
 
 let static_cumulative measurements ~points =

@@ -19,12 +19,23 @@ type measurement = {
   ii : int;  (** spill-free II: execution time is [weight * ii] *)
 }
 
-(** Requirement of every loop under a model with unlimited registers
-    (Figures 6 and 7 input).  Loops are scheduled once per config; the
-    models reuse the same schedule.
+(** Requirement of every loop under each of [models] with unlimited
+    registers (Figures 6 and 7 input), from {b one} scheduling pass per
+    loop: the raw schedule is an {!Artifact} every model's view reuses,
+    so passing all the models of a figure here issues one
+    [Modulo.schedule] per [(config, loop)].  Returns the measurement
+    lists in the order of [models].
 
     [pool] fans the per-loop work out over domains; results keep input
     order, so output is identical to the serial run. *)
+val measure_all :
+  ?pool:Ncdrf_parallel.Pool.t ->
+  config:Config.t ->
+  models:Model.t list ->
+  workload list ->
+  (Model.t * measurement list) list
+
+(** [measure_all] for a single model. *)
 val measure :
   ?pool:Ncdrf_parallel.Pool.t ->
   config:Config.t -> model:Model.t -> workload list -> measurement list

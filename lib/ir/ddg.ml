@@ -21,6 +21,8 @@ type t = {
   succ_arr : edge list array;
   pred_arr : edge list array;
   edge_count : int;
+  mutable digest_memo : string option;
+      (* computed lazily by [digest]; graphs are otherwise immutable *)
 }
 
 let name g = g.name
@@ -139,8 +141,68 @@ module Builder = struct
       pred_arr.(e.dst) <- e :: pred_arr.(e.dst)
     in
     List.iter install b.rev_edges;
-    { name = b.bname; node_arr; succ_arr; pred_arr; edge_count }
+    { name = b.bname; node_arr; succ_arr; pred_arr; edge_count; digest_memo = None }
 end
+
+(* Content digest used as a compile-cache key.  The encoding is an
+   injective serialization of everything that influences compilation:
+   name, opcodes (with explicit location tags, so an array named
+   "spill.0" cannot collide with spill slot 0), labels, and the edge
+   lists in adjacency order.  Graphs built by identical construction
+   sequences serialize identically; the memo is safe because graphs are
+   immutable once frozen. *)
+let digest g =
+  match g.digest_memo with
+  | Some d -> d
+  | None ->
+    let buf = Buffer.create 256 in
+    let add = Buffer.add_string buf in
+    let add_int i =
+      add (string_of_int i);
+      Buffer.add_char buf ';'
+    in
+    let add_location = function
+      | Opcode.Array a ->
+        add "A";
+        add a;
+        Buffer.add_char buf '\x00'
+      | Opcode.Spill k ->
+        add "K";
+        add_int k
+    in
+    let add_opcode = function
+      | Opcode.Fadd -> add "+"
+      | Opcode.Fsub -> add "-"
+      | Opcode.Fmul -> add "*"
+      | Opcode.Fdiv -> add "/"
+      | Opcode.Fcvt -> add "c"
+      | Opcode.Fselect -> add "?"
+      | Opcode.Load loc ->
+        add "L";
+        add_location loc
+      | Opcode.Store loc ->
+        add "S";
+        add_location loc
+    in
+    add g.name;
+    Buffer.add_char buf '\x00';
+    add_int (num_nodes g);
+    Array.iter
+      (fun nd ->
+        add_opcode nd.opcode;
+        add nd.label;
+        Buffer.add_char buf '\x00')
+      g.node_arr;
+    let add_edge e =
+      add_int e.src;
+      add_int e.dst;
+      add_int e.distance;
+      add (match e.kind with Flow -> "f" | Mem -> "m")
+    in
+    Array.iter (List.iter add_edge) g.succ_arr;
+    let d = Digest.to_hex (Digest.string (Buffer.contents buf)) in
+    g.digest_memo <- Some d;
+    d
 
 let transform g ?(drop_edge = fun _ -> false) ?(add_nodes = []) ?(add_edges = []) () =
   let b = Builder.create ~name:g.name in

@@ -106,4 +106,11 @@ val remove_nodes :
   unit ->
   t * int array
 
+(** Hex content digest of the graph (name, opcodes, labels, edges in
+    adjacency order), memoized on first use.  Two graphs built by the
+    same construction sequence share a digest; any change to a node,
+    label, edge or the name changes it.  This is the structural half of
+    the compile-cache key (see [Ncdrf_core.Artifact]). *)
+val digest : t -> string
+
 val pp_stats : Format.formatter -> t -> unit

@@ -83,6 +83,23 @@ let memory_bandwidth t =
   | None, Some s -> min units s
   | None, None -> units
 
+(* Stable cache-key rendering of every field.  The name is included on
+   purpose: it does not change scheduling, but keying on it keeps a
+   cached schedule's embedded [config] byte-identical to the one the
+   caller passed, so cached and cold runs print identically. *)
+let fingerprint t =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf t.name;
+  Buffer.add_char buf '\x00';
+  Array.iter
+    (fun c -> Buffer.add_string buf (Printf.sprintf "%d,%d,%d|" c.adders c.multipliers c.ls_units))
+    t.clusters;
+  let port = function None -> "-" | Some n -> string_of_int n in
+  Buffer.add_string buf
+    (Printf.sprintf "lat=%d,%d,%d;ports=%s,%s" t.add_latency t.mul_latency t.mem_latency
+       (port t.load_ports) (port t.store_ports));
+  Buffer.contents buf
+
 let pp ppf t =
   let cluster_desc c =
     Printf.sprintf "%da+%dm+%dls" c.adders c.multipliers c.ls_units

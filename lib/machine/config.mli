@@ -69,4 +69,9 @@ val total_ls_units : t -> int
     the effective per-cycle memory issue bandwidth. *)
 val memory_bandwidth : t -> int
 
+(** Stable serialization of every field (name, clusters, latencies,
+    port caps), usable as the machine half of a compile-cache key: two
+    configurations fingerprint equally iff they are equal. *)
+val fingerprint : t -> string
+
 val pp : Format.formatter -> t -> unit

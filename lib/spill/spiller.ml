@@ -9,6 +9,7 @@ type victim =
 
 type outcome = {
   schedule : Schedule.t;
+  raw_schedule : Schedule.t;
   ddg : Ddg.t;
   requirement : int;
   fits : bool;
@@ -110,15 +111,17 @@ let pick_victim ~victim ~ii ddg candidates =
         if score ~victim ~ii ddg l > score ~victim ~ii ddg best then Some l else acc)
     None candidates
 
-let run ~config ~requirement ~capacity ?(victim = Longest_lifetime) ?(max_rounds = 64)
+let run ~config ~requirement ~capacity ?(victim = Longest_lifetime)
+    ?(schedule = fun ~min_ii ddg -> schedule_once config ~min_ii ddg) ?(max_rounds = 64)
     ?(max_ii_bumps = 32) ddg =
   let original_memops = Ddg.num_memory_ops ddg in
   let rec iterate ddg ~min_ii ~spilled ~ii_bumps ~rounds =
-    let sched = schedule_once config ~min_ii ddg in
-    let sched, req = requirement sched in
+    let raw = schedule ~min_ii ddg in
+    let sched, req = requirement raw in
     if req <= capacity then
       {
         schedule = sched;
+        raw_schedule = raw;
         ddg;
         requirement = req;
         fits = true;
@@ -128,7 +131,7 @@ let run ~config ~requirement ~capacity ?(victim = Longest_lifetime) ?(max_rounds
         rounds;
       }
     else if rounds >= max_rounds then
-      give_up sched ddg req ~spilled ~ii_bumps ~rounds
+      give_up ~raw sched ddg req ~spilled ~ii_bumps ~rounds
     else begin
       (* Pick the longest spillable lifetime of the current schedule. *)
       let lifetimes = Lifetime.of_schedule sched in
@@ -143,7 +146,8 @@ let run ~config ~requirement ~capacity ?(victim = Longest_lifetime) ?(max_rounds
         let ddg = spill_value ddg l.Lifetime.producer in
         iterate ddg ~min_ii ~spilled:(spilled + 1) ~ii_bumps ~rounds:(rounds + 1)
       | None ->
-        if ii_bumps >= max_ii_bumps then give_up sched ddg req ~spilled ~ii_bumps ~rounds
+        if ii_bumps >= max_ii_bumps then
+          give_up ~raw sched ddg req ~spilled ~ii_bumps ~rounds
         else begin
           let bumped = Schedule.ii sched + 1 in
           Log.debug (fun m ->
@@ -151,9 +155,10 @@ let run ~config ~requirement ~capacity ?(victim = Longest_lifetime) ?(max_rounds
           iterate ddg ~min_ii:bumped ~spilled ~ii_bumps:(ii_bumps + 1) ~rounds:(rounds + 1)
         end
     end
-  and give_up sched ddg req ~spilled ~ii_bumps ~rounds =
+  and give_up ~raw sched ddg req ~spilled ~ii_bumps ~rounds =
     {
       schedule = sched;
+      raw_schedule = raw;
       ddg;
       requirement = req;
       fits = false;

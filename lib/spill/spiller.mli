@@ -44,6 +44,9 @@ type victim =
 
 type outcome = {
   schedule : Schedule.t;  (** final schedule (after any model transform) *)
+  raw_schedule : Schedule.t;
+      (** the final round's schedule {e before} the model transform —
+          the baseline against which applied swaps are counted *)
   ddg : Ddg.t;  (** final graph, including spill code *)
   requirement : int;  (** registers required by the final schedule *)
   fits : bool;  (** requirement <= capacity *)
@@ -62,12 +65,19 @@ type outcome = {
     [max_rounds] (default 64) bounds spill iterations; [max_ii_bumps]
     (default 32) bounds the safety valve.  If both run out the outcome
     has [fits = false].  [victim] (default [Longest_lifetime]) selects
-    the spill heuristic. *)
+    the spill heuristic.
+
+    [schedule] replaces the per-round scheduling step (modulo scheduling
+    at [min_ii] followed by pushing spill loads late); the pipeline
+    injects a memoized version so rounds shared between models and
+    capacities are scheduled once.  Any replacement must be a pure
+    function of [(min_ii, ddg)] and preserve those semantics. *)
 val run :
   config:Config.t ->
   requirement:(Schedule.t -> Schedule.t * int) ->
   capacity:int ->
   ?victim:victim ->
+  ?schedule:(min_ii:int -> Ddg.t -> Schedule.t) ->
   ?max_rounds:int ->
   ?max_ii_bumps:int ->
   Ddg.t ->

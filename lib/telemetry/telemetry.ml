@@ -147,6 +147,11 @@ let sorted_bindings tbl value =
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let spans () = sorted_bindings span_tbl (fun r -> !r)
+
+let span_count name =
+  match with_lock (fun () -> Hashtbl.find_opt span_tbl name) with
+  | Some r -> !r.count
+  | None -> 0
 let counters () = sorted_bindings counter_tbl Atomic.get
 
 let reset () =

@@ -60,6 +60,11 @@ val record_span : string -> float -> unit
 (** All spans, sorted by name. *)
 val spans : unit -> (string * span) list
 
+(** Number of records of one span; 0 if never recorded.  The compile
+    cache's effectiveness criterion — one ["schedule"] record per
+    (config, loop) — is asserted against this. *)
+val span_count : string -> int
+
 (** All counters, sorted by name. *)
 val counters : unit -> (string * int) list
 

@@ -1,7 +1,26 @@
 #!/bin/sh
-# Tier-1 gate: build everything and run the full test suite.
+# Tier-1 gate: build everything, run the full test suite, then smoke the
+# user-facing entry points — the quickstart example and a bench run with
+# metrics, checking that the compile cache actually engaged.
 # Any failure here blocks a merge.
 set -eu
 cd "$(dirname "$0")/.."
 dune build
 dune runtest
+
+# The quickstart example must keep running end to end.
+dune exec examples/quickstart.exe > /dev/null
+
+# Bench smoke: fig6 with metrics. The JSON must exist and show the
+# artifact cache doing work (a run that never misses never computed,
+# which would mean the telemetry or the cache wiring is broken).
+metrics=$(mktemp /tmp/ncdrf-metrics.XXXXXX.json)
+trap 'rm -f "$metrics"' EXIT
+dune exec bench/main.exe -- fig6 --quick --jobs 1 --metrics "$metrics" > /dev/null
+test -s "$metrics" || { echo "check.sh: metrics JSON missing or empty" >&2; exit 1; }
+misses=$(grep -o '"cache.misses": *[0-9]*' "$metrics" | head -n1 | grep -o '[0-9]*$' || true)
+if [ -z "${misses:-}" ] || [ "$misses" -eq 0 ]; then
+  echo "check.sh: cache.misses missing or zero in $metrics" >&2
+  exit 1
+fi
+echo "check.sh: OK (cache.misses=$misses)"

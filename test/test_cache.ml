@@ -1,0 +1,398 @@
+(* The compile cache and the staged-artifact layer built on it: cache
+   unit behaviour (hit/miss accounting, LRU eviction, tiny capacities,
+   concurrent access), key injectivity (Ddg.digest, Config.fingerprint),
+   the determinism guard (cached runs byte-identical to cache-disabled
+   runs), the swaps-under-capacity regression, and the rewritten
+   cumulative distribution against the old fold. *)
+
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+open Ncdrf_core
+module Cache = Ncdrf_cache.Cache
+module Pool = Ncdrf_parallel.Pool
+module Telemetry = Ncdrf_telemetry.Telemetry
+module Generator = Ncdrf_workloads.Generator
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Cache unit tests.                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let test_cache_hit_miss () =
+  let c : int Cache.t = Cache.create ~name:"t" ~capacity:8 () in
+  let computes = ref 0 in
+  let get k v =
+    Cache.find_or_add c ~key:k (fun () ->
+        incr computes;
+        v)
+  in
+  check_int "first lookup computes" 1 (get "a" 1);
+  check_int "second lookup hits" 1 (get "a" 99);
+  check_int "computed once" 1 !computes;
+  check_int "other key computes" 2 (get "b" 2);
+  let s = Cache.stats c in
+  check_int "hits" 1 s.Cache.hits;
+  check_int "misses" 2 s.Cache.misses;
+  check_int "size" 2 s.Cache.size;
+  check_int "evictions" 0 s.Cache.evictions;
+  (match Cache.find c ~key:"a" with
+   | Some 1 -> ()
+   | Some _ | None -> Alcotest.fail "find misses a cached key");
+  check_bool "find on absent key" true (Cache.find c ~key:"zzz" = None);
+  Cache.clear c;
+  check_int "clear empties" 0 (Cache.stats c).Cache.size;
+  check_int "cleared key recomputes" 7 (get "a" 7)
+
+let test_cache_lru_eviction () =
+  (* One stripe so the LRU order is global and observable. *)
+  let c : int Cache.t = Cache.create ~stripes:1 ~name:"lru" ~capacity:2 () in
+  let add k v = ignore (Cache.find_or_add c ~key:k (fun () -> v)) in
+  add "a" 1;
+  add "b" 2;
+  (* Touch "a" so "b" is the least recently used entry. *)
+  ignore (Cache.find c ~key:"a");
+  add "c" 3;
+  check_bool "a survives (recently used)" true (Cache.find c ~key:"a" = Some 1);
+  check_bool "b evicted (LRU)" true (Cache.find c ~key:"b" = None);
+  check_bool "c resident" true (Cache.find c ~key:"c" = Some 3);
+  let s = Cache.stats c in
+  check_int "one eviction" 1 s.Cache.evictions;
+  check_int "size stays at capacity" 2 s.Cache.size
+
+let test_cache_capacity_one () =
+  let c : string Cache.t = Cache.create ~stripes:1 ~name:"tiny" ~capacity:1 () in
+  (* Every value still comes back right while entries thrash. *)
+  for i = 0 to 19 do
+    let k = string_of_int (i mod 3) in
+    check_string "value correct under thrash" k (Cache.find_or_add c ~key:k (fun () -> k))
+  done;
+  let s = Cache.stats c in
+  check_int "never over capacity" 1 s.Cache.size;
+  check_bool "evictions happened" true (s.Cache.evictions > 0);
+  check_int "every call counted" 20 (s.Cache.hits + s.Cache.misses)
+
+let test_cache_concurrent () =
+  let c : int Cache.t = Cache.create ~name:"par" ~capacity:64 () in
+  let calls = 400 in
+  Pool.with_pool ~jobs:4 (fun pool ->
+      let out =
+        Pool.map pool
+          (fun i ->
+            let k = i mod 8 in
+            Cache.find_or_add c ~key:(string_of_int k) (fun () -> k * k))
+          (List.init calls Fun.id)
+      in
+      List.iteri (fun i v -> check_int "concurrent value" (i mod 8 * (i mod 8)) v) out);
+  let s = Cache.stats c in
+  (* Racing computes may double-count misses, but every call settles as
+     exactly one hit or miss, and the table never exceeds the key set. *)
+  check_int "hits + misses = calls" calls (s.Cache.hits + s.Cache.misses);
+  check_bool "at least one miss per distinct key" true (s.Cache.misses >= 8);
+  check_int "eight residents" 8 s.Cache.size
+
+(* ------------------------------------------------------------------ *)
+(* Key injectivity: Ddg.digest and Config.fingerprint.                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_digest_deterministic_and_sensitive () =
+  let gen seed = Generator.generate Generator.default ~seed ~name:"dig" in
+  check_string "same graph, same digest" (Ddg.digest (gen 3)) (Ddg.digest (gen 3));
+  check_bool "different graph, different digest" true
+    (Ddg.digest (gen 3) <> Ddg.digest (gen 4));
+  (* Memoization must not change the value. *)
+  let g = gen 5 in
+  check_string "memoized digest stable" (Ddg.digest g) (Ddg.digest g);
+  (* The paper example from two constructions digests identically. *)
+  check_string "structurally equal graphs agree"
+    (Ddg.digest (Ncdrf_workloads.Kernels.paper_example ()))
+    (Ddg.digest (Ncdrf_workloads.Kernels.paper_example ()))
+
+let test_fingerprint_sensitive () =
+  let fp = Config.fingerprint in
+  check_string "fingerprint deterministic"
+    (fp (Config.dual ~latency:3))
+    (fp (Config.dual ~latency:3));
+  check_bool "latency changes it" true
+    (fp (Config.dual ~latency:3) <> fp (Config.dual ~latency:6));
+  check_bool "parallelism changes it" true
+    (fp (Config.pxly ~parallelism:1 ~latency:3)
+     <> fp (Config.pxly ~parallelism:2 ~latency:3));
+  check_bool "dual vs pxly differ" true
+    (fp (Config.dual ~latency:3) <> fp (Config.pxly ~parallelism:2 ~latency:3))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: cached == warm == cache-disabled, for Pipeline.run.    *)
+(* ------------------------------------------------------------------ *)
+
+(* %h renders the exact bit pattern, so string equality of this
+   rendering is byte-for-byte equality of the stats, schedule included. *)
+let render_stats (st : Pipeline.stats) =
+  let sched = st.Pipeline.schedule in
+  let placements =
+    String.concat ";"
+      (List.init (Ddg.num_nodes sched.Schedule.ddg) (fun v ->
+           Printf.sprintf "%d,%d" (Schedule.cycle sched v) (Schedule.cluster sched v)))
+  in
+  Printf.sprintf
+    "%s %s mii=%d ii=%d stages=%d req=%d cap=%s fits=%b spilled=%d addmem=%d bumps=%d \
+     memops=%d density=%h swaps=%d sched_ii=%d [%s]"
+    st.Pipeline.name
+    (Model.to_string st.Pipeline.model)
+    st.Pipeline.mii st.Pipeline.ii st.Pipeline.stages st.Pipeline.requirement
+    (match st.Pipeline.capacity with None -> "-" | Some c -> string_of_int c)
+    st.Pipeline.fits st.Pipeline.spilled st.Pipeline.added_memops st.Pipeline.ii_bumps
+    st.Pipeline.memops_per_iter st.Pipeline.density st.Pipeline.swaps (Schedule.ii sched)
+    placements
+
+let with_cache_disabled f =
+  Artifact.set_cache_enabled false;
+  Fun.protect ~finally:(fun () -> Artifact.set_cache_enabled true) f
+
+let prop_pipeline_cold_warm_uncached =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, lat, cap) ->
+        Printf.sprintf "seed=%d lat=%d cap=%s" seed lat
+          (match cap with None -> "-" | Some c -> string_of_int c))
+      QCheck.Gen.(triple (int_bound 20_000) (int_range 1 8) (opt (int_range 8 64)))
+  in
+  QCheck.Test.make ~count:25
+    ~name:"pipeline cold == warm == cache-disabled (all models, both latencies)" arb
+    (fun (seed, latency, capacity) ->
+      let ddg = Generator.generate Generator.default ~seed ~name:"cache-prop" in
+      let config = Config.dual ~latency in
+      List.for_all
+        (fun model ->
+          Artifact.clear_cache ();
+          let run () = render_stats (Pipeline.run ~config ~model ?capacity ddg) in
+          let cold = run () in
+          let warm = run () in
+          let off = with_cache_disabled run in
+          String.equal cold warm && String.equal cold off)
+        Model.all)
+
+let test_capacity_one_artifact_cache_correct () =
+  (* A cache that can hold a single entry thrashes on every stage but
+     must never change a result. *)
+  Fun.protect
+    ~finally:(fun () -> Artifact.set_cache_capacity Artifact.default_capacity)
+    (fun () ->
+      let config = Config.dual ~latency:6 in
+      let loops =
+        List.filteri (fun i _ -> i < 6) (Ncdrf_workloads.Suite.full ~size:40 ~seed:2025 ())
+      in
+      let everything () =
+        List.concat_map
+          (fun (e : Ncdrf_workloads.Suite.entry) ->
+            List.concat_map
+              (fun model ->
+                [ render_stats (Pipeline.run ~config ~model e.ddg);
+                  render_stats (Pipeline.run ~config ~model ~capacity:24 e.ddg) ])
+              Model.all)
+          loops
+      in
+      let reference = with_cache_disabled everything in
+      Artifact.set_cache_capacity 1;
+      let thrashed = everything () in
+      Alcotest.(check (list string)) "capacity-1 cache is invisible" reference thrashed;
+      check_bool "the tiny cache really evicted" true
+        ((Artifact.cache_stats ()).Ncdrf_cache.Cache.evictions > 0))
+
+(* ------------------------------------------------------------------ *)
+(* Determinism guard: fixed-seed 40-loop suite, cache on vs off.       *)
+(* ------------------------------------------------------------------ *)
+
+let fixed_suite () =
+  List.map
+    (fun e ->
+      { Suite_stats.ddg = e.Ncdrf_workloads.Suite.ddg;
+        weight = e.Ncdrf_workloads.Suite.iterations })
+    (Ncdrf_workloads.Suite.full ~size:40 ~seed:2025 ())
+
+let render_measurement (m : Suite_stats.measurement) =
+  Printf.sprintf "%s w=%h req=%d ii=%d"
+    (Ddg.name m.Suite_stats.loop.Suite_stats.ddg)
+    m.Suite_stats.loop.Suite_stats.weight m.Suite_stats.requirement m.Suite_stats.ii
+
+let render_performance (p : Suite_stats.performance) =
+  Printf.sprintf "relative=%h density=%h spills=%d loops_spilled=%d unfit=%d"
+    p.Suite_stats.relative p.Suite_stats.density p.Suite_stats.total_spills
+    p.Suite_stats.loops_spilled p.Suite_stats.unfit
+
+let test_determinism_guard () =
+  let loops = fixed_suite () in
+  let snapshot () =
+    List.concat_map
+      (fun latency ->
+        let config = Config.dual ~latency in
+        let measured =
+          Suite_stats.measure_all ~config ~models:Model.all loops
+          |> List.concat_map (fun (model, ms) ->
+                 Model.to_string model :: List.map render_measurement ms)
+        in
+        let perf =
+          List.map
+            (fun model ->
+              render_performance
+                (Suite_stats.performance ~config ~model ~capacity:32 loops))
+            Model.all
+        in
+        measured @ perf)
+      [ 3; 6 ]
+  in
+  Artifact.clear_cache ();
+  let cached = snapshot () in
+  let uncached = with_cache_disabled snapshot in
+  Alcotest.(check (list string)) "cached run byte-identical to cache-disabled run"
+    uncached cached;
+  (* And a second, fully warm pass changes nothing either. *)
+  Alcotest.(check (list string)) "warm rerun byte-identical" cached (snapshot ())
+
+(* ------------------------------------------------------------------ *)
+(* Regression: swaps under a register capacity.                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_swaps_reported_under_capacity () =
+  (* Pipeline.run used to count the spiller's final schedule against
+     itself, so every capacity run reported swaps = 0.  A capacity run
+     that fits without spilling must report the same swaps as the
+     unlimited-register run of the same loop. *)
+  let config = Config.dual ~latency:3 in
+  let ddg = Ncdrf_workloads.Kernels.paper_example () in
+  let free = Pipeline.run ~config ~model:Model.Swapped ddg in
+  check_bool "the example actually swaps" true (free.Pipeline.swaps > 0);
+  let capped = Pipeline.run ~config ~model:Model.Swapped ~capacity:64 ddg in
+  check_int "fits-first-try capacity run reports the swaps" free.Pipeline.swaps
+    capped.Pipeline.swaps;
+  check_int "no spilling in this case" 0 capped.Pipeline.spilled;
+  (* Across the fixed suite at a tight capacity, spilling happens and
+     swaps still show up; other models keep reporting 0. *)
+  let config = Config.dual ~latency:6 in
+  let loops = fixed_suite () in
+  let stats =
+    List.map
+      (fun l -> Pipeline.run ~config ~model:Model.Swapped ~capacity:24 l.Suite_stats.ddg)
+      loops
+  in
+  check_bool "some loop spilled" true
+    (List.exists (fun st -> st.Pipeline.spilled > 0) stats);
+  check_bool "swaps reported under capacity" true
+    (List.exists (fun st -> st.Pipeline.swaps > 0) stats);
+  check_bool "a spilled loop reports swaps" true
+    (List.exists (fun st -> st.Pipeline.spilled > 0 && st.Pipeline.swaps > 0) stats);
+  let unified =
+    Pipeline.run ~config ~model:Model.Unified ~capacity:24 (List.hd loops).Suite_stats.ddg
+  in
+  check_int "unified never swaps" 0 unified.Pipeline.swaps
+
+(* ------------------------------------------------------------------ *)
+(* Cumulative distribution: sorted prefix sums == the old fold.        *)
+(* ------------------------------------------------------------------ *)
+
+(* The pre-rewrite implementation, kept verbatim as the reference. *)
+let naive_cumulative ~weight_of measurements ~points =
+  let total = List.fold_left (fun acc m -> acc +. weight_of m) 0.0 measurements in
+  let at r =
+    let covered =
+      List.fold_left
+        (fun acc (m : Suite_stats.measurement) ->
+          if m.Suite_stats.requirement <= r then acc +. weight_of m else acc)
+        0.0 measurements
+    in
+    if total = 0.0 then 0.0 else 100.0 *. covered /. total
+  in
+  List.map (fun r -> (r, at r)) points
+
+let test_cumulative_matches_naive_fold () =
+  let loops = fixed_suite () in
+  (* Unsorted, duplicated and out-of-range points exercise the binary
+     search at both ends. *)
+  let points = [ 32; 8; 8; 0; -1; 1000; 16; 64; 24 ] in
+  let point_t = Alcotest.(pair int (float 0.0)) in
+  List.iter
+    (fun config ->
+      List.iter
+        (fun model ->
+          let ms = Suite_stats.measure ~config ~model loops in
+          Alcotest.check (Alcotest.list point_t)
+            (Printf.sprintf "static %s/%s" config.Config.name (Model.to_string model))
+            (naive_cumulative ~weight_of:(fun _ -> 1.0) ms ~points)
+            (Suite_stats.static_cumulative ms ~points);
+          Alcotest.check (Alcotest.list point_t)
+            (Printf.sprintf "dynamic %s/%s" config.Config.name (Model.to_string model))
+            (naive_cumulative
+               ~weight_of:(fun m ->
+                 m.Suite_stats.loop.Suite_stats.weight *. float_of_int m.Suite_stats.ii)
+               ms ~points)
+            (Suite_stats.dynamic_cumulative ms ~points))
+        [ Model.Unified; Model.Partitioned; Model.Swapped ])
+    [ Config.dual ~latency:3; Config.dual ~latency:6 ];
+  (* Degenerate inputs. *)
+  Alcotest.check (Alcotest.list point_t) "empty suite" [ (16, 0.0) ]
+    (Suite_stats.static_cumulative [] ~points:[ 16 ])
+
+(* ------------------------------------------------------------------ *)
+(* measure_all: one scheduling pass per loop, measure is a projection. *)
+(* ------------------------------------------------------------------ *)
+
+let test_measure_all_schedules_once () =
+  let loops = fixed_suite () in
+  let config = Config.dual ~latency:3 in
+  let n = List.length loops in
+  Telemetry.enable true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.enable false;
+      Telemetry.reset ())
+    (fun () ->
+      Artifact.clear_cache ();
+      Telemetry.reset ();
+      let by_model = Suite_stats.measure_all ~config ~models:Model.all loops in
+      check_int "one schedule span per loop, all models" n
+        (Telemetry.span_count "schedule");
+      check_int "one pipeline.loops bump per loop" n (Telemetry.counter "pipeline.loops");
+      check_int "a measurement list per model" (List.length Model.all)
+        (List.length by_model);
+      (* A warm rerun adds no schedule spans at all. *)
+      ignore (Suite_stats.measure_all ~config ~models:Model.all loops);
+      check_int "warm rerun schedules nothing" n (Telemetry.span_count "schedule");
+      (* Ideal and Unified share one view; their measurements agree. *)
+      let req model =
+        List.map (fun m -> m.Suite_stats.requirement) (List.assoc model by_model)
+      in
+      Alcotest.(check (list int)) "ideal == unified requirement" (req Model.Ideal)
+        (req Model.Unified);
+      (* measure is the single-model projection of measure_all. *)
+      List.iter
+        (fun model ->
+          Alcotest.(check (list string))
+            ("measure == measure_all: " ^ Model.to_string model)
+            (List.map render_measurement (List.assoc model by_model))
+            (List.map render_measurement (Suite_stats.measure ~config ~model loops)))
+        Model.all)
+
+let suite =
+  [
+    Alcotest.test_case "cache hit/miss/clear accounting" `Quick test_cache_hit_miss;
+    Alcotest.test_case "cache evicts least recently used" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "capacity-1 cache stays correct" `Quick test_cache_capacity_one;
+    Alcotest.test_case "cache is safe under concurrent domains" `Quick
+      test_cache_concurrent;
+    Alcotest.test_case "ddg digest deterministic and sensitive" `Quick
+      test_digest_deterministic_and_sensitive;
+    Alcotest.test_case "config fingerprint sensitive" `Quick test_fingerprint_sensitive;
+    QCheck_alcotest.to_alcotest prop_pipeline_cold_warm_uncached;
+    Alcotest.test_case "capacity-1 artifact cache stays correct" `Quick
+      test_capacity_one_artifact_cache_correct;
+    Alcotest.test_case "determinism guard: cache on == off on fixed suite" `Quick
+      test_determinism_guard;
+    Alcotest.test_case "swaps are reported under a capacity" `Quick
+      test_swaps_reported_under_capacity;
+    Alcotest.test_case "cumulative == naive fold" `Quick test_cumulative_matches_naive_fold;
+    Alcotest.test_case "measure_all schedules each loop once" `Quick
+      test_measure_all_schedules_once;
+  ]

@@ -7,6 +7,7 @@ let () =
       ("regalloc", Test_regalloc.suite);
       ("spill", Test_spill.suite);
       ("core", Test_core.suite);
+      ("cache", Test_cache.suite);
       ("workloads", Test_workloads.suite);
       ("parallel", Test_parallel.suite);
       ("extensions", Test_extensions.suite);
