@@ -31,6 +31,9 @@ open Ncdrf_core
 module Pool = Ncdrf_parallel.Pool
 module Telemetry = Ncdrf_telemetry.Telemetry
 module Json = Telemetry.Json
+module Error = Ncdrf_error.Error
+module Failures = Ncdrf_error.Failures
+module Fault = Ncdrf_fault.Fault
 
 let suite_size = ref 795
 let suite_seed = ref 42
@@ -39,6 +42,13 @@ let csv_dir : string option ref = ref None
 let metrics_path : string option ref = ref None
 let requested_jobs = ref (Pool.default_jobs ())
 
+(* The run's failure collector (keep-going by default; --fail-fast /
+   --max-failures tighten the policy at startup).  Every suite sweep
+   records its failed (loop, model) points here and carries on with the
+   survivors. *)
+let the_failures = ref (Failures.create ())
+let failures_csv : string option ref = ref None
+
 (* The session pool; [None] means serial.  The serial-baseline rerun
    (see [run_experiment]) swaps this to [None] temporarily. *)
 let the_pool : Pool.t option ref = ref None
@@ -46,11 +56,25 @@ let current_jobs () = match !the_pool with Some p -> Pool.jobs p | None -> 1
 let pool () = !the_pool
 
 (* Map the per-loop stage of an experiment over the session pool,
-   keeping input order; serial when no pool is active. *)
+   keeping input order; serial when no pool is active.  Failing loops
+   are classified, recorded in [the_failures] (in input order, so the
+   manifest is deterministic) and dropped. *)
 let pool_map f loops =
-  match !the_pool with
-  | None -> List.map f loops
-  | Some p -> Pool.map p ~label:(fun l -> Ddg.name l.Suite_stats.ddg) f loops
+  let outcomes =
+    match !the_pool with
+    | None ->
+      List.map
+        (fun l -> try Ok (f l) with e -> Stdlib.Error (Ddg.name l.Suite_stats.ddg, e))
+        loops
+    | Some p -> Pool.try_map_exn p ~label:(fun l -> Ddg.name l.Suite_stats.ddg) f loops
+  in
+  List.filter_map
+    (function
+      | Ok v -> Some v
+      | Stdlib.Error (loop, e) ->
+        Failures.record !the_failures (Error.classify_exn ~stage:"pipeline" ~loop e);
+        None)
+    outcomes
 
 let banner title = Printf.printf "\n==== %s ====\n%!" title
 
@@ -162,7 +186,10 @@ let run_table1 () =
   Printf.printf "%s\n" (String.make 64 '-');
   List.iter
     (fun cfg ->
-      let ms = Suite_stats.measure ?pool:(pool ()) ~config:cfg ~model:Model.Unified loops in
+      let ms =
+        Suite_stats.measure ?pool:(pool ()) ~failures:!the_failures ~config:cfg
+          ~model:Model.Unified loops
+      in
       let cell r =
         let s, d = Suite_stats.allocatable ms ~r in
         Printf.sprintf "%7.1f%% %7.1f%%" s d
@@ -174,7 +201,8 @@ let run_table1 () =
      :: List.concat_map
           (fun cfg ->
             let ms =
-              Suite_stats.measure ?pool:(pool ()) ~config:cfg ~model:Model.Unified loops
+              Suite_stats.measure ?pool:(pool ()) ~failures:!the_failures ~config:cfg
+                ~model:Model.Unified loops
             in
             List.map
               (fun r ->
@@ -206,7 +234,7 @@ let run_distribution ~dynamic () =
       (* One scheduling pass per loop; the three models read the same
          artifact (one Modulo.schedule per (config, loop)). *)
       let by_model =
-        Suite_stats.measure_all ?pool:(pool ()) ~config
+        Suite_stats.measure_all ?pool:(pool ()) ~failures:!the_failures ~config
           ~models:[ Model.Unified; Model.Partitioned; Model.Swapped ]
           loops
       in
@@ -244,7 +272,8 @@ let performance_grid () =
             List.map
               (fun model ->
                 let p =
-                  Suite_stats.performance ?pool:(pool ()) ~config ~model ~capacity loops
+                  Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures ~config
+                    ~model ~capacity loops
                 in
                 (model, p))
               Model.all
@@ -475,12 +504,12 @@ let run_doubling () =
         (fun r ->
           let config = Config.dual ~latency in
           let dual =
-            Suite_stats.performance ?pool:(pool ()) ~config ~model:Model.Swapped
-              ~capacity:r loops
+            Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures ~config
+              ~model:Model.Swapped ~capacity:r loops
           in
           let doubled =
-            Suite_stats.performance ?pool:(pool ()) ~config ~model:Model.Unified
-              ~capacity:(2 * r) loops
+            Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures ~config
+              ~model:Model.Unified ~capacity:(2 * r) loops
           in
           Printf.printf "L=%d,R=%-4d %22.3f %22.3f%s\n%!" latency r
             dual.Suite_stats.relative doubled.Suite_stats.relative
@@ -845,11 +874,17 @@ let run_experiment ~collect (name, f) =
         Artifact.clear_cache ();
         Telemetry.reset ();
         let saved_pool = !the_pool in
+        let saved_failures = !the_failures in
         the_pool := None;
+        (* The baseline rerun replays the same sweep; a throwaway
+           collector keeps it from double-recording the run's
+           failures. *)
+        the_failures := Failures.create ();
         let t1 = Telemetry.now () in
         silence_stdout f;
         let serial = Telemetry.now () -. t1 in
         the_pool := saved_pool;
+        the_failures := saved_failures;
         Some serial
       end
       else None
@@ -890,25 +925,54 @@ let write_metrics ~total_wall_s collected =
   match !metrics_path with
   | None -> ()
   | Some path ->
+    let failures = !the_failures in
+    (* Only present when something failed, so a clean run's metrics are
+       byte-identical to a pre-taxonomy run's. *)
+    let failure_block =
+      if Failures.count failures = 0 then []
+      else [ ("failures", Failures.to_json failures) ]
+    in
     let json =
       Json.Obj
-        [
-          ("schema", Json.String "ncdrf-bench-metrics/1");
-          ("jobs", Json.Int !requested_jobs);
-          ("recommended_jobs", Json.Int (Pool.default_jobs ()));
-          ("suite_size", Json.Int !suite_size);
-          ("suite_seed", Json.Int !suite_seed);
-          ("total_wall_s", Json.Float total_wall_s);
-          ("experiments", Json.List (List.map metric_json (List.rev collected)));
-        ]
+        ([
+           ("schema", Json.String "ncdrf-bench-metrics/1");
+           ("jobs", Json.Int !requested_jobs);
+           ("recommended_jobs", Json.Int (Pool.default_jobs ()));
+           ("suite_size", Json.Int !suite_size);
+           ("suite_seed", Json.Int !suite_seed);
+           ("total_wall_s", Json.Float total_wall_s);
+           ("experiments", Json.List (List.map metric_json (List.rev collected)));
+         ]
+         @ failure_block)
     in
     Telemetry.write_json ~path json;
     Printf.printf "\n[metrics: %s]\n%!" path
 
+(* Mirror of the suite driver's failure report: silent on a clean run
+   (so default output stays byte-identical), a per-category count block
+   plus one line per failure otherwise. *)
+let report_failures () =
+  let failures = !the_failures in
+  let n = Failures.count failures in
+  if n > 0 then begin
+    Printf.printf "\n%d point(s) failed (excluded from the results above):\n" n;
+    List.iter
+      (fun (cat, c) -> Printf.printf "  errors.%-20s %d\n" cat c)
+      (Failures.by_category failures);
+    List.iter (fun e -> Printf.printf "  - %s\n" (Error.to_string e)) (Failures.list failures)
+  end;
+  Option.iter
+    (fun path ->
+      Ncdrf_report.Csv.write path (Failures.to_csv_rows failures);
+      Printf.printf "[failures: %s]\n%!" path)
+    !failures_csv
+
 let usage () =
   Printf.eprintf
     "usage: main.exe [EXPERIMENT...] [--quick] [--size N] [--seed N] [--jobs N]\n\
-    \       [--csv DIR] [--metrics FILE] [--no-cache]\n";
+    \       [--csv DIR] [--metrics FILE] [--no-cache]\n\
+    \       [--fail-fast] [--max-failures N] [--failures FILE]\n\
+    \       [--inject stage=NAME[,loop=REGEX][,every=N]]\n";
   exit 2
 
 let () =
@@ -920,9 +984,27 @@ let () =
       Printf.eprintf "%s: not an integer: %S\n" flag v;
       usage ()
   in
+  let fail_fast = ref false in
+  let max_failures = ref None in
   let rec parse = function
     | "--quick" :: rest ->
       quick ();
+      parse rest
+    | "--fail-fast" :: rest ->
+      fail_fast := true;
+      parse rest
+    | "--max-failures" :: n :: rest ->
+      max_failures := Some (max 0 (int_arg "--max-failures" n));
+      parse rest
+    | "--failures" :: file :: rest ->
+      failures_csv := Some file;
+      parse rest
+    | "--inject" :: spec :: rest ->
+      (match Fault.arm spec with
+       | Ok () -> ()
+       | Stdlib.Error msg ->
+         Printf.eprintf "bad --inject spec: %s\n" msg;
+         exit 2);
       parse rest
     | "--no-cache" :: rest ->
       Artifact.set_cache_enabled false;
@@ -942,11 +1024,15 @@ let () =
     | "--size" :: n :: rest ->
       suite_size := max 1 (int_arg "--size" n);
       parse rest
-    | ("--csv" | "--jobs" | "--metrics" | "--seed" | "--size") :: [] -> usage ()
+    | ("--csv" | "--jobs" | "--metrics" | "--seed" | "--size" | "--max-failures"
+      | "--failures" | "--inject")
+      :: [] ->
+      usage ()
     | a :: rest -> a :: parse rest
     | [] -> []
   in
   let selected = parse args in
+  the_failures := Failures.create ~fail_fast:!fail_fast ?max_failures:!max_failures ();
   let to_run =
     match selected with
     | [] -> experiments
@@ -966,7 +1052,20 @@ let () =
   let collected = ref [] in
   let collect m = collected := m :: !collected in
   let t0 = Telemetry.now () in
+  let exit_code = ref 0 in
   Fun.protect
-    ~finally:(fun () -> Option.iter Pool.shutdown !the_pool)
-    (fun () -> List.iter (run_experiment ~collect) to_run);
-  write_metrics ~total_wall_s:(Telemetry.now () -. t0) !collected
+    ~finally:(fun () ->
+      Fault.disarm ();
+      Option.iter Pool.shutdown !the_pool)
+    (fun () ->
+      try List.iter (run_experiment ~collect) to_run with
+      | Failures.Abort { recorded; last; reason } ->
+        Printf.eprintf "aborted (%s) after %d failure(s); last: %s\n" reason recorded
+          (Error.to_string last);
+        exit_code := 1
+      | Error.Error e ->
+        Printf.eprintf "error: %s\n" (Error.to_string e);
+        exit_code := 1);
+  write_metrics ~total_wall_s:(Telemetry.now () -. t0) !collected;
+  report_failures ();
+  if !exit_code <> 0 then exit !exit_code

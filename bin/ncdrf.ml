@@ -68,6 +68,31 @@ let load_loops file name_filter =
   | None -> loops
   | Some n -> List.filter (fun g -> String.equal (Ddg.name g) n) loops
 
+module Error = Ncdrf_error.Error
+module Failures = Ncdrf_error.Failures
+module Fault = Ncdrf_fault.Fault
+
+(* Uniform failure reporting for every subcommand: legacy front-end
+   exceptions, classified pipeline errors, and policy aborts all exit 1
+   with a one-line diagnosis instead of a backtrace. *)
+let handle_errors f =
+  try f () with
+  | Loop_lang.Parse_error { file; line; message } ->
+    Printf.eprintf "parse error, %sline %d: %s\n"
+      (match file with None -> "" | Some p -> p ^ ", ")
+      line message;
+    1
+  | Expr.Compile_error msg ->
+    Printf.eprintf "compile error: %s\n" msg;
+    1
+  | Error.Error e ->
+    Printf.eprintf "error: %s\n" (Error.to_string e);
+    1
+  | Failures.Abort { recorded; last; reason } ->
+    Printf.eprintf "aborted (%s) after %d failure(s); last: %s\n" reason recorded
+      (Error.to_string last);
+    1
+
 (* ------------------------------------------------------------------ *)
 (* schedule                                                            *)
 (* ------------------------------------------------------------------ *)
@@ -88,23 +113,19 @@ let print_stats (stats : Pipeline.stats) =
 let schedule_cmd =
   let run verbose file name latency clusters model capacity show_kernel =
     setup_logs verbose;
-    try
-      let loops = load_loops file name in
-      if loops = [] then (Printf.eprintf "no matching loops\n"; exit 1);
-      let config = config_of ~clusters ~latency in
-      Format.printf "machine: %a@." Config.pp config;
-      List.iter
-        (fun ddg ->
-          Format.printf "@.== %a@." Ddg.pp_stats ddg;
-          let stats = Pipeline.run ~config ~model ?capacity ddg in
-          print_stats stats;
-          if show_kernel then print_string (Kernel.render stats.Pipeline.schedule))
-        loops;
-      0
-    with
-    | Loop_lang.Parse_error { line; message } ->
-      Printf.eprintf "parse error, line %d: %s\n" line message; 1
-    | Expr.Compile_error msg -> Printf.eprintf "compile error: %s\n" msg; 1
+    handle_errors @@ fun () ->
+    let loops = load_loops file name in
+    if loops = [] then (Printf.eprintf "no matching loops\n"; exit 1);
+    let config = config_of ~clusters ~latency in
+    Format.printf "machine: %a@." Config.pp config;
+    List.iter
+      (fun ddg ->
+        Format.printf "@.== %a@." Ddg.pp_stats ddg;
+        let stats = Pipeline.run ~config ~model ?capacity ddg in
+        print_stats stats;
+        if show_kernel then print_string (Kernel.render stats.Pipeline.schedule))
+      loops;
+    0
   in
   let kernel_arg =
     let doc = "Also print the kernel (steady-state VLIW code)." in
@@ -122,14 +143,10 @@ let schedule_cmd =
 
 let dot_cmd =
   let run file name =
-    try
-      let loops = load_loops file name in
-      List.iter (fun g -> print_string (Dot.render g)) loops;
-      if loops = [] then (Printf.eprintf "no matching loops\n"; 1) else 0
-    with
-    | Loop_lang.Parse_error { line; message } ->
-      Printf.eprintf "parse error, line %d: %s\n" line message; 1
-    | Expr.Compile_error msg -> Printf.eprintf "compile error: %s\n" msg; 1
+    handle_errors @@ fun () ->
+    let loops = load_loops file name in
+    List.iter (fun g -> print_string (Dot.render g)) loops;
+    if loops = [] then (Printf.eprintf "no matching loops\n"; 1) else 0
   in
   let doc = "Emit dependence graphs as Graphviz DOT." in
   Cmd.v (Cmd.info "dot" ~doc) Term.(const run $ file_arg $ loop_name_arg)
@@ -138,10 +155,41 @@ let dot_cmd =
 (* suite                                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Shared by suite: print the per-category failure summary — only when
+   something failed, so a clean run's output is byte-identical to the
+   pre-taxonomy driver's. *)
+let print_failure_summary failures =
+  let n = Failures.count failures in
+  if n > 0 then begin
+    Format.printf "@.%d point(s) failed (excluded from the table above):@." n;
+    List.iter
+      (fun (category, count) -> Format.printf "  errors.%-20s %d@." category count)
+      (Failures.by_category failures);
+    List.iter
+      (fun (e : Error.t) -> Format.printf "  - %s@." (Error.to_string e))
+      (Failures.list failures)
+  end
+
+let write_failures_csv path failures =
+  Ncdrf_report.Csv.write path (Failures.to_csv_rows failures);
+  Format.printf "[failures: %s]@." path
+
 let suite_cmd =
-  let run latency size registers jobs metrics =
+  let run latency size registers jobs metrics fail_fast max_failures inject
+      failures_csv =
     let module Pool = Ncdrf_parallel.Pool in
     let module Telemetry = Ncdrf_telemetry.Telemetry in
+    (match inject with
+     | None -> ()
+     | Some spec ->
+       (match Fault.arm spec with
+        | Ok () -> ()
+        | Stdlib.Error msg ->
+          Printf.eprintf "bad --inject spec: %s\n" msg;
+          exit 2));
+    let failures = Failures.create ~fail_fast ?max_failures () in
+    handle_errors @@ fun () ->
+    Fun.protect ~finally:Fault.disarm @@ fun () ->
     let config = Config.dual ~latency in
     let loops =
       List.map
@@ -165,30 +213,37 @@ let suite_cmd =
             let s, d = Suite_stats.allocatable ms ~r:registers in
             Format.printf "%-12s | %5.1f%% loops %5.1f%% cycles@." (Model.to_string model)
               s d)
-          (Suite_stats.measure_all ~pool ~config
+          (Suite_stats.measure_all ~pool ~failures ~config
              ~models:[ Model.Unified; Model.Partitioned; Model.Swapped ]
              loops));
+    print_failure_summary failures;
     (match metrics with
      | None -> ()
      | Some path ->
        let wall = Telemetry.now () -. t0 in
        let json =
          Telemetry.Json.Obj
-           [
-             ("schema", Telemetry.Json.String "ncdrf-suite-metrics/1");
-             ("jobs", Telemetry.Json.Int (max 1 jobs));
-             ("suite_size", Telemetry.Json.Int size);
-             ("wall_s", Telemetry.Json.Float wall);
-             ( "loops_per_sec",
-               if wall > 0.0 then
-                 Telemetry.Json.Float
-                   (float_of_int (Telemetry.counter "pipeline.loops") /. wall)
-               else Telemetry.Json.Null );
-             ("telemetry", Telemetry.to_json ());
-           ]
+           ([
+              ("schema", Telemetry.Json.String "ncdrf-suite-metrics/1");
+              ("jobs", Telemetry.Json.Int (max 1 jobs));
+              ("suite_size", Telemetry.Json.Int size);
+              ("wall_s", Telemetry.Json.Float wall);
+              ( "loops_per_sec",
+                if wall > 0.0 then
+                  Telemetry.Json.Float
+                    (float_of_int (Telemetry.counter "pipeline.loops") /. wall)
+                else Telemetry.Json.Null );
+              ("telemetry", Telemetry.to_json ());
+            ]
+           @
+           if Failures.count failures = 0 then []
+           else [ ("failures", Failures.to_json failures) ])
        in
        Telemetry.write_json ~path json;
        Format.printf "[metrics: %s]@." path);
+    (match failures_csv with
+     | None -> ()
+     | Some path -> write_failures_csv path failures);
     0
   in
   let size_arg =
@@ -211,9 +266,34 @@ let suite_cmd =
     let doc = "Write a JSON telemetry report (timers, counters, stage spans) to $(docv)." in
     Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
   in
+  let fail_fast_arg =
+    let doc =
+      "Abort on the first failed (loop, model) point instead of skipping and \
+       recording it (the default is to keep going)."
+    in
+    Arg.(value & flag & info [ "fail-fast" ] ~doc)
+  in
+  let max_failures_arg =
+    let doc = "Abort once more than $(docv) points have failed." in
+    Arg.(value & opt (some int) None & info [ "max-failures" ] ~docv:"N" ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Arm a deterministic fault: stage=$(i,NAME)[,loop=$(i,REGEX)][,every=$(i,N)].  \
+       Matching pipeline points raise a classified 'injected' failure; off by \
+       default and zero-cost when disarmed."
+    in
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC" ~doc)
+  in
+  let failures_arg =
+    let doc = "Write the failure manifest as CSV to $(docv) (atomic temp+rename)." in
+    Arg.(value & opt (some string) None & info [ "failures" ] ~docv:"FILE" ~doc)
+  in
   let doc = "Register-pressure summary over the synthetic Perfect-Club-like suite." in
   Cmd.v (Cmd.info "suite" ~doc)
-    Term.(const run $ latency_arg $ size_arg $ registers_arg $ jobs_arg $ metrics_arg)
+    Term.(
+      const run $ latency_arg $ size_arg $ registers_arg $ jobs_arg $ metrics_arg
+      $ fail_fast_arg $ max_failures_arg $ inject_arg $ failures_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -221,7 +301,7 @@ let suite_cmd =
 
 let sweep_cmd =
   let run file name =
-    try
+    handle_errors @@ fun () ->
       let loops = load_loops file name in
       if loops = [] then (Printf.eprintf "no matching loops\n"; exit 1);
       List.iter
@@ -244,10 +324,6 @@ let sweep_cmd =
             [ 1; 2; 3; 4; 6; 8 ])
         loops;
       0
-    with
-    | Loop_lang.Parse_error { line; message } ->
-      Printf.eprintf "parse error, line %d: %s\n" line message; 1
-    | Expr.Compile_error msg -> Printf.eprintf "compile error: %s\n" msg; 1
   in
   let doc = "Sweep FP latency and compare register-file models for each loop." in
   Cmd.v (Cmd.info "sweep" ~doc) Term.(const run $ file_arg $ loop_name_arg)
@@ -258,7 +334,7 @@ let sweep_cmd =
 
 let simulate_cmd =
   let run file name latency iterations =
-    try
+    handle_errors @@ fun () ->
       let loops = load_loops file name in
       if loops = [] then (Printf.eprintf "no matching loops\n"; exit 1);
       let config = Config.dual ~latency in
@@ -282,10 +358,6 @@ let simulate_cmd =
           check "swapped" (Ncdrf_sim.Executor.run_dual ~iterations swapped))
         loops;
       if !failures > 0 then 1 else 0
-    with
-    | Loop_lang.Parse_error { line; message } ->
-      Printf.eprintf "parse error, line %d: %s\n" line message; 1
-    | Expr.Compile_error msg -> Printf.eprintf "compile error: %s\n" msg; 1
   in
   let iterations_arg =
     let doc = "Iterations to execute." in

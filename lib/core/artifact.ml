@@ -3,6 +3,8 @@ open Ncdrf_machine
 open Ncdrf_sched
 module Cache = Ncdrf_cache.Cache
 module Telemetry = Ncdrf_telemetry.Telemetry
+module Error = Ncdrf_error.Error
+module Fault = Ncdrf_fault.Fault
 
 type t = {
   ddg : Ddg.t;
@@ -39,7 +41,12 @@ let set_cache_capacity capacity = cache := make_cache capacity
 let clear_cache () = Cache.clear !cache
 let cache_stats () = Cache.stats !cache
 
-let memo key compute =
+(* The fault point sits in front of the lookup (memo keys do not carry
+   the loop name), so an armed "cache" fault fires on hits and misses
+   alike.  Exceptions from [compute] propagate uncached — the cache
+   never memoizes a failure. *)
+let memo ~loop key compute =
+  Fault.point ~stage:"cache" ~key:loop;
   if Atomic.get enabled then Cache.find_or_add !cache ~key compute else compute ()
 
 let wrong_stage () = invalid_arg "Artifact: cache key collided across stages"
@@ -49,17 +56,29 @@ let wrong_stage () = invalid_arg "Artifact: cache key collided across stages"
    keys mean equal compilation inputs. *)
 let base_key ~config ddg = Config.fingerprint config ^ "\x01" ^ Ddg.digest ddg
 
+(* Each stage runs inside an [Error.boundary], so whatever escapes a
+   stage is a classified [Error.Error] carrying the loop name and config
+   fingerprint — never a raw exception. *)
+let stage_boundary ~stage ~config ddg f =
+  Error.boundary ~stage ~loop:(Ddg.name ddg) ~config:(Config.fingerprint config) f
+
 let mii ~config ddg =
-  let compute () = Mii_of (Telemetry.time "mii" (fun () -> Mii.mii config ddg)) in
-  match memo (base_key ~config ddg ^ "#mii") compute with
+  stage_boundary ~stage:"mii" ~config ddg @@ fun () ->
+  let compute () =
+    Fault.point ~stage:"mii" ~key:(Ddg.name ddg);
+    Mii_of (Telemetry.time "mii" (fun () -> Mii.mii config ddg))
+  in
+  match memo ~loop:(Ddg.name ddg) (base_key ~config ddg ^ "#mii") compute with
   | Mii_of m -> m
   | Raw_of _ | View_of _ | Spill_of _ -> wrong_stage ()
 
 let raw_schedule ~config ddg =
+  stage_boundary ~stage:"schedule" ~config ddg @@ fun () ->
   let compute () =
+    Fault.point ~stage:"schedule" ~key:(Ddg.name ddg);
     Raw_of (Telemetry.time "schedule" (fun () -> Modulo.schedule config ddg))
   in
-  match memo (base_key ~config ddg ^ "#raw") compute with
+  match memo ~loop:(Ddg.name ddg) (base_key ~config ddg ^ "#raw") compute with
   | Raw_of s -> s
   | Mii_of _ | View_of _ | Spill_of _ -> wrong_stage ()
 
@@ -132,11 +151,14 @@ let schedule_key sched =
   ^ Digest.to_hex (Digest.string (Buffer.contents buf))
 
 let view_of_schedule ~model sched =
+  let ddg = sched.Schedule.ddg in
+  stage_boundary ~stage:"alloc" ~config:sched.Schedule.config ddg @@ fun () ->
   let compute () =
+    Fault.point ~stage:"alloc" ~key:(Ddg.name ddg);
     let transformed, requirement = apply_model model sched in
     View_of { sched = transformed; requirement; swaps = count_swaps model sched transformed }
   in
-  match memo (schedule_key sched ^ ":" ^ view_tag model) compute with
+  match memo ~loop:(Ddg.name ddg) (schedule_key sched ^ ":" ^ view_tag model) compute with
   | View_of v -> v
   | Mii_of _ | Raw_of _ | Spill_of _ -> wrong_stage ()
 
@@ -151,10 +173,14 @@ let is_spill_load node =
    "schedule" span here: spiller rounds are profiled by the enclosing
    "spill" span, as before the cache existed. *)
 let spill_schedule ~config ~min_ii ddg =
+  stage_boundary ~stage:"schedule" ~config ddg @@ fun () ->
   let compute () =
     let raw = Modulo.schedule_with_min_ii ~min_ii config ddg in
     Spill_of (Adjust.push_late raw ~eligible:is_spill_load)
   in
-  match memo (base_key ~config ddg ^ "#spill:" ^ string_of_int min_ii) compute with
+  match
+    memo ~loop:(Ddg.name ddg) (base_key ~config ddg ^ "#spill:" ^ string_of_int min_ii)
+      compute
+  with
   | Spill_of s -> s
   | Mii_of _ | Raw_of _ | View_of _ -> wrong_stage ()

@@ -27,7 +27,15 @@
     telemetry span counts.  Telemetry spans ([mii], [schedule], [alloc],
     [swap]) are recorded inside the compute functions, so span counts
     count {e cold} stage executions: one ["schedule"] record per
-    (config, loop) however many models consume it. *)
+    (config, loop) however many models consume it.
+
+    {b Failure model:} each stage runs inside an
+    [Ncdrf_error.Error.boundary], so anything escaping a stage is a
+    classified [Ncdrf_error.Error.Error] carrying the loop name and
+    config fingerprint.  Each stage also compiles in an
+    [Ncdrf_fault.Fault.point] (stages ["mii"], ["schedule"], ["alloc"],
+    and ["cache"] in front of every lookup), armed only by explicit
+    [--inject]; failures — injected or real — are never cached. *)
 
 open Ncdrf_ir
 open Ncdrf_machine

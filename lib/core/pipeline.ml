@@ -19,6 +19,7 @@ type stats = {
   density : float;
   swaps : int;
   schedule : Schedule.t;
+  error : Ncdrf_error.Error.t option;
 }
 
 let requirement_of_model = Artifact.apply_model
@@ -27,7 +28,8 @@ let count_swaps = Artifact.count_swaps
 let run ~config ~model ?capacity ?victim ddg =
   Telemetry.incr "pipeline.loops";
   let mii = Artifact.mii ~config ddg in
-  let finish ~final_ddg ~sched ~requirement ~fits ~spilled ~added_memops ~ii_bumps ~swaps =
+  let finish ?error ~final_ddg ~sched ~requirement ~fits ~spilled ~added_memops ~ii_bumps
+      ~swaps () =
     {
       name = Ddg.name ddg;
       model;
@@ -44,6 +46,7 @@ let run ~config ~model ?capacity ?victim ddg =
       density = Traffic.density sched;
       swaps;
       schedule = sched;
+      error;
     }
   in
   match capacity, model with
@@ -56,7 +59,7 @@ let run ~config ~model ?capacity ?victim ddg =
       | Some cap, _ -> v.Artifact.requirement <= cap
     in
     finish ~final_ddg:ddg ~sched:v.Artifact.sched ~requirement:v.Artifact.requirement
-      ~fits ~spilled:0 ~added_memops:0 ~ii_bumps:0 ~swaps:v.Artifact.swaps
+      ~fits ~spilled:0 ~added_memops:0 ~ii_bumps:0 ~swaps:v.Artifact.swaps ()
   | Some cap, _ ->
     (* The "spill" span wraps the whole iterative spill loop, which
        re-schedules and re-allocates internally — so the nested
@@ -80,7 +83,8 @@ let run ~config ~model ?capacity ?victim ddg =
     let swaps =
       Artifact.count_swaps model outcome.Spiller.raw_schedule outcome.Spiller.schedule
     in
-    finish ~final_ddg:outcome.Spiller.ddg ~sched:outcome.Spiller.schedule
-      ~requirement:outcome.Spiller.requirement ~fits:outcome.Spiller.fits
-      ~spilled:outcome.Spiller.spilled ~added_memops:outcome.Spiller.added_memops
-      ~ii_bumps:outcome.Spiller.ii_bumps ~swaps
+    finish ?error:outcome.Spiller.error ~final_ddg:outcome.Spiller.ddg
+      ~sched:outcome.Spiller.schedule ~requirement:outcome.Spiller.requirement
+      ~fits:outcome.Spiller.fits ~spilled:outcome.Spiller.spilled
+      ~added_memops:outcome.Spiller.added_memops ~ii_bumps:outcome.Spiller.ii_bumps
+      ~swaps ()

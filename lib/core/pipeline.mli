@@ -40,6 +40,12 @@ type stats = {
   density : float;
   swaps : int;  (** swaps applied (Swapped model only) *)
   schedule : Schedule.t;  (** final schedule *)
+  error : Ncdrf_error.Error.t option;
+      (** soft degradation: the spiller's [Spill_diverged], if it gave
+          up ([None] whenever [fits]).  Hard failures — infeasible
+          schedules, exhausted budgets, injected faults — raise
+          [Ncdrf_error.Error.Error] instead, classified by the stage
+          boundaries in {!Artifact}. *)
 }
 
 (** The model's requirement function on a fixed schedule (uncached;

@@ -1,6 +1,7 @@
 open Ncdrf_machine
 open Ncdrf_regalloc
 open Ncdrf_sched
+module Error = Ncdrf_error.Error
 
 type detail = {
   requirement : int;
@@ -49,7 +50,7 @@ let feasible ?strategy ?order ~ii ~globals ~locals capacity =
           <> None)
       locals
 
-let joint_requirement ?strategy ?order ~ii ~globals ~locals () =
+let joint_requirement ?strategy ?order ?upper ~ii ~globals ~locals () =
   if globals = [] && Array.for_all (fun ls -> ls = []) locals then 0
   else begin
     let all_of cluster = globals @ locals.(cluster) in
@@ -60,11 +61,17 @@ let joint_requirement ?strategy ?order ~ii ~globals ~locals () =
       |> List.fold_left max 1
     in
     let upper =
-      (2 * Lifetime.total_min_registers ~ii (globals @ List.concat (Array.to_list locals))) + 64
+      match upper with
+      | Some u -> u
+      | None ->
+        (2 * Lifetime.total_min_registers ~ii (globals @ List.concat (Array.to_list locals)))
+        + 64
     in
     let rec search capacity =
       if capacity > upper then
-        failwith "Requirements.joint_requirement: no feasible capacity (bug)"
+        Error.errorf ~ii ~stage:"alloc" Error.Alloc_infeasible
+          "no feasible joint capacity in [%d, %d] (%d globals, %d clusters)" lower upper
+          (List.length globals) (Array.length locals)
       else if feasible ?strategy ?order ~ii ~globals ~locals capacity then capacity
       else search (capacity + 1)
     in
@@ -84,7 +91,9 @@ let partitioned_allocation ?strategy ?order sched =
   if capacity = 0 then { capacity = 0; globals = []; locals = Array.map (fun _ -> []) local_groups }
   else begin
     match Alloc.allocate ?strategy ?order ~ii ~capacity globals with
-    | None -> failwith "Requirements.partitioned_allocation: globals do not fit (bug)"
+    | None ->
+      Error.errorf ~ii ~stage:"alloc" Error.Internal
+        "partitioned_allocation: globals do not fit capacity %d (bug)" capacity
     | Some placed_globals ->
       let place_locals ls =
         match ls with
@@ -92,7 +101,9 @@ let partitioned_allocation ?strategy ?order sched =
         | _ ->
           (match Alloc.allocate ?strategy ?order ~placed:placed_globals ~ii ~capacity ls with
            | Some p -> p
-           | None -> failwith "Requirements.partitioned_allocation: locals do not fit (bug)")
+           | None ->
+             Error.errorf ~ii ~stage:"alloc" Error.Internal
+               "partitioned_allocation: locals do not fit capacity %d (bug)" capacity)
       in
       { capacity; globals = placed_globals; locals = Array.map place_locals local_groups }
   end

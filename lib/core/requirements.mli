@@ -31,6 +31,23 @@ val unified : ?strategy:Alloc.strategy -> ?order:Alloc.order -> Schedule.t -> in
 val partitioned :
   ?strategy:Alloc.strategy -> ?order:Alloc.order -> Schedule.t -> detail
 
+(** Smallest capacity jointly allocating the globals (one shared
+    placement) plus each cluster's locals on top of it.  [upper] caps
+    the search (default: a generous internal bound).
+
+    @raise Ncdrf_error.Error.Error with category [Alloc_infeasible] and
+    the range searched when no capacity up to [upper] is feasible (only
+    reachable with a small explicit [upper]). *)
+val joint_requirement :
+  ?strategy:Alloc.strategy ->
+  ?order:Alloc.order ->
+  ?upper:int ->
+  ii:int ->
+  globals:Lifetime.t list ->
+  locals:Lifetime.t list array ->
+  unit ->
+  int
+
 (** Per-cluster MaxLive lower bound (globals counted in every cluster);
     the estimate the swap pass minimises.  For a single-cluster machine
     this is plain MaxLive. *)

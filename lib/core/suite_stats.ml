@@ -14,16 +14,40 @@ type measurement = {
 }
 
 module Pool = Ncdrf_parallel.Pool
+module Error = Ncdrf_error.Error
+module Failures = Ncdrf_error.Failures
 
 (* Parallel map over the suite, deterministic: the pool returns results
    in input order, so serial and parallel runs are observably
-   identical.  Failures surface with the loop's name attached. *)
-let suite_map ?pool ~f loops =
-  match pool with
-  | None -> List.map f loops
-  | Some pool -> Pool.map pool ~label:(fun l -> Ddg.name l.ddg) f loops
+   identical.  Failures surface with the loop's name attached.
 
-let measure_all ?pool ~config ~models loops =
+   With a [failures] collector the sweep degrades gracefully instead:
+   each failing loop is classified and recorded — in input order, after
+   the whole map has settled, so the manifest is deterministic under
+   any worker count — and dropped from the results.  The collector's
+   policy ([fail_fast] / [max_failures]) may abort during recording. *)
+let suite_map ?pool ?failures ~f loops =
+  match failures with
+  | None ->
+    (match pool with
+     | None -> List.map f loops
+     | Some pool -> Pool.map pool ~label:(fun l -> Ddg.name l.ddg) f loops)
+  | Some failures ->
+    let outcomes =
+      match pool with
+      | None ->
+        List.map (fun l -> try Ok (f l) with e -> Stdlib.Error (Ddg.name l.ddg, e)) loops
+      | Some pool -> Pool.try_map_exn pool ~label:(fun l -> Ddg.name l.ddg) f loops
+    in
+    List.filter_map
+      (function
+        | Ok v -> Some v
+        | Stdlib.Error (loop, e) ->
+          Failures.record failures (Error.classify_exn ~stage:"pipeline" ~loop e);
+          None)
+      outcomes
+
+let measure_all ?pool ?failures ~config ~models loops =
   let one loop =
     Ncdrf_telemetry.Telemetry.incr "pipeline.loops";
     let raw = Artifact.raw_schedule ~config loop.ddg in
@@ -33,11 +57,11 @@ let measure_all ?pool ~config ~models loops =
         { loop; requirement = v.Artifact.requirement; ii = Schedule.ii v.Artifact.sched })
       models
   in
-  let per_loop = suite_map ?pool ~f:one loops in
+  let per_loop = suite_map ?pool ?failures ~f:one loops in
   List.mapi (fun i model -> (model, List.map (fun row -> List.nth row i) per_loop)) models
 
-let measure ?pool ~config ~model loops =
-  match measure_all ?pool ~config ~models:[ model ] loops with
+let measure ?pool ?failures ~config ~model loops =
+  match measure_all ?pool ?failures ~config ~models:[ model ] loops with
   | [ (_, ms) ] -> ms
   | _ -> assert false
 
@@ -93,7 +117,7 @@ type performance = {
   unfit : int;
 }
 
-let performance ?pool ~config ~model ~capacity loops =
+let performance ?pool ?failures ~config ~model ~capacity loops =
   let ideal_time = ref 0.0 in
   let achieved_time = ref 0.0 in
   let traffic_num = ref 0.0 in
@@ -106,7 +130,8 @@ let performance ?pool ~config ~model ~capacity loops =
      stays a serial fold in input order so the sums are bit-identical
      whatever the worker count. *)
   let compiled =
-    suite_map ?pool ~f:(fun loop -> (loop, Pipeline.run ~config ~model ~capacity loop.ddg))
+    suite_map ?pool ?failures
+      ~f:(fun loop -> (loop, Pipeline.run ~config ~model ~capacity loop.ddg))
       loops
   in
   let one (loop, stats) =

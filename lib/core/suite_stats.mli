@@ -27,9 +27,20 @@ type measurement = {
     lists in the order of [models].
 
     [pool] fans the per-loop work out over domains; results keep input
-    order, so output is identical to the serial run. *)
+    order, so output is identical to the serial run.
+
+    [failures] switches the sweep to graceful degradation: a loop whose
+    compilation raises is classified ({!Ncdrf_error.Error.classify_exn}),
+    recorded in the collector — in input order, after the whole map has
+    settled, so the failure manifest is deterministic under any worker
+    count — and dropped from the results; the collector's policy
+    ([fail_fast] / [max_failures]) may raise
+    {!Ncdrf_error.Failures.Abort} during recording.  Without
+    [failures], any loop failure propagates (via
+    [Ncdrf_parallel.Pool.Worker_failure] under a pool), as before. *)
 val measure_all :
   ?pool:Ncdrf_parallel.Pool.t ->
+  ?failures:Ncdrf_error.Failures.t ->
   config:Config.t ->
   models:Model.t list ->
   workload list ->
@@ -38,6 +49,7 @@ val measure_all :
 (** [measure_all] for a single model. *)
 val measure :
   ?pool:Ncdrf_parallel.Pool.t ->
+  ?failures:Ncdrf_error.Failures.t ->
   config:Config.t -> model:Model.t -> workload list -> measurement list
 
 (** Static cumulative distribution: fraction (in percent) of loops whose
@@ -68,7 +80,14 @@ type performance = {
 
     [pool] parallelizes the per-loop pipeline; the aggregation itself is
     a serial fold in input order, so every float sum is bit-identical to
-    the serial run's. *)
+    the serial run's.
+
+    [failures] degrades gracefully exactly as in {!measure_all}:
+    failing loops are classified, recorded, and excluded from the
+    aggregates.  A spiller that gives up is {e not} a failure here — it
+    stays in the aggregates and is counted in [unfit], with the
+    divergence detail on [Pipeline.stats.error]. *)
 val performance :
   ?pool:Ncdrf_parallel.Pool.t ->
+  ?failures:Ncdrf_error.Failures.t ->
   config:Config.t -> model:Model.t -> capacity:int -> workload list -> performance

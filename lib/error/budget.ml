@@ -1,0 +1,56 @@
+type t = {
+  max_steps : int option;
+  max_wall_s : float option;
+}
+
+let unlimited = { max_steps = None; max_wall_s = None }
+
+let v ?max_steps ?max_wall_s () = { max_steps; max_wall_s }
+
+let limited t = t.max_steps <> None || t.max_wall_s <> None
+
+type meter = {
+  budget : t;
+  started : float;  (** only meaningful when a wall limit is set *)
+  mutable steps : int;
+  mutable wall_overrun : bool;
+  mutable next_wall_check : int;  (** step count of the next clock sample *)
+}
+
+let now () = Unix.gettimeofday ()
+
+let start budget =
+  {
+    budget;
+    started = (if budget.max_wall_s = None then 0.0 else now ());
+    steps = 0;
+    wall_overrun = false;
+    next_wall_check = 0;
+  }
+
+(* Sampling the clock every step would dominate a fast scheduler;
+   every 64 steps keeps the overrun detection within a few ms. *)
+let wall_check_interval = 64
+
+let spend ?(steps = 1) m =
+  m.steps <- m.steps + steps;
+  match m.budget.max_wall_s with
+  | None -> ()
+  | Some limit ->
+    if m.steps >= m.next_wall_check then begin
+      m.next_wall_check <- m.steps + wall_check_interval;
+      if now () -. m.started > limit then m.wall_overrun <- true
+    end
+
+let exceeded m =
+  match m.budget.max_steps with
+  | Some limit when m.steps > limit ->
+    Some (Printf.sprintf "step budget exhausted (%d > %d)" m.steps limit)
+  | Some _ | None ->
+    if m.wall_overrun then
+      Some
+        (Printf.sprintf "wall-clock budget exhausted (> %.3fs)"
+           (Option.get m.budget.max_wall_s))
+    else None
+
+let steps_used m = m.steps

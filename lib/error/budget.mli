@@ -1,0 +1,42 @@
+(** Stage budgets as first-class outcomes.
+
+    A budget bounds a stage by {e steps} (stage-defined unit of work —
+    the modulo scheduler counts placement attempts) and/or {e wall
+    clock}.  Exhaustion is not an accident to debug but a classified
+    outcome ({!Error.Budget_exhausted}): a sweep over hundreds of loops
+    reports "this point ran out of budget at II=9 after 40000
+    placements" and moves on.
+
+    The type is policy only; a {!meter} is the running account.  Meters
+    are single-threaded by design: each pipeline point meters its own
+    stage on its own domain. *)
+
+type t = {
+  max_steps : int option;  (** total steps allowed; [None] = unlimited *)
+  max_wall_s : float option;  (** wall-clock seconds; [None] = unlimited *)
+}
+
+val unlimited : t
+
+(** [v ?max_steps ?max_wall_s ()] — omitted components are unlimited. *)
+val v : ?max_steps:int -> ?max_wall_s:float -> unit -> t
+
+(** A running account against one budget. *)
+type meter
+
+(** Start the clock (reads the wall clock only if a wall limit is
+    set). *)
+val start : t -> meter
+
+(** Add [steps] (default 1) to the account.  Cheap: the wall clock is
+    sampled at most once every 64 steps. *)
+val spend : ?steps:int -> meter -> unit
+
+(** [Some reason] once the account exceeds either limit. *)
+val exceeded : meter -> string option
+
+val steps_used : meter -> int
+
+(** True if the budget has any limit at all — lets hot loops skip
+    metering entirely under {!unlimited}. *)
+val limited : t -> bool

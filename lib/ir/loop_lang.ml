@@ -1,7 +1,30 @@
-exception Parse_error of { line : int; message : string }
+exception Parse_error of { file : string option; line : int; message : string }
 
 let fail line fmt =
-  Printf.ksprintf (fun message -> raise (Parse_error { line; message })) fmt
+  Printf.ksprintf (fun message -> raise (Parse_error { file = None; line; message })) fmt
+
+let () =
+  Printexc.register_printer (function
+    | Parse_error { file; line; message } ->
+      Some
+        (Printf.sprintf "Loop_lang.Parse_error (%sline %d: %s)"
+           (match file with None -> "" | Some f -> f ^ ", ")
+           line message)
+    | _ -> None)
+
+(* Map this front end's exceptions into the typed taxonomy so the suite
+   boundary classifies them as [Parse] rather than [Internal]. *)
+let () =
+  Ncdrf_error.Error.register_classifier (function
+    | Parse_error { file; line; message } ->
+      Some
+        (Ncdrf_error.Error.make ?loop:file ~stage:"parse" Ncdrf_error.Error.Parse
+           (Printf.sprintf "%sline %d: %s"
+              (match file with None -> "" | Some f -> f ^ ", ")
+              line message))
+    | Expr.Compile_error message ->
+      Some (Ncdrf_error.Error.make ~stage:"parse" Ncdrf_error.Error.Parse message)
+    | _ -> None)
 
 type token =
   | Ident of string
@@ -260,6 +283,7 @@ let parse_string text =
     | [] -> ()
     | [ Kw_loop; Ident name ] ->
       finish ();
+      Ncdrf_fault.Fault.point ~stage:"parse" ~key:name;
       current := Some (name, [])
     | Kw_loop :: _ -> fail line_no "expected: loop <name>"
     | tokens ->
@@ -287,4 +311,6 @@ let parse_file path =
       raise e
   in
   close_in ic;
-  parse_string content
+  try parse_string content
+  with Parse_error { file = None; line; message } ->
+    raise (Parse_error { file = Some path; line; message })

@@ -21,7 +21,9 @@
 
     A file may contain several [loop] blocks. *)
 
-exception Parse_error of { line : int; message : string }
+(** [file] is [None] when parsing from a string; {!parse_file} fills in
+    the path so the message names its origin. *)
+exception Parse_error of { file : string option; line : int; message : string }
 
 (** Parse all loops in a string.
 
@@ -32,4 +34,6 @@ val parse_string : string -> Ddg.t list
 (** Parse exactly one loop. *)
 val parse_one : string -> Ddg.t
 
+(** Like {!parse_string} on the file's contents; a [Parse_error] gains
+    [file = Some path]. *)
 val parse_file : string -> Ddg.t list

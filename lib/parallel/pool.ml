@@ -79,14 +79,15 @@ let with_pool ?jobs f =
 
 let default_label _ = "item"
 
-let try_map t ?(label = default_label) f xs =
+(* Shared engine: apply [outcome] (which must not raise) to every item,
+   results in input order. *)
+let generic_map t outcome xs =
   let arr = Array.of_list xs in
   let n = Array.length arr in
-  let outcome x = try Ok (f x) with e -> Error (label x, Printexc.to_string e) in
   if n = 0 then []
   else if is_serial t then List.map outcome (Array.to_list arr)
   else begin
-    let results : ('b, string * string) result option array = Array.make n None in
+    let results = Array.make n None in
     let remaining = ref n in
     let all_done = Condition.create () in
     let job i () =
@@ -126,6 +127,12 @@ let try_map t ?(label = default_label) f xs =
            | None -> assert false (* remaining = 0 implies every slot is filled *))
          results)
   end
+
+let try_map t ?(label = default_label) f xs =
+  generic_map t (fun x -> try Ok (f x) with e -> Error (label x, Printexc.to_string e)) xs
+
+let try_map_exn t ?(label = default_label) f xs =
+  generic_map t (fun x -> try Ok (f x) with e -> Error (label x, e)) xs
 
 let map t ?label f xs =
   let outcomes = try_map t ?label f xs in

@@ -54,6 +54,14 @@ val try_map :
   t -> ?label:('a -> string) -> ('a -> 'b) -> 'a list ->
   ('b, string * string) result list
 
+(** Like {!try_map} but preserves the exception value instead of
+    flattening it to [Printexc.to_string] — the suite runner classifies
+    failures ({!Ncdrf_error.Error.classify_exn}) after the map settles,
+    in input order, which needs the original exception. *)
+val try_map_exn :
+  t -> ?label:('a -> string) -> ('a -> 'b) -> 'a list ->
+  ('b, string * exn) result list
+
 (** Stop and join the worker domains.  Idempotent; a shut-down pool
     maps serially. *)
 val shutdown : t -> unit

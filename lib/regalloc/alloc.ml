@@ -90,7 +90,7 @@ let allocate ?(strategy = First_fit) ?(order = Start_time) ?(placed = []) ~ii ~c
 let registers_used placements =
   List.fold_left (fun acc p -> max acc (p.register + 1)) 0 placements
 
-let min_capacity ?(strategy = First_fit) ?(order = Start_time) ~ii lifetimes =
+let min_capacity ?(strategy = First_fit) ?(order = Start_time) ?upper ~ii lifetimes =
   match lifetimes with
   | [] -> 0
   | _ ->
@@ -99,10 +99,17 @@ let min_capacity ?(strategy = First_fit) ?(order = Start_time) ~ii lifetimes =
         (Lifetime.max_live ~ii lifetimes)
         (List.fold_left (fun acc l -> max acc (Lifetime.min_registers ~ii l)) 1 lifetimes)
     in
-    let upper = (2 * Lifetime.total_min_registers ~ii lifetimes) + 64 in
+    let upper =
+      match upper with
+      | Some u -> u
+      | None -> (2 * Lifetime.total_min_registers ~ii lifetimes) + 64
+    in
     let rec search capacity =
       if capacity > upper then
-        failwith "Alloc.min_capacity: no feasible capacity (bug)"
+        Ncdrf_error.Error.errorf ~ii ~stage:"alloc"
+          Ncdrf_error.Error.Alloc_infeasible
+          "no feasible capacity in [%d, %d] for %d lifetimes" lower upper
+          (List.length lifetimes)
       else
         match allocate ~strategy ~order ~ii ~capacity lifetimes with
         | Some _ -> capacity

@@ -53,12 +53,15 @@ val allocate :
 
 (** Smallest capacity for which {!allocate} succeeds, searched upward
     from the [max_live]/longest-value lower bound.  0 for an empty value
-    list.
+    list.  [upper] caps the search (default: a generous
+    [2 * total_min_registers + 64] internal bound).
 
-    @raise Failure if no capacity up to a generous internal cap works
-    (indicates a bug; property-tested not to happen). *)
+    @raise Ncdrf_error.Error.Error with category [Alloc_infeasible] and
+    the capacity range searched if no capacity up to [upper] works
+    (never happens with the default bound — property-tested; reachable
+    by passing a small [upper]). *)
 val min_capacity :
-  ?strategy:strategy -> ?order:order -> ii:int -> Lifetime.t list -> int
+  ?strategy:strategy -> ?order:order -> ?upper:int -> ii:int -> Lifetime.t list -> int
 
 (** Registers used by a set of placements: highest register index + 1.
     With First-Fit this is the compact requirement measure used

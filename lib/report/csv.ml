@@ -33,6 +33,17 @@ let write path rows =
 
 exception Parse_error of string
 
+(* 1-based line/column of byte [i], for error messages. *)
+let line_col s i =
+  let line = ref 1 and bol = ref 0 in
+  for j = 0 to min i (String.length s) - 1 do
+    if s.[j] = '\n' then begin
+      incr line;
+      bol := j + 1
+    end
+  done;
+  (!line, i - !bol + 1)
+
 let parse_string s =
   let n = String.length s in
   let rows = ref [] in
@@ -65,21 +76,27 @@ let parse_string s =
       | '\r' when i + 1 < n && s.[i + 1] = '\n' ->
         flush_row ();
         plain (i + 2)
-      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted ~opened:i (i + 1)
       | c ->
         Buffer.add_char buf c;
         plain (i + 1)
-  and quoted i =
-    if i >= n then raise (Parse_error "unterminated quoted cell")
+  and quoted ~opened i =
+    if i >= n then begin
+      let line, col = line_col s opened in
+      raise
+        (Parse_error
+           (Printf.sprintf "unterminated quoted cell (opened at line %d, column %d)"
+              line col))
+    end
     else
       match s.[i] with
       | '"' when i + 1 < n && s.[i + 1] = '"' ->
         Buffer.add_char buf '"';
-        quoted (i + 2)
+        quoted ~opened (i + 2)
       | '"' -> plain (i + 1)
       | c ->
         Buffer.add_char buf c;
-        quoted (i + 1)
+        quoted ~opened (i + 1)
   in
   plain 0;
   List.rev !rows

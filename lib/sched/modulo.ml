@@ -1,7 +1,8 @@
 open Ncdrf_ir
 open Ncdrf_machine
-
-exception Failed of string
+module Error = Ncdrf_error.Error
+module Budget = Ncdrf_error.Budget
+module Telemetry = Ncdrf_telemetry.Telemetry
 
 type cluster_policy =
   | Balance
@@ -200,7 +201,7 @@ let highest_unscheduled st =
   done;
   !best
 
-let attempt cfg ddg ~ii ~budget ~policy ~placement =
+let attempt cfg ddg ~ii ~budget ~meter ~policy ~placement =
   match heights cfg ddg ~ii with
   | None -> None (* positive cycle: ii below RecMII *)
   | Some height ->
@@ -226,6 +227,17 @@ let attempt cfg ddg ~ii ~budget ~policy ~placement =
       else if st.budget <= 0 then false
       else begin
         st.budget <- st.budget - 1;
+        (match meter with
+         | None -> ()
+         | Some m ->
+           Budget.spend m;
+           (match Budget.exceeded m with
+            | None -> ()
+            | Some reason ->
+              Telemetry.incr "budget.exhausted";
+              Error.errorf ~loop:(Ddg.name ddg) ~ii ~stage:"schedule"
+                Error.Budget_exhausted "%s after %d placements" reason
+                (Budget.steps_used m)));
         let from = estart st v in
         (match try_window st v ~from with
          | Some (cycle, cluster) -> place st v ~cycle ~cluster
@@ -238,7 +250,9 @@ let attempt cfg ddg ~ii ~budget ~policy ~placement =
             | None ->
               (* Can only happen when a unit class has zero capacity. *)
               let op = (Ddg.node ddg v).Ddg.opcode in
-              raise (Failed (Printf.sprintf "no unit can execute %s" (Opcode.to_string op)))));
+              Error.errorf ~loop:(Ddg.name ddg) ~ii ~stage:"schedule"
+                Error.Schedule_infeasible "no unit can execute %s"
+                (Opcode.to_string op)));
         loop ()
       end
     in
@@ -250,20 +264,28 @@ let attempt cfg ddg ~ii ~budget ~policy ~placement =
     end
     else None
 
-let schedule_with_min_ii ?(budget_ratio = 8) ?(max_ii_slack = 128)
-    ?(cluster_policy = Balance) ?(placement_policy = Asap) ~min_ii cfg ddg =
+let schedule_with_min_ii ?(budget = Budget.unlimited) ?(budget_ratio = 8)
+    ?(max_ii_slack = 128) ?(cluster_policy = Balance) ?(placement_policy = Asap)
+    ~min_ii cfg ddg =
   (match Ddg.validate ddg with
    | Ok () -> ()
-   | Error msg -> invalid_arg (Printf.sprintf "Modulo.schedule: %s" msg));
+   | Error msg ->
+     Error.errorf ~loop:(Ddg.name ddg) ~stage:"schedule" Error.Invalid_graph
+       "Modulo.schedule: %s" msg);
   let mii = max (Mii.mii cfg ddg) min_ii in
-  let budget = budget_ratio * max 1 (Ddg.num_nodes ddg) in
+  let attempt_budget = budget_ratio * max 1 (Ddg.num_nodes ddg) in
+  (* One meter spans the whole II search: restarts at a larger II do not
+     refill the account. *)
+  let meter = if Budget.limited budget then Some (Budget.start budget) else None in
   let rec search ii =
     if ii > mii + max_ii_slack then
-      raise
-        (Failed
-           (Printf.sprintf "%s: no schedule up to II=%d" (Ddg.name ddg) (mii + max_ii_slack)))
+      Error.errorf ~loop:(Ddg.name ddg) ~ii:(mii + max_ii_slack) ~stage:"schedule"
+        Error.Schedule_infeasible "no schedule up to II=%d" (mii + max_ii_slack)
     else
-      match attempt cfg ddg ~ii ~budget ~policy:cluster_policy ~placement:placement_policy with
+      match
+        attempt cfg ddg ~ii ~budget:attempt_budget ~meter ~policy:cluster_policy
+          ~placement:placement_policy
+      with
       | Some s ->
         Log.debug (fun m -> m "%s: scheduled at II=%d (MII=%d)" (Ddg.name ddg) ii mii);
         s
@@ -271,6 +293,7 @@ let schedule_with_min_ii ?(budget_ratio = 8) ?(max_ii_slack = 128)
   in
   search mii
 
-let schedule ?budget_ratio ?max_ii_slack ?cluster_policy ?placement_policy cfg ddg =
-  schedule_with_min_ii ?budget_ratio ?max_ii_slack ?cluster_policy ?placement_policy
-    ~min_ii:1 cfg ddg
+let schedule ?budget ?budget_ratio ?max_ii_slack ?cluster_policy ?placement_policy cfg
+    ddg =
+  schedule_with_min_ii ?budget ?budget_ratio ?max_ii_slack ?cluster_policy
+    ?placement_policy ~min_ii:1 cfg ddg

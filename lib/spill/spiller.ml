@@ -1,6 +1,8 @@
 open Ncdrf_ir
 open Ncdrf_sched
 open Ncdrf_regalloc
+module Error = Ncdrf_error.Error
+module Fault = Ncdrf_fault.Fault
 
 type victim =
   | Longest_lifetime
@@ -17,6 +19,7 @@ type outcome = {
   added_memops : int;
   ii_bumps : int;
   rounds : int;
+  error : Error.t option;
 }
 
 let src = Logs.Src.create "ncdrf.spiller" ~doc:"naive iterative spiller"
@@ -111,51 +114,24 @@ let pick_victim ~victim ~ii ddg candidates =
         if score ~victim ~ii ddg l > score ~victim ~ii ddg best then Some l else acc)
     None candidates
 
+(* A mid-round scheduling/allocation failure with a partial outcome in
+   hand degrades to [Spill_diverged] instead of killing the point; the
+   last completed round's schedule is the partial outcome.  Faults
+   injected on purpose are never swallowed here — they must surface to
+   the suite boundary to prove containment there. *)
+let containable (e : Error.t) =
+  match e.category with
+  | Error.Schedule_infeasible | Error.Budget_exhausted | Error.Alloc_infeasible -> true
+  | Error.Parse | Error.Invalid_graph | Error.Spill_diverged | Error.Injected
+  | Error.Internal ->
+    false
+
 let run ~config ~requirement ~capacity ?(victim = Longest_lifetime)
     ?(schedule = fun ~min_ii ddg -> schedule_once config ~min_ii ddg) ?(max_rounds = 64)
     ?(max_ii_bumps = 32) ddg =
+  Fault.point ~stage:"spill" ~key:(Ddg.name ddg);
   let original_memops = Ddg.num_memory_ops ddg in
-  let rec iterate ddg ~min_ii ~spilled ~ii_bumps ~rounds =
-    let raw = schedule ~min_ii ddg in
-    let sched, req = requirement raw in
-    if req <= capacity then
-      {
-        schedule = sched;
-        raw_schedule = raw;
-        ddg;
-        requirement = req;
-        fits = true;
-        spilled;
-        added_memops = Ddg.num_memory_ops ddg - original_memops;
-        ii_bumps;
-        rounds;
-      }
-    else if rounds >= max_rounds then
-      give_up ~raw sched ddg req ~spilled ~ii_bumps ~rounds
-    else begin
-      (* Pick the longest spillable lifetime of the current schedule. *)
-      let lifetimes = Lifetime.of_schedule sched in
-      let candidates =
-        List.filter (fun l -> spillable ddg l.Lifetime.producer) lifetimes
-      in
-      match pick_victim ~victim ~ii:(Schedule.ii sched) ddg candidates with
-      | Some l ->
-        Log.debug (fun m ->
-            m "%s: spilling value of node %d (lifetime %d), req %d > %d" (Ddg.name ddg)
-              l.Lifetime.producer (Lifetime.length l) req capacity);
-        let ddg = spill_value ddg l.Lifetime.producer in
-        iterate ddg ~min_ii ~spilled:(spilled + 1) ~ii_bumps ~rounds:(rounds + 1)
-      | None ->
-        if ii_bumps >= max_ii_bumps then
-          give_up ~raw sched ddg req ~spilled ~ii_bumps ~rounds
-        else begin
-          let bumped = Schedule.ii sched + 1 in
-          Log.debug (fun m ->
-              m "%s: no spill candidate left, rescheduling at II=%d" (Ddg.name ddg) bumped);
-          iterate ddg ~min_ii:bumped ~spilled ~ii_bumps:(ii_bumps + 1) ~rounds:(rounds + 1)
-        end
-    end
-  and give_up ~raw sched ddg req ~spilled ~ii_bumps ~rounds =
+  let give_up ~raw sched ddg req ~spilled ~ii_bumps ~rounds ~error =
     {
       schedule = sched;
       raw_schedule = raw;
@@ -166,6 +142,83 @@ let run ~config ~requirement ~capacity ?(victim = Longest_lifetime)
       added_memops = Ddg.num_memory_ops ddg - original_memops;
       ii_bumps;
       rounds;
+      error = Some error;
     }
   in
-  iterate ddg ~min_ii:1 ~spilled:0 ~ii_bumps:0 ~rounds:0
+  let diverged ~ii ~rounds fmt =
+    Printf.ksprintf
+      (fun message ->
+        Error.make ~loop:(Ddg.name ddg) ~round:rounds ~ii ~stage:"spill"
+          Error.Spill_diverged message)
+      fmt
+  in
+  let rec iterate ddg ~min_ii ~spilled ~ii_bumps ~rounds ~last =
+    match
+      let raw = schedule ~min_ii ddg in
+      let sched, req = requirement raw in
+      (raw, sched, req)
+    with
+    | exception Error.Error e when containable e && last <> None ->
+      (* The spill code itself made the round infeasible (e.g. a budget
+         sized for the original graph).  Degrade to the last completed
+         round rather than losing the point. *)
+      let last_raw, last_sched, last_req, last_ddg = Option.get last in
+      let error =
+        diverged ~ii:(Schedule.ii last_sched) ~rounds "round failed: %s"
+          (Error.to_string e)
+      in
+      give_up ~raw:last_raw last_sched last_ddg last_req ~spilled ~ii_bumps ~rounds
+        ~error
+    | raw, sched, req ->
+      if req <= capacity then
+        {
+          schedule = sched;
+          raw_schedule = raw;
+          ddg;
+          requirement = req;
+          fits = true;
+          spilled;
+          added_memops = Ddg.num_memory_ops ddg - original_memops;
+          ii_bumps;
+          rounds;
+          error = None;
+        }
+      else if rounds >= max_rounds then
+        give_up ~raw sched ddg req ~spilled ~ii_bumps ~rounds
+          ~error:
+            (diverged ~ii:(Schedule.ii sched) ~rounds
+               "max rounds (%d) reached with requirement %d > capacity %d (%d spilled, %d II bumps)"
+               max_rounds req capacity spilled ii_bumps)
+      else begin
+        (* Pick the longest spillable lifetime of the current schedule. *)
+        let lifetimes = Lifetime.of_schedule sched in
+        let candidates =
+          List.filter (fun l -> spillable ddg l.Lifetime.producer) lifetimes
+        in
+        match pick_victim ~victim ~ii:(Schedule.ii sched) ddg candidates with
+        | Some l ->
+          Log.debug (fun m ->
+              m "%s: spilling value of node %d (lifetime %d), req %d > %d" (Ddg.name ddg)
+                l.Lifetime.producer (Lifetime.length l) req capacity);
+          let last = Some (raw, sched, req, ddg) in
+          let ddg = spill_value ddg l.Lifetime.producer in
+          iterate ddg ~min_ii ~spilled:(spilled + 1) ~ii_bumps ~rounds:(rounds + 1) ~last
+        | None ->
+          if ii_bumps >= max_ii_bumps then
+            give_up ~raw sched ddg req ~spilled ~ii_bumps ~rounds
+              ~error:
+                (diverged ~ii:(Schedule.ii sched) ~rounds
+                   "max II bumps (%d) reached with requirement %d > capacity %d and no spill candidate (%d spilled)"
+                   max_ii_bumps req capacity spilled)
+          else begin
+            let bumped = Schedule.ii sched + 1 in
+            Log.debug (fun m ->
+                m "%s: no spill candidate left, rescheduling at II=%d" (Ddg.name ddg)
+                  bumped);
+            iterate ddg ~min_ii:bumped ~spilled ~ii_bumps:(ii_bumps + 1)
+              ~rounds:(rounds + 1)
+              ~last:(Some (raw, sched, req, ddg))
+          end
+      end
+  in
+  iterate ddg ~min_ii:1 ~spilled:0 ~ii_bumps:0 ~rounds:0 ~last:None

@@ -54,6 +54,11 @@ type outcome = {
   added_memops : int;  (** spill stores + loads added *)
   ii_bumps : int;  (** safety-valve II increments *)
   rounds : int;  (** schedule/allocate iterations *)
+  error : Ncdrf_error.Error.t option;
+      (** [None] iff [fits]; otherwise the classified [Spill_diverged]
+          describing why the loop gave up (round/II caps, or a
+          mid-round scheduling failure degraded to the last completed
+          round) *)
 }
 
 (** [run ~config ~requirement ~capacity ddg] iterates until the
@@ -64,8 +69,12 @@ type outcome = {
 
     [max_rounds] (default 64) bounds spill iterations; [max_ii_bumps]
     (default 32) bounds the safety valve.  If both run out the outcome
-    has [fits = false].  [victim] (default [Longest_lifetime]) selects
-    the spill heuristic.
+    has [fits = false] and [error = Some {category = Spill_diverged}]
+    carrying the last round's state — divergence is a reported outcome,
+    never an endless loop or a raw exception.  A round whose scheduling
+    or allocation fails (infeasible or over budget) after at least one
+    completed round likewise degrades to the last completed round.
+    [victim] (default [Longest_lifetime]) selects the spill heuristic.
 
     [schedule] replaces the per-round scheduling step (modulo scheduling
     at [min_ii] followed by pushing spill loads late); the pipeline

@@ -23,4 +23,26 @@ if [ -z "${misses:-}" ] || [ "$misses" -eq 0 ]; then
   echo "check.sh: cache.misses missing or zero in $metrics" >&2
   exit 1
 fi
-echo "check.sh: OK (cache.misses=$misses)"
+
+# Fault-isolation smoke: an injected keep-going suite run must succeed,
+# report the injected points in the metrics, and still print its table.
+inj_metrics=$(mktemp /tmp/ncdrf-inject.XXXXXX.json)
+inj_out=$(mktemp /tmp/ncdrf-inject.XXXXXX.txt)
+trap 'rm -f "$metrics" "$inj_metrics" "$inj_out"' EXIT
+dune exec bin/ncdrf.exe -- suite --size 60 --jobs 1 \
+  --inject stage=schedule,every=7 --metrics "$inj_metrics" > "$inj_out"
+injected=$(grep -o '"errors.injected": *[0-9]*' "$inj_metrics" | head -n1 | grep -o '[0-9]*$' || true)
+if [ -z "${injected:-}" ] || [ "$injected" -eq 0 ]; then
+  echo "check.sh: injected faults not reported in $inj_metrics" >&2
+  exit 1
+fi
+grep -q 'model' "$inj_out" || { echo "check.sh: faulted suite produced no table" >&2; exit 1; }
+
+# The same injection under --fail-fast must abort with a non-zero exit.
+if dune exec bin/ncdrf.exe -- suite --size 60 --jobs 1 \
+     --inject stage=schedule,every=7 --fail-fast > /dev/null 2>&1; then
+  echo "check.sh: --fail-fast did not fail on an injected fault" >&2
+  exit 1
+fi
+
+echo "check.sh: OK (cache.misses=$misses, errors.injected=$injected)"
