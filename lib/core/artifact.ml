@@ -38,7 +38,11 @@ let enabled = Atomic.make true
 let set_cache_enabled b = Atomic.set enabled b
 let cache_enabled () = Atomic.get enabled
 let set_cache_capacity capacity = cache := make_cache capacity
-let clear_cache () = Cache.clear !cache
+let clear_cache () =
+  Cache.clear !cache;
+  (* The allocator's conflict-table memo is state with the same
+     benchmark-isolation needs as the compile cache. *)
+  Ncdrf_regalloc.Conflict.clear_memo ()
 let cache_stats () = Cache.stats !cache
 
 (* The fault point sits in front of the lookup (memo keys do not carry

@@ -106,7 +106,9 @@ val set_cache_capacity : int -> unit
 
 val default_capacity : int
 
-(** Drop every cached entry (capacity and counters unchanged). *)
+(** Drop every cached entry (capacity and counters unchanged), along
+    with the allocator's conflict-table memo — everything a benchmark
+    must reset between runs for isolation. *)
 val clear_cache : unit -> unit
 
 (** Hit/miss/eviction counters and resident size of the current cache. *)

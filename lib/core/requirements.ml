@@ -34,23 +34,62 @@ let cluster_max_live sched =
 
 let max_live_cost sched = Array.fold_left max 0 (cluster_max_live sched)
 
+(* Shared conflict tables for a joint allocation problem: one table per
+   cluster over globals @ locals.(c) — the globals occupy the index
+   prefix [0, num_globals) of every table, so a global placement
+   computed against one table transfers to the others verbatim.  The
+   tables are memoized by [Conflict.get], so the repeated per-cluster
+   and full-joint searches of [partitioned] (and the strategy sweeps of
+   the ablation figures) all hit the same windows. *)
+type joint = {
+  num_globals : int;
+  gtable : Conflict.t;  (* holds at least the globals; tables.(0) if any *)
+  tables : Conflict.t array;
+}
+
+let joint_of ~ii ~globals ~locals =
+  let num_globals = List.length globals in
+  if Array.length locals = 0 then
+    { num_globals; gtable = Conflict.get ~ii globals; tables = [||] }
+  else begin
+    let tables = Array.map (fun ls -> Conflict.get ~ii (globals @ ls)) locals in
+    { num_globals; gtable = tables.(0); tables }
+  end
+
+let global_indices j = List.init j.num_globals Fun.id
+
+let local_indices j table =
+  List.init (Conflict.size table - j.num_globals) (fun k -> j.num_globals + k)
+
 (* Joint feasibility at a given capacity: place the globals once (their
    registers are shared by all subfiles), then each cluster's locals on
    top of them. *)
-let feasible ?strategy ?order ~ii ~globals ~locals capacity =
-  match Alloc.allocate ?strategy ?order ~ii ~capacity globals with
+let joint_feasible ?strategy ?order j capacity =
+  match
+    Alloc.allocate_table ?strategy ?order ~capacity j.gtable (global_indices j)
+  with
   | None -> false
   | Some placed_globals ->
     Array.for_all
-      (fun ls ->
-        match ls with
+      (fun table ->
+        match local_indices j table with
         | [] -> true
-        | _ ->
-          Alloc.allocate ?strategy ?order ~placed:placed_globals ~ii ~capacity ls
+        | locals ->
+          Alloc.allocate_table ?strategy ?order ~placed:placed_globals ~capacity
+            table locals
           <> None)
-      locals
+      j.tables
 
-let joint_requirement ?strategy ?order ?upper ~ii ~globals ~locals () =
+(* Any pair sharing a table is co-allocated by [joint_feasible], so a
+   pair width of [w] rules out every capacity <= w.  The search may
+   start there; error messages still report the original lower bound. *)
+let joint_floor j =
+  Array.fold_left
+    (fun acc t -> max acc (Conflict.max_width t + 1))
+    (Conflict.max_width j.gtable + 1)
+    j.tables
+
+let joint_requirement_tables ?strategy ?order ?upper ~ii ~globals ~locals j =
   if globals = [] && Array.for_all (fun ls -> ls = []) locals then 0
   else begin
     let all_of cluster = globals @ locals.(cluster) in
@@ -72,11 +111,15 @@ let joint_requirement ?strategy ?order ?upper ~ii ~globals ~locals () =
         Error.errorf ~ii ~stage:"alloc" Error.Alloc_infeasible
           "no feasible joint capacity in [%d, %d] (%d globals, %d clusters)" lower upper
           (List.length globals) (Array.length locals)
-      else if feasible ?strategy ?order ~ii ~globals ~locals capacity then capacity
+      else if joint_feasible ?strategy ?order j capacity then capacity
       else search (capacity + 1)
     in
-    search lower
+    search (max lower (joint_floor j))
   end
+
+let joint_requirement ?strategy ?order ?upper ~ii ~globals ~locals () =
+  joint_requirement_tables ?strategy ?order ?upper ~ii ~globals ~locals
+    (joint_of ~ii ~globals ~locals)
 
 type allocation = {
   capacity : int;
@@ -87,40 +130,64 @@ type allocation = {
 let partitioned_allocation ?strategy ?order sched =
   let ii = Schedule.ii sched in
   let globals, local_groups = grouped_lifetimes sched in
-  let capacity = joint_requirement ?strategy ?order ~ii ~globals ~locals:local_groups () in
+  let j = joint_of ~ii ~globals ~locals:local_groups in
+  let capacity =
+    joint_requirement_tables ?strategy ?order ~ii ~globals ~locals:local_groups j
+  in
   if capacity = 0 then { capacity = 0; globals = []; locals = Array.map (fun _ -> []) local_groups }
   else begin
-    match Alloc.allocate ?strategy ?order ~ii ~capacity globals with
+    let placements table pairs =
+      List.map
+        (fun (i, r) -> { Alloc.value = Conflict.lifetime table i; register = r })
+        pairs
+    in
+    match
+      Alloc.allocate_table ?strategy ?order ~capacity j.gtable (global_indices j)
+    with
     | None ->
       Error.errorf ~ii ~stage:"alloc" Error.Internal
         "partitioned_allocation: globals do not fit capacity %d (bug)" capacity
     | Some placed_globals ->
-      let place_locals ls =
-        match ls with
+      let place_locals table =
+        match local_indices j table with
         | [] -> []
-        | _ ->
-          (match Alloc.allocate ?strategy ?order ~placed:placed_globals ~ii ~capacity ls with
-           | Some p -> p
+        | locals ->
+          (match
+             Alloc.allocate_table ?strategy ?order ~placed:placed_globals
+               ~capacity table locals
+           with
+           | Some p -> placements table p
            | None ->
              Error.errorf ~ii ~stage:"alloc" Error.Internal
                "partitioned_allocation: locals do not fit capacity %d (bug)" capacity)
       in
-      { capacity; globals = placed_globals; locals = Array.map place_locals local_groups }
+      {
+        capacity;
+        globals = placements j.gtable placed_globals;
+        locals = Array.map place_locals j.tables;
+      }
   end
 
 let partitioned ?strategy ?order sched =
   let ii = Schedule.ii sched in
   let globals, locals = grouped_lifetimes sched in
+  let j = joint_of ~ii ~globals ~locals in
   let cluster_requirements =
-    Array.map
-      (fun ls -> joint_requirement ?strategy ?order ~ii ~globals ~locals:[| ls |] ())
+    Array.mapi
+      (fun c ls ->
+        joint_requirement_tables ?strategy ?order ~ii ~globals ~locals:[| ls |]
+          { j with gtable = j.tables.(c); tables = [| j.tables.(c) |] })
       locals
   in
-  let requirement = joint_requirement ?strategy ?order ~ii ~globals ~locals () in
+  let requirement = joint_requirement_tables ?strategy ?order ~ii ~globals ~locals j in
   {
     requirement;
     cluster_requirements;
-    global_requirement = Alloc.min_capacity ?strategy ?order ~ii globals;
-    local_requirements = Array.map (Alloc.min_capacity ?strategy ?order ~ii) locals;
+    global_requirement =
+      Alloc.min_capacity_table ?strategy ?order j.gtable (global_indices j);
+    local_requirements =
+      Array.map
+        (fun t -> Alloc.min_capacity_table ?strategy ?order t (local_indices j t))
+        j.tables;
     max_live = cluster_max_live sched;
   }

@@ -73,7 +73,9 @@ let assign ?(config = default_config) sched =
   in
   (* Longest lifetimes first: they relieve the primary file the most. *)
   let ordered =
-    List.sort (fun a b -> compare (Lifetime.length b) (Lifetime.length a)) eligible
+    List.sort
+      (fun a b -> Int.compare (Lifetime.length b) (Lifetime.length a))
+      eligible
   in
   let placed = List.filter try_place ordered in
   let in_sack l =

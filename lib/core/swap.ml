@@ -40,7 +40,11 @@ let candidates sched =
         earlier;
       Hashtbl.replace buckets key (b.Ddg.id :: earlier))
     (Ddg.nodes ddg);
-  List.sort compare !pairs
+  List.sort
+    (fun (a1, b1) (a2, b2) ->
+      let c = Int.compare a1 a2 in
+      if c <> 0 then c else Int.compare b1 b2)
+    !pairs
 
 let cost ~estimate sched =
   match estimate with

@@ -63,6 +63,35 @@ val allocate :
 val min_capacity :
   ?strategy:strategy -> ?order:order -> ?upper:int -> ii:int -> Lifetime.t list -> int
 
+(** Table-level allocation over a prebuilt {!Conflict.t}: places the
+    table [indices] given (already honoured) [placed] pairs of
+    (table index, register), returning (table index, register) pairs in
+    placement order.  This is {!allocate} minus list-to-table plumbing;
+    callers that allocate the same lifetimes repeatedly (the joint
+    capacity search of [Requirements], the strategy ablations) build the
+    table once and call this per probe. *)
+val allocate_table :
+  ?strategy:strategy ->
+  ?order:order ->
+  ?placed:(int * int) list ->
+  capacity:int ->
+  Conflict.t ->
+  int list ->
+  (int * int) list option
+
+(** {!min_capacity} over a prebuilt table and a subset of its indices.
+    The sorted order and the occupancy scratch are built once and reused
+    by every capacity probe, and the search starts no lower than the
+    subset's pair-width floor (a pair whose shift window has
+    [width >= capacity] conflicts at every register distance).  Results
+    — including the error raised past [upper], which reports the
+    original lower bound — are identical to {!min_capacity} on the
+    corresponding lifetime list.
+
+    @raise Ncdrf_error.Error.Error as {!min_capacity}. *)
+val min_capacity_table :
+  ?strategy:strategy -> ?order:order -> ?upper:int -> Conflict.t -> int list -> int
+
 (** Registers used by a set of placements: highest register index + 1.
     With First-Fit this is the compact requirement measure used
     throughout the experiments. *)

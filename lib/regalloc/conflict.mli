@@ -1,0 +1,73 @@
+(** Precomputed pairwise conflict structure for cyclic allocation.
+
+    For values [v] and [w] of a modulo schedule with initiation interval
+    [ii], the residue window of iteration shifts at which their
+    instances overlap — [(d_min, d_max)] with [width = d_max - d_min + 1]
+    — depends only on the two lifetimes and [ii], {e not} on the file
+    capacity.  A conflict table therefore computes every pair's window
+    once and serves all capacities probed by {!Alloc.min_capacity}, all
+    strategies of the ablation sweeps, and every spill round that leaves
+    the lifetimes unchanged.
+
+    Placed at register [rj], neighbour [j] of value [i] forbids exactly
+    the [width] residues [(rj + d_min(j→i)) mod capacity + [0, width)]
+    — an O(width) marking instead of an O(placed) scan per candidate
+    register.  Pairs whose window is empty ([width <= 0]) never conflict
+    at any capacity and are not stored; a pair with
+    [width >= capacity] conflicts at {e every} register distance.
+
+    Tables are immutable after construction and safe to share across
+    domains; the memo below is mutex-protected. *)
+
+type t
+
+(** [shift_window ~ii v w] is the window [(d_min, d_max)] of shifts [d]
+    such that instance [k + d] of [v] overlaps instance [k] of [w].
+    Antisymmetric: the window of [(w, v)] is [(-d_max, -d_min)]. *)
+val shift_window : ii:int -> Lifetime.t -> Lifetime.t -> int * int
+
+(** Positive remainder: [pos_mod a m] is in [[0, m)] for [m > 0]. *)
+val pos_mod : int -> int -> int
+
+(** Build a table for the lifetimes, in the given (significant) order:
+    index [i] of the table is element [i] of the list.  O(n²) window
+    computations, done once.  Bumps the [alloc.pairs] counter by the
+    number of stored (non-empty-window) pairs. *)
+val make : ii:int -> Lifetime.t list -> t
+
+(** Memoized {!make}, keyed on [(ii, lifetimes)] including order.  The
+    fig6–9 sweeps re-allocate the same lifetime sets under many
+    strategies and capacities; the memo makes those hits free.  Bounded
+    (cleared wholesale when full); thread-safe. *)
+val get : ii:int -> Lifetime.t list -> t
+
+(** Drop every memoized table (benchmark isolation between runs). *)
+val clear_memo : unit -> unit
+
+val ii : t -> int
+
+(** Number of lifetimes in the table. *)
+val size : t -> int
+
+(** The lifetime at an index. *)
+val lifetime : t -> int -> Lifetime.t
+
+(** [min_registers t i] is [Lifetime.min_registers] of lifetime [i],
+    precomputed. *)
+val min_registers : t -> int -> int
+
+(** [neighbours t i] is a flat stride-3 array of triples
+    [(j, d_min(j→i), width)]: for neighbour [j] placed at [rj], value
+    [i] is forbidden the residues [(rj + d_min(j→i)) + [0, width)] mod
+    capacity.  Only pairs with [width >= 1] appear.  Do not mutate. *)
+val neighbours : t -> int -> int array
+
+(** Largest pair width in the table: any capacity [<= max_width] is
+    infeasible for a set that includes both members of a widest pair.
+    0 when no pair conflicts. *)
+val max_width : t -> int
+
+(** Record the start of an allocation pass over [t].  Every pass after
+    the first bumps the [alloc.table_reuse] counter: reuse across
+    capacity probes, strategies and memo hits is the engine's win. *)
+val note_pass : t -> unit

@@ -59,7 +59,7 @@ let push_late sched ~eligible =
   (* Latest-first so chained eligible nodes cascade downward. *)
   let order =
     List.sort
-      (fun a b -> compare cycle.(b.Ddg.id) cycle.(a.Ddg.id))
+      (fun a b -> Int.compare cycle.(b.Ddg.id) cycle.(a.Ddg.id))
       (List.filter eligible (Ddg.nodes ddg))
   in
   List.iter (fun nd -> try_move nd.Ddg.id) order;

@@ -56,9 +56,10 @@ let spillable ddg v =
   in
   (not is_spill_load) && not already_spilled
 
-(* Rewrite the graph to spill the value produced by node [v]. *)
-let spill_value ddg v =
-  let slot = next_spill_slot ddg in
+(* Rewrite the graph to spill the value produced by node [v] into spill
+   slot [slot] (the caller tracks the next free slot incrementally; it
+   must equal [next_spill_slot ddg]). *)
+let spill_value ddg ~slot v =
   let consumers = Ddg.consumers ddg v in
   let base = Ddg.num_nodes ddg in
   let store_id = base in
@@ -94,9 +95,13 @@ let schedule_once config ~min_ii ddg =
   let raw = Modulo.schedule_with_min_ii ~min_ii config ddg in
   Adjust.push_late raw ~eligible:is_spill_load
 
+(* Consumer fan-out per node, computed once per graph round: [score]
+   would otherwise re-walk [Ddg.consumers] on every call. *)
+let consumer_counts ddg =
+  Array.init (Ddg.num_nodes ddg) (fun v -> List.length (Ddg.consumers ddg v))
+
 (* Larger score = better victim. *)
-let score ~victim ~ii ddg l =
-  let consumers = List.length (Ddg.consumers ddg l.Lifetime.producer) in
+let score ~victim ~ii ~consumers l =
   match victim with
   | Longest_lifetime -> (float_of_int (Lifetime.length l), 0.0)
   | Best_ratio ->
@@ -105,14 +110,20 @@ let score ~victim ~ii ddg l =
   | Fewest_consumers ->
     (-.float_of_int consumers, float_of_int (Lifetime.length l))
 
-let pick_victim ~victim ~ii ddg candidates =
+(* Each candidate is scored exactly once; the incumbent's key is kept,
+   not recomputed per comparison.  The strict lexicographic [>] keeps
+   the first of equal-scoring candidates, as the original fold did. *)
+let pick_victim ~victim ~ii ~counts candidates =
   List.fold_left
     (fun acc l ->
+      let s = score ~victim ~ii ~consumers:counts.(l.Lifetime.producer) l in
       match acc with
-      | None -> Some l
-      | Some best ->
-        if score ~victim ~ii ddg l > score ~victim ~ii ddg best then Some l else acc)
+      | None -> Some (l, s)
+      | Some (_, best) ->
+        let a1, a2 = s and b1, b2 = best in
+        if a1 > b1 || (a1 = b1 && a2 > b2) then Some (l, s) else acc)
     None candidates
+  |> Option.map fst
 
 (* A mid-round scheduling/allocation failure with a partial outcome in
    hand degrades to [Spill_diverged] instead of killing the point; the
@@ -152,7 +163,11 @@ let run ~config ~requirement ~capacity ?(victim = Longest_lifetime)
           Error.Spill_diverged message)
       fmt
   in
-  let rec iterate ddg ~min_ii ~spilled ~ii_bumps ~rounds ~last =
+  (* [next_slot] is the next free spill slot, tracked incrementally
+     (each spill adds exactly one slot) instead of re-folding the whole
+     graph every round; [counts] is the consumer fan-out of the current
+     graph.  Both survive II bumps unchanged — the graph does too. *)
+  let rec iterate ddg ~min_ii ~spilled ~ii_bumps ~rounds ~last ~next_slot ~counts =
     match
       let raw = schedule ~min_ii ddg in
       let sched, req = requirement raw in
@@ -195,14 +210,16 @@ let run ~config ~requirement ~capacity ?(victim = Longest_lifetime)
         let candidates =
           List.filter (fun l -> spillable ddg l.Lifetime.producer) lifetimes
         in
-        match pick_victim ~victim ~ii:(Schedule.ii sched) ddg candidates with
+        match pick_victim ~victim ~ii:(Schedule.ii sched) ~counts candidates with
         | Some l ->
           Log.debug (fun m ->
               m "%s: spilling value of node %d (lifetime %d), req %d > %d" (Ddg.name ddg)
                 l.Lifetime.producer (Lifetime.length l) req capacity);
           let last = Some (raw, sched, req, ddg) in
-          let ddg = spill_value ddg l.Lifetime.producer in
+          let ddg = spill_value ddg ~slot:next_slot l.Lifetime.producer in
+          assert (next_spill_slot ddg = next_slot + 1);
           iterate ddg ~min_ii ~spilled:(spilled + 1) ~ii_bumps ~rounds:(rounds + 1) ~last
+            ~next_slot:(next_slot + 1) ~counts:(consumer_counts ddg)
         | None ->
           if ii_bumps >= max_ii_bumps then
             give_up ~raw sched ddg req ~spilled ~ii_bumps ~rounds
@@ -218,7 +235,9 @@ let run ~config ~requirement ~capacity ?(victim = Longest_lifetime)
             iterate ddg ~min_ii:bumped ~spilled ~ii_bumps:(ii_bumps + 1)
               ~rounds:(rounds + 1)
               ~last:(Some (raw, sched, req, ddg))
+              ~next_slot ~counts
           end
       end
   in
   iterate ddg ~min_ii:1 ~spilled:0 ~ii_bumps:0 ~rounds:0 ~last:None
+    ~next_slot:(next_spill_slot ddg) ~counts:(consumer_counts ddg)

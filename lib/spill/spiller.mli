@@ -61,6 +61,13 @@ type outcome = {
           round) *)
 }
 
+(** Next free spill slot of a graph: one past the highest slot named by
+    any spill load/store, 0 for a graph with no spill code.  [run]
+    tracks this incrementally across rounds (each spill consumes exactly
+    one slot) and asserts agreement with this fold; exported so tests
+    can check the invariant on final outcomes. *)
+val next_spill_slot : Ddg.t -> int
+
 (** [run ~config ~requirement ~capacity ddg] iterates until the
     requirement fits.  [requirement] maps a raw schedule to the
     (possibly transformed, e.g. cluster-swapped) schedule and its

@@ -8,6 +8,26 @@ cd "$(dirname "$0")/.."
 dune build
 dune runtest
 
+# Allocator equivalence: the conflict-engine suite must actually run
+# against the Alloc_reference oracle — a skipped test would silently
+# void the byte-identity guarantee the rewrite rests on.
+equiv_out=$(mktemp /tmp/ncdrf-equiv.XXXXXX.txt)
+dune exec test/test_main.exe -- test conflict > "$equiv_out" 2>&1 || {
+  cat "$equiv_out" >&2; rm -f "$equiv_out"; exit 1; }
+ok=$(grep -c 'OK.*conflict' "$equiv_out" || true)
+if [ "${ok:-0}" -lt 4 ]; then
+  echo "check.sh: expected 4 conflict equivalence tests to run, got $ok" >&2
+  rm -f "$equiv_out"
+  exit 1
+fi
+if sed 's/.\[[0-9;]*m//g' "$equiv_out" | grep '\[SKIP\]' | awk '{print $2}' \
+    | grep -qx 'conflict'; then
+  echo "check.sh: conflict equivalence tests were skipped" >&2
+  rm -f "$equiv_out"
+  exit 1
+fi
+rm -f "$equiv_out"
+
 # The quickstart example must keep running end to end.
 dune exec examples/quickstart.exe > /dev/null
 
@@ -21,6 +41,15 @@ test -s "$metrics" || { echo "check.sh: metrics JSON missing or empty" >&2; exit
 misses=$(grep -o '"cache.misses": *[0-9]*' "$metrics" | head -n1 | grep -o '[0-9]*$' || true)
 if [ -z "${misses:-}" ] || [ "$misses" -eq 0 ]; then
   echo "check.sh: cache.misses missing or zero in $metrics" >&2
+  exit 1
+fi
+
+# The allocator's conflict tables must be reused across capacity probes
+# and strategies — a reuse count of zero means every allocation rebuilt
+# its table, i.e. the conflict engine is disconnected.
+reuse=$(grep -o '"alloc.table_reuse": *[0-9]*' "$metrics" | head -n1 | grep -o '[0-9]*$' || true)
+if [ -z "${reuse:-}" ] || [ "$reuse" -eq 0 ]; then
+  echo "check.sh: alloc.table_reuse missing or zero in $metrics" >&2
   exit 1
 fi
 
@@ -45,4 +74,4 @@ if dune exec bin/ncdrf.exe -- suite --size 60 --jobs 1 \
   exit 1
 fi
 
-echo "check.sh: OK (cache.misses=$misses, errors.injected=$injected)"
+echo "check.sh: OK (cache.misses=$misses, alloc.table_reuse=$reuse, errors.injected=$injected)"

@@ -1,0 +1,176 @@
+(* Equivalence of the conflict-engine allocator against the original
+   list-based implementation (Alloc_reference): same placements — not
+   just the same feasibility — over random lifetime sets, II, capacity,
+   strategy, order and pre-placed values; plus a fixed-seed fig8-slice
+   byte-identity guard pinning the whole pipeline's output to the seed
+   implementation. *)
+
+open Ncdrf_machine
+open Ncdrf_sched
+open Ncdrf_regalloc
+open Ncdrf_core
+
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Random lifetime sets.                                               *)
+(* ------------------------------------------------------------------ *)
+
+let lifetimes_of_raw raw =
+  List.mapi
+    (fun i (start, len) -> { Lifetime.producer = i; start; stop = start + len })
+    raw
+
+let pp_case (ii, capacity, raw, placed) =
+  Printf.sprintf "ii=%d cap=%d lifetimes=[%s] placed=[%s]" ii capacity
+    (String.concat ";" (List.map (fun (s, l) -> Printf.sprintf "%d+%d" s l) raw))
+    (String.concat ";" (List.map (fun (s, l, r) -> Printf.sprintf "%d+%d@%d" s l r) placed))
+
+let case_gen =
+  QCheck.Gen.(
+    int_range 1 5 >>= fun ii ->
+    int_range 1 14 >>= fun capacity ->
+    int_range 0 8 >>= fun n ->
+    list_repeat n (pair (int_bound 12) (int_range 1 14)) >>= fun raw ->
+    int_range 0 3 >>= fun npre ->
+    list_repeat npre
+      (triple (int_bound 12) (int_range 1 10) (int_bound (capacity - 1)))
+    >>= fun placed -> return (ii, capacity, raw, placed))
+
+let case_arb = QCheck.make ~print:pp_case case_gen
+
+let placed_of raw_placed =
+  List.mapi
+    (fun i (start, len, register) ->
+      { Alloc.value = { Lifetime.producer = 1000 + i; start; stop = start + len };
+        register })
+    raw_placed
+
+let strategies = [| Alloc.First_fit; Alloc.Best_fit; Alloc.End_fit |]
+let orders = [| Alloc.Start_time; Alloc.Longest_first; Alloc.Node_order |]
+
+(* Same placements — registers and order — for every strategy x order,
+   including the cases where both allocators must fail. *)
+let prop_allocate_equivalence =
+  QCheck.Test.make ~count:400 ~name:"allocate equivalence (Alloc = Alloc_reference)"
+    case_arb (fun (ii, capacity, raw, raw_placed) ->
+      let lifetimes = lifetimes_of_raw raw in
+      let placed = placed_of raw_placed in
+      Array.for_all
+        (fun strategy ->
+          Array.for_all
+            (fun order ->
+              Alloc.allocate ~strategy ~order ~placed ~ii ~capacity lifetimes
+              = Alloc_reference.allocate ~strategy ~order ~placed ~ii ~capacity
+                  lifetimes)
+            orders)
+        strategies)
+
+let prop_min_capacity_equivalence =
+  QCheck.Test.make ~count:200
+    ~name:"min_capacity equivalence (Alloc = Alloc_reference)" case_arb
+    (fun (ii, _, raw, _) ->
+      let lifetimes = lifetimes_of_raw raw in
+      Array.for_all
+        (fun strategy ->
+          Array.for_all
+            (fun order ->
+              Alloc.min_capacity ~strategy ~order ~ii lifetimes
+              = Alloc_reference.min_capacity ~strategy ~order ~ii lifetimes)
+            orders)
+        strategies)
+
+(* The same equivalence on lifetimes of real modulo schedules, whose
+   shapes (long wands, loop-carried stretches) random sets undersample. *)
+let prop_scheduled_equivalence =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, lat) -> Printf.sprintf "seed=%d lat=%d" seed lat)
+      QCheck.Gen.(pair (int_bound 50_000) (int_range 1 6))
+  in
+  QCheck.Test.make ~count:25 ~name:"scheduled-lifetime equivalence" arb
+    (fun (seed, latency) ->
+      let g =
+        Ncdrf_workloads.Generator.generate Ncdrf_workloads.Generator.default ~seed
+          ~name:"equiv-prop"
+      in
+      let cfg = Config.dual ~latency in
+      let sched = Modulo.schedule cfg g in
+      let lifetimes = Lifetime.of_schedule sched in
+      let ii = Schedule.ii sched in
+      Array.for_all
+        (fun strategy ->
+          let c = Alloc.min_capacity ~strategy ~ii lifetimes in
+          c = Alloc_reference.min_capacity ~strategy ~ii lifetimes
+          && Alloc.allocate ~strategy ~ii ~capacity:c lifetimes
+             = Alloc_reference.allocate ~strategy ~ii ~capacity:c lifetimes
+          && Alloc.allocate ~strategy ~ii ~capacity:(max 1 (c - 1)) lifetimes
+             = Alloc_reference.allocate ~strategy ~ii ~capacity:(max 1 (c - 1))
+                 lifetimes)
+        strategies)
+
+(* ------------------------------------------------------------------ *)
+(* Fixed-seed fig8-slice byte-identity guard.                          *)
+(* ------------------------------------------------------------------ *)
+
+(* A slice of the fig8 sweep (dual file, latency 3, capacity 32,
+   Swapped model) over the first loops of the fixed-seed suite, plus
+   the strategy/order ablation sums, digested.  The expected hex is the
+   seed implementation's output: any drift in placements, requirements,
+   spill decisions or swap counts changes it. *)
+let test_fig8_slice_byte_identity () =
+  let config = Config.dual ~latency:3 in
+  let loops = Ncdrf_workloads.Suite.full ~size:40 ~seed:42 () in
+  let buf = Buffer.create 8192 in
+  List.iteri
+    (fun i e ->
+      if i < 20 then begin
+        let ddg = e.Ncdrf_workloads.Suite.ddg in
+        let st = Pipeline.run ~config ~model:Model.Swapped ~capacity:32 ddg in
+        Printf.bprintf buf "%s ii=%d req=%d spilled=%d swaps=%d fits=%b\n"
+          st.Pipeline.name st.Pipeline.ii st.Pipeline.requirement st.Pipeline.spilled
+          st.Pipeline.swaps st.Pipeline.fits;
+        let alloc = Requirements.partitioned_allocation st.Pipeline.schedule in
+        Printf.bprintf buf "cap=%d" alloc.Requirements.capacity;
+        List.iter
+          (fun p ->
+            Printf.bprintf buf " g%d:%d" p.Alloc.value.Lifetime.producer p.Alloc.register)
+          alloc.Requirements.globals;
+        Array.iteri
+          (fun c ps ->
+            List.iter
+              (fun p ->
+                Printf.bprintf buf " l%d.%d:%d" c p.Alloc.value.Lifetime.producer
+                  p.Alloc.register)
+              ps)
+          alloc.Requirements.locals;
+        Buffer.add_char buf '\n'
+      end)
+    loops;
+  (* Strategy/order ablation over the same slice: unified minimum
+     capacities must not drift either. *)
+  List.iteri
+    (fun i e ->
+      if i < 12 then begin
+        let sched = Artifact.raw_schedule ~config e.Ncdrf_workloads.Suite.ddg in
+        Array.iter
+          (fun strategy ->
+            Array.iter
+              (fun order ->
+                Printf.bprintf buf "%d:" (Requirements.unified ~strategy ~order sched))
+              orders)
+          strategies;
+        Buffer.add_char buf '\n'
+      end)
+    loops;
+  check_string "fig8-slice digest vs seed output"
+    "546e6e9c5d0a320f358a8cc7e4a6871b"
+    (Digest.to_hex (Digest.string (Buffer.contents buf)))
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_allocate_equivalence;
+    QCheck_alcotest.to_alcotest prop_min_capacity_equivalence;
+    QCheck_alcotest.to_alcotest prop_scheduled_equivalence;
+    Alcotest.test_case "fig8-slice byte identity" `Quick test_fig8_slice_byte_identity;
+  ]

@@ -5,6 +5,7 @@ let () =
       ("machine", Test_machine.suite);
       ("sched", Test_sched.suite);
       ("regalloc", Test_regalloc.suite);
+      ("conflict", Test_conflict.suite);
       ("spill", Test_spill.suite);
       ("core", Test_core.suite);
       ("cache", Test_cache.suite);

@@ -257,6 +257,20 @@ let prop_fission_structural =
         && Ddg.num_nodes s.Fission.first + Ddg.num_nodes s.Fission.second
            = Ddg.num_nodes g + s.Fission.added_memops)
 
+(* The spiller tracks the next spill slot incrementally across rounds;
+   the final graph must agree with the from-scratch fold: one fresh slot
+   per spilled value, starting from the input graph's next slot. *)
+let test_incremental_spill_slots () =
+  let config = Config.example () in
+  let ddg = Helpers.example_ddg () in
+  let before = Spiller.next_spill_slot ddg in
+  check_int "fresh graph starts at slot 0" 0 before;
+  let outcome = Spiller.run ~config ~requirement:unified_requirement ~capacity:30 ddg in
+  check_bool "spilled something" true (outcome.Spiller.spilled > 0);
+  check_int "slots consumed = values spilled"
+    (before + outcome.Spiller.spilled)
+    (Spiller.next_spill_slot outcome.Spiller.ddg)
+
 let suite =
   [
     Alcotest.test_case "no spill when capacity suffices" `Quick
@@ -280,6 +294,7 @@ let suite =
       test_fission_respects_recurrences;
     Alcotest.test_case "fission: split_until" `Quick test_fission_split_until;
     Alcotest.test_case "fission: unsplittable loops" `Quick test_fission_unsplittable;
+    Alcotest.test_case "incremental spill slots" `Quick test_incremental_spill_slots;
     QCheck_alcotest.to_alcotest prop_spiller_terminates_and_fits;
     QCheck_alcotest.to_alcotest prop_fission_structural;
   ]
