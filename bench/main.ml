@@ -20,6 +20,13 @@
    timed region so every report is self-contained.
    --no-cache disables the artifact compile cache (every stage
    recomputes); results are byte-identical either way.
+   --trace FILE buffers begin/end events around every pipeline stage
+   and writes a Chrome trace-event JSON (chrome://tracing, Perfetto),
+   one track per pool domain, spanning all selected experiments.
+   --ledger FILE writes one JSONL record per executed (config, loop)
+   point — stage durations, cache traffic, II vs MII, spill rounds,
+   error category — identity-sorted so --jobs N matches --jobs 1;
+   inspect it with `ncdrf profile FILE`.
    --size N / --seed N pick the suite; the suite cache is keyed on
    (size, seed) so mixed-size runs never see stale entries. *)
 
@@ -30,6 +37,8 @@ open Ncdrf_regalloc
 open Ncdrf_core
 module Pool = Ncdrf_parallel.Pool
 module Telemetry = Ncdrf_telemetry.Telemetry
+module Trace = Ncdrf_telemetry.Trace
+module Ledger = Ncdrf_telemetry.Ledger
 module Json = Telemetry.Json
 module Error = Ncdrf_error.Error
 module Failures = Ncdrf_error.Failures
@@ -40,6 +49,8 @@ let suite_seed = ref 42
 let quick () = suite_size := 150
 let csv_dir : string option ref = ref None
 let metrics_path : string option ref = ref None
+let trace_path : string option ref = ref None
+let ledger_path : string option ref = ref None
 let requested_jobs = ref (Pool.default_jobs ())
 
 (* The run's failure collector (keep-going by default; --fail-fast /
@@ -831,6 +842,7 @@ type experiment_metric = {
   wall_s : float;
   loops : int;  (** pipeline invocations during the timed run *)
   spans : (string * Telemetry.span) list;
+  dists : (string * Telemetry.distribution) list;
   counters : (string * int) list;
   serial_wall_s : float option;
 }
@@ -851,6 +863,9 @@ let silence_stdout f =
     f
 
 let run_experiment ~collect (name, f) =
+  (* The ledger can be armed without --metrics; records carry the
+     experiment name either way. *)
+  Ledger.set_label name;
   match !metrics_path with
   | None -> f ()
   | Some _ ->
@@ -867,6 +882,7 @@ let run_experiment ~collect (name, f) =
     f ();
     let wall_s = Telemetry.now () -. t0 in
     let spans = Telemetry.spans () in
+    let dists = Telemetry.distributions () in
     let counters = Telemetry.counters () in
     let loops = Telemetry.counter "pipeline.loops" in
     let serial_wall_s =
@@ -875,6 +891,12 @@ let run_experiment ~collect (name, f) =
         Telemetry.reset ();
         let saved_pool = !the_pool in
         let saved_failures = !the_failures in
+        (* The rerun would double every trace event and ledger record;
+           it is a measurement artefact, not part of the run. *)
+        let saved_trace = Trace.enabled () in
+        let saved_ledger = Ledger.enabled () in
+        Trace.enable false;
+        Ledger.enable false;
         the_pool := None;
         (* The baseline rerun replays the same sweep; a throwaway
            collector keeps it from double-recording the run's
@@ -885,19 +907,32 @@ let run_experiment ~collect (name, f) =
         let serial = Telemetry.now () -. t1 in
         the_pool := saved_pool;
         the_failures := saved_failures;
+        Trace.enable saved_trace;
+        Ledger.enable saved_ledger;
         Some serial
       end
       else None
     in
-    collect { ex_name = name; wall_s; loops; spans; counters; serial_wall_s }
+    collect { ex_name = name; wall_s; loops; spans; dists; counters; serial_wall_s }
 
 let metric_json m =
   let span_json (name, s) =
+    (* Percentiles ride along after the original keys so pre-existing
+       consumers see an unchanged prefix. *)
+    let dist =
+      match List.assoc_opt name m.dists with
+      | None -> []
+      | Some (d : Telemetry.distribution) ->
+        [ ("p50_s", Json.Float d.Telemetry.p50_s);
+          ("p90_s", Json.Float d.Telemetry.p90_s);
+          ("p99_s", Json.Float d.Telemetry.p99_s) ]
+    in
     ( name,
       Json.Obj
-        [ ("total_s", Json.Float s.Telemetry.total_s);
-          ("count", Json.Int s.Telemetry.count);
-          ("max_s", Json.Float s.Telemetry.max_s) ] )
+        ([ ("total_s", Json.Float s.Telemetry.total_s);
+           ("count", Json.Int s.Telemetry.count);
+           ("max_s", Json.Float s.Telemetry.max_s) ]
+         @ dist) )
   in
   let base =
     [
@@ -970,7 +1005,7 @@ let report_failures () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [EXPERIMENT...] [--quick] [--size N] [--seed N] [--jobs N]\n\
-    \       [--csv DIR] [--metrics FILE] [--no-cache]\n\
+    \       [--csv DIR] [--metrics FILE] [--trace FILE] [--ledger FILE] [--no-cache]\n\
     \       [--fail-fast] [--max-failures N] [--failures FILE]\n\
     \       [--inject stage=NAME[,loop=REGEX][,every=N]]\n";
   exit 2
@@ -1018,14 +1053,20 @@ let () =
     | "--metrics" :: file :: rest ->
       metrics_path := Some file;
       parse rest
+    | "--trace" :: file :: rest ->
+      trace_path := Some file;
+      parse rest
+    | "--ledger" :: file :: rest ->
+      ledger_path := Some file;
+      parse rest
     | "--seed" :: n :: rest ->
       suite_seed := int_arg "--seed" n;
       parse rest
     | "--size" :: n :: rest ->
       suite_size := max 1 (int_arg "--size" n);
       parse rest
-    | ("--csv" | "--jobs" | "--metrics" | "--seed" | "--size" | "--max-failures"
-      | "--failures" | "--inject")
+    | ("--csv" | "--jobs" | "--metrics" | "--trace" | "--ledger" | "--seed" | "--size"
+      | "--max-failures" | "--failures" | "--inject")
       :: [] ->
       usage ()
     | a :: rest -> a :: parse rest
@@ -1049,6 +1090,8 @@ let () =
   in
   if !requested_jobs > 1 then the_pool := Some (Pool.create ~jobs:!requested_jobs ());
   Telemetry.enable (!metrics_path <> None);
+  Trace.enable (!trace_path <> None);
+  Ledger.enable (!ledger_path <> None);
   let collected = ref [] in
   let collect m = collected := m :: !collected in
   let t0 = Telemetry.now () in
@@ -1067,5 +1110,17 @@ let () =
         Printf.eprintf "error: %s\n" (Error.to_string e);
         exit_code := 1);
   write_metrics ~total_wall_s:(Telemetry.now () -. t0) !collected;
+  (* Trace and ledger accumulate across every selected experiment;
+     publish them once, after the pool has quiesced. *)
+  Option.iter
+    (fun path ->
+      Trace.write_chrome ~path;
+      Printf.printf "[trace: %s]\n%!" path)
+    !trace_path;
+  Option.iter
+    (fun path ->
+      Ledger.write ~path;
+      Printf.printf "[ledger: %s]\n%!" path)
+    !ledger_path;
   report_failures ();
   if !exit_code <> 0 then exit !exit_code

@@ -6,6 +6,8 @@
      dot       emit the dependence graph of a loop as Graphviz
      suite     summarize register pressure over the synthetic suite
      sweep     requirement of one loop across latencies and models
+     profile   analyze a --ledger run: slowest loops, cache hits,
+               duration histograms
      example   walk the paper's worked example
 
    See `ncdrf <cmd> --help` for options. *)
@@ -176,9 +178,11 @@ let write_failures_csv path failures =
 
 let suite_cmd =
   let run latency size registers jobs metrics fail_fast max_failures inject
-      failures_csv =
+      failures_csv no_cache trace ledger =
     let module Pool = Ncdrf_parallel.Pool in
     let module Telemetry = Ncdrf_telemetry.Telemetry in
+    let module Trace = Ncdrf_telemetry.Trace in
+    let module Ledger = Ncdrf_telemetry.Ledger in
     (match inject with
      | None -> ()
      | Some spec ->
@@ -199,6 +203,10 @@ let suite_cmd =
         (Ncdrf_workloads.Suite.full ~size ())
     in
     Telemetry.enable (metrics <> None);
+    Trace.enable (trace <> None);
+    Ledger.enable (ledger <> None);
+    Ledger.set_label "suite";
+    if no_cache then Artifact.set_cache_enabled false;
     let t0 = Telemetry.now () in
     Pool.with_pool ~jobs (fun pool ->
         let n_jobs = Pool.jobs pool in
@@ -241,6 +249,16 @@ let suite_cmd =
        in
        Telemetry.write_json ~path json;
        Format.printf "[metrics: %s]@." path);
+    (match trace with
+     | None -> ()
+     | Some path ->
+       Trace.write_chrome ~path;
+       Format.printf "[trace: %s]@." path);
+    (match ledger with
+     | None -> ()
+     | Some path ->
+       Ledger.write ~path;
+       Format.printf "[ledger: %s]@." path);
     (match failures_csv with
      | None -> ()
      | Some path -> write_failures_csv path failures);
@@ -289,11 +307,32 @@ let suite_cmd =
     let doc = "Write the failure manifest as CSV to $(docv) (atomic temp+rename)." in
     Arg.(value & opt (some string) None & info [ "failures" ] ~docv:"FILE" ~doc)
   in
+  let no_cache_arg =
+    let doc = "Disable the compile cache (every stage recomputes)." in
+    Arg.(value & flag & info [ "no-cache" ] ~doc)
+  in
+  let trace_arg =
+    let doc =
+      "Write a Chrome trace-event JSON file to $(docv): begin/end events per \
+       pipeline stage on one track per worker domain, loadable in \
+       chrome://tracing or Perfetto."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let ledger_arg =
+    let doc =
+      "Write a JSONL run ledger to $(docv): one record per (config, loop) point \
+       with stage durations, cache traffic, II vs MII and error category.  \
+       Analyze it with $(b,ncdrf profile)."
+    in
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+  in
   let doc = "Register-pressure summary over the synthetic Perfect-Club-like suite." in
   Cmd.v (Cmd.info "suite" ~doc)
     Term.(
       const run $ latency_arg $ size_arg $ registers_arg $ jobs_arg $ metrics_arg
-      $ fail_fast_arg $ max_failures_arg $ inject_arg $ failures_arg)
+      $ fail_fast_arg $ max_failures_arg $ inject_arg $ failures_arg $ no_cache_arg
+      $ trace_arg $ ledger_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -393,6 +432,150 @@ let kernels_cmd =
   Cmd.v (Cmd.info "kernels" ~doc) Term.(const run $ latency_arg)
 
 (* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+(* ------------------------------------------------------------------ *)
+
+module Ledger = Ncdrf_telemetry.Ledger
+module Stats = Ncdrf_report.Stats
+
+(* Everything below is a pure function of the ledger file, so the
+   analysis of a given ledger is deterministic; ties in the duration
+   sorts break on record identity, never on insertion order. *)
+let print_profile ~top ?stage:stage_filter records =
+  let ms ns = float_of_int ns /. 1e6 in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 records in
+  let labels =
+    List.sort_uniq String.compare (List.map (fun r -> r.Ledger.label) records)
+  in
+  let failed = List.filter (fun r -> not r.Ledger.ok) records in
+  Format.printf "ledger: %d record(s), %d label(s), %d failed@." (List.length records)
+    (List.length labels) (List.length failed);
+  let hit_rate h m =
+    if h + m = 0 then ""
+    else Printf.sprintf " (%.1f%% hit rate)" (100.0 *. float_of_int h /. float_of_int (h + m))
+  in
+  let hits = sum (fun r -> r.Ledger.cache_hits)
+  and misses = sum (fun r -> r.Ledger.cache_misses) in
+  Format.printf "cache: %d hit(s) / %d miss(es)%s@." hits misses (hit_rate hits misses);
+  if List.length labels > 1 then
+    List.iter
+      (fun label ->
+        let mine = List.filter (fun r -> r.Ledger.label = label) records in
+        let h = List.fold_left (fun acc r -> acc + r.Ledger.cache_hits) 0 mine
+        and m = List.fold_left (fun acc r -> acc + r.Ledger.cache_misses) 0 mine in
+        Format.printf "  %-20s %d / %d%s@." label h m (hit_rate h m))
+      labels;
+  if failed <> [] then begin
+    Format.printf "@.failed points by category:@.";
+    let categories =
+      List.sort_uniq String.compare
+        (List.filter_map (fun r -> r.Ledger.error) failed)
+    in
+    List.iter
+      (fun cat ->
+        let n = List.length (List.filter (fun r -> r.Ledger.error = Some cat) failed) in
+        Format.printf "  errors.%-20s %d@." cat n)
+      categories
+  end;
+  let describe r =
+    let opt name = function None -> "" | Some v -> Printf.sprintf ", %s %d" name v in
+    Printf.sprintf "%s, %s%s%s%s%s%s%s" r.Ledger.config r.Ledger.label
+      (opt "cap" r.Ledger.capacity)
+      (match r.Ledger.ii, r.Ledger.mii with
+      | Some ii, Some mii -> Printf.sprintf ", II %d/MII %d" ii mii
+      | Some ii, None -> Printf.sprintf ", II %d" ii
+      | None, _ -> "")
+      (opt "rounds" r.Ledger.rounds)
+      (opt "spilled" r.Ledger.spilled)
+      (opt "maxlive" r.Ledger.maxlive)
+      (match r.Ledger.error with None -> "" | Some e -> ", error " ^ e)
+  in
+  Format.printf "@.slowest points (total wall time):@.";
+  let by_total =
+    List.stable_sort
+      (fun a b ->
+        match compare b.Ledger.total_ns a.Ledger.total_ns with
+        | 0 -> Ledger.compare_records a b
+        | c -> c)
+      records
+  in
+  List.iteri
+    (fun i r ->
+      if i < top then
+        Format.printf "  %2d. %10.3f ms  %-16s (%s)@." (i + 1) (ms r.Ledger.total_ns)
+          r.Ledger.loop (describe r))
+    by_total;
+  let stages =
+    List.sort_uniq String.compare
+      (List.concat_map (fun r -> List.map fst r.Ledger.stages) records)
+  in
+  let stages =
+    match stage_filter with
+    | None -> stages
+    | Some s -> List.filter (String.equal s) stages
+  in
+  (match stage_filter, stages with
+  | Some s, [] -> Format.printf "@.stage %S: no records@." s
+  | _ -> ());
+  List.iter
+    (fun stage ->
+      let entries =
+        List.filter_map
+          (fun r ->
+            Option.map (fun ns -> (ns, r)) (List.assoc_opt stage r.Ledger.stages))
+          records
+        |> List.stable_sort (fun (na, a) (nb, b) ->
+               match compare nb na with
+               | 0 -> Ledger.compare_records a b
+               | c -> c)
+      in
+      Format.printf "@.top %d by stage %S:@." top stage;
+      List.iteri
+        (fun i (ns, r) ->
+          if i < top then
+            Format.printf "  %2d. %10.3f ms  %-16s (%s, %s)@." (i + 1) (ms ns)
+              r.Ledger.loop r.Ledger.config r.Ledger.label)
+        entries;
+      Format.printf "@.stage %S duration histogram (ms):@." stage;
+      print_string
+        (Stats.render_histogram
+           ~label:(fun v -> Printf.sprintf "%.3f" v)
+           (Stats.auto_histogram (List.map (fun (ns, _) -> ms ns) entries))))
+    stages
+
+let profile_cmd =
+  let run file top stage =
+    handle_errors @@ fun () ->
+    match Ledger.load ~path:file with
+    | Stdlib.Error msg ->
+      Printf.eprintf "profile: %s: %s\n" file msg;
+      1
+    | Ok [] ->
+      Printf.eprintf "profile: %s: empty ledger\n" file;
+      1
+    | Ok records ->
+      print_profile ~top ?stage records;
+      0
+  in
+  let ledger_file_arg =
+    let doc = "Run ledger (JSONL) produced by a $(b,--ledger) run." in
+    Arg.(required & pos 0 (some file) None & info [] ~docv:"LEDGER" ~doc)
+  in
+  let top_arg =
+    let doc = "Show the $(docv) slowest entries per ranking." in
+    Arg.(value & opt int 3 & info [ "top" ] ~docv:"N" ~doc)
+  in
+  let stage_arg =
+    let doc = "Only analyze stage $(docv) (e.g. schedule, alloc, spill)." in
+    Arg.(value & opt (some string) None & info [ "stage" ] ~docv:"NAME" ~doc)
+  in
+  let doc =
+    "Analyze a run ledger: slowest points per stage, cache-hit breakdowns and \
+     ASCII duration histograms."
+  in
+  Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ ledger_file_arg $ top_arg $ stage_arg)
+
+(* ------------------------------------------------------------------ *)
 (* example                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -415,7 +598,55 @@ let example_cmd =
   let doc = "Schedule the paper's worked example and print every artifact." in
   Cmd.v (Cmd.info "example" ~doc) Term.(const run $ const ())
 
+(* One-screen usage covering every subcommand and the suite's
+   accumulated flags; printed to stderr (after cmdliner's own
+   diagnostic) whenever the command line does not parse, which exits 2
+   instead of cmdliner's default 124. *)
+let usage =
+  String.concat "\n"
+    [
+      "usage: ncdrf COMMAND [OPTION]...";
+      "";
+      "commands:";
+      "  schedule FILE   modulo-schedule loops; print schedules, kernels, requirements";
+      "  dot FILE        emit dependence graphs as Graphviz DOT";
+      "  suite           register-pressure summary over the synthetic suite";
+      "  sweep FILE      requirement of each loop across FP latencies and models";
+      "  simulate FILE   execute loops on the simulated machine vs the reference";
+      "  kernels         list built-in kernels with their register requirements";
+      "  profile LEDGER  analyze a --ledger run: slowest loops, cache hits, histograms";
+      "  example         walk the paper's worked example";
+      "";
+      "suite options:";
+      "  -l, --latency N    FP add/mul latency (default 3)";
+      "      --size N       loops in the synthetic suite (default 300)";
+      "  -r, --registers N  register budget to test against (default 32)";
+      "  -j, --jobs N       worker domains (results identical for any N)";
+      "      --metrics FILE JSON telemetry: spans with p50/p90/p99, counters";
+      "      --trace FILE   Chrome trace-event JSON (chrome://tracing, Perfetto)";
+      "      --ledger FILE  JSONL run ledger, one record per (config, loop) point";
+      "      --no-cache     disable the compile cache";
+      "      --inject SPEC  arm a fault: stage=NAME[,loop=REGEX][,every=N]";
+      "      --fail-fast    abort on the first failed point";
+      "      --max-failures N  abort once more than N points have failed";
+      "      --failures FILE   write the failure manifest as CSV";
+      "";
+      "run 'ncdrf COMMAND --help' for the full manual of one command.";
+      "";
+    ]
+
 let () =
   let doc = "non-consistent dual register files for software-pipelined loops" in
   let info = Cmd.info "ncdrf" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval' (Cmd.group info [ schedule_cmd; dot_cmd; suite_cmd; sweep_cmd; simulate_cmd; kernels_cmd; example_cmd ]))
+  let group =
+    Cmd.group info
+      [ schedule_cmd; dot_cmd; suite_cmd; sweep_cmd; simulate_cmd; kernels_cmd;
+        profile_cmd; example_cmd ]
+  in
+  match Cmd.eval_value group with
+  | Ok (`Ok code) -> exit code
+  | Ok (`Help | `Version) -> exit 0
+  | Stdlib.Error (`Parse | `Term) ->
+    prerr_string usage;
+    exit 2
+  | Stdlib.Error `Exn -> exit 125

@@ -1,4 +1,5 @@
 module Telemetry = Ncdrf_telemetry.Telemetry
+module Trace = Ncdrf_telemetry.Trace
 
 type 'a entry = {
   value : 'a;
@@ -80,7 +81,8 @@ let evict_over_capacity t s =
 
 let record_hit t =
   Atomic.incr t.hit_count;
-  Telemetry.incr "cache.hits"
+  Telemetry.incr "cache.hits";
+  Trace.note_cache ~hit:true
 
 let find t ~key =
   let s = stripe_of t key in
@@ -112,6 +114,7 @@ let find_or_add t ~key compute =
     let v = compute () in
     Atomic.incr t.miss_count;
     Telemetry.incr "cache.misses";
+    Trace.note_cache ~hit:false;
     with_lock s (fun () ->
         match Hashtbl.find_opt s.tbl key with
         | Some e ->

@@ -5,6 +5,7 @@ module Cache = Ncdrf_cache.Cache
 module Telemetry = Ncdrf_telemetry.Telemetry
 module Error = Ncdrf_error.Error
 module Fault = Ncdrf_fault.Fault
+module Trace = Ncdrf_telemetry.Trace
 
 type t = {
   ddg : Ddg.t;
@@ -73,7 +74,11 @@ let mii ~config ddg =
     Mii_of (Telemetry.time "mii" (fun () -> Mii.mii config ddg))
   in
   match memo ~loop:(Ddg.name ddg) (base_key ~config ddg ^ "#mii") compute with
-  | Mii_of m -> m
+  | Mii_of m ->
+    (* Stamped on the ambient point here, after the memo, so the ledger
+       sees the MII on cache hits too. *)
+    Trace.set_result ~mii:m ();
+    m
   | Raw_of _ | View_of _ | Spill_of _ -> wrong_stage ()
 
 let raw_schedule ~config ddg =
@@ -83,7 +88,9 @@ let raw_schedule ~config ddg =
     Raw_of (Telemetry.time "schedule" (fun () -> Modulo.schedule config ddg))
   in
   match memo ~loop:(Ddg.name ddg) (base_key ~config ddg ^ "#raw") compute with
-  | Raw_of s -> s
+  | Raw_of s ->
+    Trace.set_ii (Schedule.ii s);
+    s
   | Mii_of _ | View_of _ | Spill_of _ -> wrong_stage ()
 
 let scheduled ~config ddg =

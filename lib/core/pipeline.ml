@@ -1,7 +1,11 @@
 open Ncdrf_ir
+open Ncdrf_machine
 open Ncdrf_sched
 open Ncdrf_spill
 module Telemetry = Ncdrf_telemetry.Telemetry
+module Trace = Ncdrf_telemetry.Trace
+module Ledger = Ncdrf_telemetry.Ledger
+module Error = Ncdrf_error.Error
 
 type stats = {
   name : string;
@@ -25,7 +29,77 @@ type stats = {
 let requirement_of_model = Artifact.apply_model
 let count_swaps = Artifact.count_swaps
 
+(* Config fingerprints embed NUL-separated binary structure; the ledger
+   carries the display name plus a short digest for identity. *)
+let short_fingerprint config =
+  String.sub (Digest.to_hex (Digest.string (Config.fingerprint config))) 0 12
+
+(* Harvest the ambient point context into one ledger record.  Stage
+   durations are summed per name (a point can record e.g. several
+   "alloc" spans across spill rounds) and kept as integer nanoseconds,
+   which round-trip exactly through JSON. *)
+let point_record ~models ~capacity ~t0 ~ok (p : Trace.point) =
+  let opt v = if v < 0 then None else Some v in
+  let stages =
+    let tbl : (string, float) Hashtbl.t = Hashtbl.create 8 in
+    List.iter
+      (fun (name, dt) ->
+        Hashtbl.replace tbl name
+          (dt +. Option.value ~default:0.0 (Hashtbl.find_opt tbl name)))
+      p.Trace.stages;
+    Hashtbl.fold (fun name dt acc -> (name, int_of_float (dt *. 1e9)) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  {
+    Ledger.label = Ledger.label ();
+    loop = p.Trace.loop;
+    config = p.Trace.config;
+    fp = p.Trace.fp;
+    models;
+    capacity;
+    mii = opt p.Trace.mii;
+    ii = opt p.Trace.ii;
+    rounds = opt p.Trace.rounds;
+    spilled = opt p.Trace.spilled;
+    requirement = opt p.Trace.requirement;
+    maxlive = opt p.Trace.maxlive;
+    cache_hits = p.Trace.cache_hits;
+    cache_misses = p.Trace.cache_misses;
+    stages;
+    total_ns = Int64.to_int (Int64.sub (Telemetry.now_ns ()) t0);
+    ok;
+    error = p.Trace.error;
+  }
+
+let with_point ~config ~models ?capacity ddg f =
+  if not (Trace.active ()) then f ()
+  else begin
+    let models = String.concat "+" (List.map Model.to_string models) in
+    let t0 = Telemetry.now_ns () in
+    Trace.with_context ~loop:(Ddg.name ddg) ~config:config.Config.name
+      ~fp:(short_fingerprint config)
+    @@ fun () ->
+    let record ~ok =
+      if Ledger.enabled () then
+        Option.iter
+          (fun p -> Ledger.add (point_record ~models ~capacity ~t0 ~ok p))
+          (Trace.current ())
+    in
+    match f () with
+    | v ->
+      record ~ok:true;
+      v
+    | exception e ->
+      (match e with
+      | Sys.Break -> ()
+      | _ ->
+        Trace.set_error (Error.category_name (Error.category_of_exn e));
+        record ~ok:false);
+      raise e
+  end
+
 let run ~config ~model ?capacity ?victim ddg =
+  with_point ~config ~models:[ model ] ?capacity ddg @@ fun () ->
   Telemetry.incr "pipeline.loops";
   let mii = Artifact.mii ~config ddg in
   let finish ?error ~final_ddg ~sched ~requirement ~fits ~spilled ~added_memops ~ii_bumps
@@ -58,6 +132,10 @@ let run ~config ~model ?capacity ?victim ddg =
       | _, Model.Ideal | None, _ -> true
       | Some cap, _ -> v.Artifact.requirement <= cap
     in
+    if Trace.active () then
+      Trace.set_result ~ii:(Schedule.ii v.Artifact.sched)
+        ~requirement:v.Artifact.requirement
+        ~maxlive:(Requirements.max_live_cost v.Artifact.sched) ();
     finish ~final_ddg:ddg ~sched:v.Artifact.sched ~requirement:v.Artifact.requirement
       ~fits ~spilled:0 ~added_memops:0 ~ii_bumps:0 ~swaps:v.Artifact.swaps ()
   | Some cap, _ ->
@@ -83,6 +161,16 @@ let run ~config ~model ?capacity ?victim ddg =
     let swaps =
       Artifact.count_swaps model outcome.Spiller.raw_schedule outcome.Spiller.schedule
     in
+    if Trace.active () then begin
+      Trace.set_result
+        ~ii:(Schedule.ii outcome.Spiller.schedule)
+        ~rounds:outcome.Spiller.rounds ~spilled:outcome.Spiller.spilled
+        ~requirement:outcome.Spiller.requirement
+        ~maxlive:(Requirements.max_live_cost outcome.Spiller.schedule) ();
+      Option.iter
+        (fun (e : Error.t) -> Trace.set_error (Error.category_name e.Error.category))
+        outcome.Spiller.error
+    end;
     finish ?error:outcome.Spiller.error ~final_ddg:outcome.Spiller.ddg
       ~sched:outcome.Spiller.schedule ~requirement:outcome.Spiller.requirement
       ~fits:outcome.Spiller.fits ~spilled:outcome.Spiller.spilled

@@ -48,6 +48,24 @@ type stats = {
           boundaries in {!Artifact}. *)
 }
 
+(** [with_point ~config ~models ?capacity ddg f] runs [f] as one
+    observed (config, loop) point: when tracing or the run ledger is
+    armed ([Ncdrf_telemetry.Trace.active]) it installs the ambient
+    trace context (loop name, config name, short fingerprint digest),
+    and — when the ledger is armed — harvests the context into one
+    {!Ncdrf_telemetry.Ledger} record when [f] returns {e or} raises
+    (failed points record their error category and re-raise; [Sys.Break]
+    is exempt).  A pass-through when neither layer is armed.  {!run}
+    wraps itself in it; drivers that measure loops without {!run} (the
+    suite tables) wrap their per-loop work the same way. *)
+val with_point :
+  config:Ncdrf_machine.Config.t ->
+  models:Model.t list ->
+  ?capacity:int ->
+  Ddg.t ->
+  (unit -> 'a) ->
+  'a
+
 (** The model's requirement function on a fixed schedule (uncached;
     alias of {!Artifact.apply_model}): returns the (possibly swapped)
     schedule and its register requirement.  [Ideal] reports the unified

@@ -49,13 +49,30 @@ let suite_map ?pool ?failures ~f loops =
 
 let measure_all ?pool ?failures ~config ~models loops =
   let one loop =
+    (* Each loop is one observed point covering every model measured on
+       it, so ledger-armed table runs get one record per (config, loop)
+       just like Pipeline.run does for capacity sweeps. *)
+    Pipeline.with_point ~config ~models loop.ddg @@ fun () ->
     Ncdrf_telemetry.Telemetry.incr "pipeline.loops";
     let raw = Artifact.raw_schedule ~config loop.ddg in
-    List.map
-      (fun model ->
-        let v = Artifact.view_of_schedule ~model raw in
-        { loop; requirement = v.Artifact.requirement; ii = Schedule.ii v.Artifact.sched })
-      models
+    let rows =
+      List.map
+        (fun model ->
+          let v = Artifact.view_of_schedule ~model raw in
+          { loop; requirement = v.Artifact.requirement; ii = Schedule.ii v.Artifact.sched })
+        models
+    in
+    (if Ncdrf_telemetry.Trace.active () then begin
+       (match rows with
+       | [ row ] -> Ncdrf_telemetry.Trace.set_result ~requirement:row.requirement ()
+       | _ -> ());
+       (* MII straight from the bound computation, not Artifact.mii:
+          going through the artifact would add cache entries and fault
+          points that an untraced run does not have. *)
+       Ncdrf_telemetry.Trace.set_result ~mii:(Mii.mii config loop.ddg)
+         ~maxlive:(Requirements.max_live_cost raw) ()
+     end);
+    rows
   in
   let per_loop = suite_map ?pool ?failures ~f:one loops in
   List.mapi (fun i model -> (model, List.map (fun row -> List.nth row i) per_loop)) models

@@ -100,6 +100,12 @@ let classify_exn ~stage ?loop ?config exn =
        in
        make ?loop ?config ~stage category message)
 
+(* Category of an arbitrary exception, without attaching context — used
+   by the run ledger to stamp failed points.  Classification must not
+   depend on whether tracing is armed, so this reuses [classify_exn]
+   with a placeholder stage rather than enriching the error. *)
+let category_of_exn exn = (classify_exn ~stage:"point" exn).category
+
 let protect ~stage ?loop ?config f =
   try Ok (f ()) with
   | Sys.Break as e -> raise e

@@ -108,6 +108,10 @@ val register_classifier : (exn -> t option) -> unit
     is also converted — containment beats a dead sweep. *)
 val classify_exn : stage:string -> ?loop:string -> ?config:string -> exn -> t
 
+(** The {!category} an exception would classify to, without building or
+    enriching an error — what the run ledger stamps on failed points. *)
+val category_of_exn : exn -> category
+
 (** [protect ~stage f] runs [f ()] and converts any escaping exception
     via {!classify_exn}.  This is the containment boundary the suite
     runner wraps around each (loop, config) point. *)

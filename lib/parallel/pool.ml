@@ -59,7 +59,15 @@ let create ?jobs () =
     }
   in
   if size > 1 then
-    t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker_loop t));
+    t.workers <-
+      List.init (size - 1) (fun i ->
+          Domain.spawn (fun () ->
+              (* Stable trace track per pool slot (the calling domain is
+                 executor 0): raw Domain.uid values differ run to run
+                 and pool to pool, which would scatter identical runs
+                 across different trace tracks. *)
+              Ncdrf_telemetry.Trace.set_domain_id (i + 1);
+              worker_loop t));
   t
 
 let jobs t = t.size

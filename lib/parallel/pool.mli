@@ -26,7 +26,10 @@ val default_jobs : unit -> int
 
 (** [create ~jobs ()] starts [jobs - 1] worker domains ([jobs] counts
     the calling domain, which also executes items during {!map}).
-    [jobs <= 1] creates a serial pool. *)
+    [jobs <= 1] creates a serial pool.  Each worker registers its pool
+    slot (1-based; the calling domain is slot 0) as its trace track via
+    [Ncdrf_telemetry.Trace.set_domain_id], so event traces get one
+    stable track per executor instead of one per spawned domain. *)
 val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int

@@ -3,6 +3,7 @@ open Ncdrf_machine
 module Error = Ncdrf_error.Error
 module Budget = Ncdrf_error.Budget
 module Telemetry = Ncdrf_telemetry.Telemetry
+module Trace = Ncdrf_telemetry.Trace
 
 type cluster_policy =
   | Balance
@@ -288,8 +289,15 @@ let schedule_with_min_ii ?(budget = Budget.unlimited) ?(budget_ratio = 8)
       with
       | Some s ->
         Log.debug (fun m -> m "%s: scheduled at II=%d (MII=%d)" (Ddg.name ddg) ii mii);
+        Trace.set_ii ii;
         s
-      | None -> search (ii + 1)
+      | None ->
+        (* Rejected IIs show up in the event trace: the ambient context
+           is stamped with the II that just failed so the instant event
+           carries it. *)
+        Trace.set_ii ii;
+        Trace.instant "sched.ii_reject";
+        search (ii + 1)
   in
   search mii
 

@@ -3,6 +3,7 @@ open Ncdrf_sched
 open Ncdrf_regalloc
 module Error = Ncdrf_error.Error
 module Fault = Ncdrf_fault.Fault
+module Trace = Ncdrf_telemetry.Trace
 
 type victim =
   | Longest_lifetime
@@ -169,9 +170,16 @@ let run ~config ~requirement ~capacity ?(victim = Longest_lifetime)
      graph.  Both survive II bumps unchanged — the graph does too. *)
   let rec iterate ddg ~min_ii ~spilled ~ii_bumps ~rounds ~last ~next_slot ~counts =
     match
-      let raw = schedule ~min_ii ddg in
-      let sched, req = requirement raw in
-      (raw, sched, req)
+      (* Each round (reschedule + reallocate) is one trace span, nested
+         inside the driver's enclosing "spill" span, so a trace shows
+         where a diverging point spends its rounds. *)
+      Trace.begin_span "spill.round";
+      Fun.protect
+        ~finally:(fun () -> Trace.end_span "spill.round")
+        (fun () ->
+          let raw = schedule ~min_ii ddg in
+          let sched, req = requirement raw in
+          (raw, sched, req))
     with
     | exception Error.Error e when containable e && last <> None ->
       (* The spill code itself made the round infeasible (e.g. a budget

@@ -1,77 +1,5 @@
-module Json = struct
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | String of string
-    | List of t list
-    | Obj of (string * t) list
-
-  let escape s =
-    let buf = Buffer.create (String.length s + 2) in
-    String.iter
-      (fun c ->
-        match c with
-        | '"' -> Buffer.add_string buf "\\\""
-        | '\\' -> Buffer.add_string buf "\\\\"
-        | '\n' -> Buffer.add_string buf "\\n"
-        | '\r' -> Buffer.add_string buf "\\r"
-        | '\t' -> Buffer.add_string buf "\\t"
-        | c when Char.code c < 0x20 ->
-          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
-        | c -> Buffer.add_char buf c)
-      s;
-    Buffer.contents buf
-
-  let float_str f =
-    if not (Float.is_finite f) then "null" (* NaN/inf are not JSON *)
-    else if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
-    else Printf.sprintf "%.9g" f
-
-  let to_string t =
-    let buf = Buffer.create 256 in
-    let pad n = Buffer.add_string buf (String.make n ' ') in
-    let rec go indent = function
-      | Null -> Buffer.add_string buf "null"
-      | Bool b -> Buffer.add_string buf (if b then "true" else "false")
-      | Int i -> Buffer.add_string buf (string_of_int i)
-      | Float f -> Buffer.add_string buf (float_str f)
-      | String s ->
-        Buffer.add_char buf '"';
-        Buffer.add_string buf (escape s);
-        Buffer.add_char buf '"'
-      | List [] -> Buffer.add_string buf "[]"
-      | List items ->
-        Buffer.add_string buf "[\n";
-        List.iteri
-          (fun i item ->
-            if i > 0 then Buffer.add_string buf ",\n";
-            pad (indent + 2);
-            go (indent + 2) item)
-          items;
-        Buffer.add_char buf '\n';
-        pad indent;
-        Buffer.add_char buf ']'
-      | Obj [] -> Buffer.add_string buf "{}"
-      | Obj fields ->
-        Buffer.add_string buf "{\n";
-        List.iteri
-          (fun i (k, v) ->
-            if i > 0 then Buffer.add_string buf ",\n";
-            pad (indent + 2);
-            Buffer.add_char buf '"';
-            Buffer.add_string buf (escape k);
-            Buffer.add_string buf "\": ";
-            go (indent + 2) v)
-          fields;
-        Buffer.add_char buf '\n';
-        pad indent;
-        Buffer.add_char buf '}'
-    in
-    go 0 t;
-    Buffer.contents buf
-end
+module Json = Json
+module Stats = Ncdrf_report.Stats
 
 external now_ns : unit -> int64 = "ncdrf_monotonic_ns"
 
@@ -83,13 +11,43 @@ type span = {
   max_s : float;
 }
 
-(* One global registry.  Counters are Atomic cells created under the
-   lock (creation is rare, increments are lock-free); spans are plain
-   records mutated under the lock. *)
+type distribution = {
+  p50_s : float;
+  p90_s : float;
+  p99_s : float;
+}
+
+(* Counters are Atomic cells in one global table, created under the
+   lock (creation is rare, increments are lock-free).
+
+   Span accumulation is sharded per domain: each domain owns a table of
+   accumulators (sums plus the raw samples, for percentiles) reachable
+   through domain-local storage, so recording never takes a lock.
+   [spans]/[distributions] merge the shards at read time; like the
+   trace rings, readers must run after worker domains have quiesced. *)
 let on = Atomic.make false
 let lock = Mutex.create ()
 let counter_tbl : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 16
-let span_tbl : (string, span ref) Hashtbl.t = Hashtbl.create 16
+
+type acc = {
+  mutable total_s : float;
+  mutable count : int;
+  mutable max_s : float;
+  mutable samples : float array;
+  mutable n_samples : int;
+}
+
+type span_shard = { accs : (string, acc) Hashtbl.t }
+
+let span_shards : span_shard list ref = ref []
+
+let span_key : span_shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s = { accs = Hashtbl.create 16 } in
+      Mutex.lock lock;
+      span_shards := s :: !span_shards;
+      Mutex.unlock lock;
+      s)
 
 let enable b = Atomic.set on b
 let enabled () = Atomic.get on
@@ -119,73 +77,134 @@ let counter name =
   | None -> 0
 
 let record_span name seconds =
-  if Atomic.get on then
-    with_lock (fun () ->
-        match Hashtbl.find_opt span_tbl name with
-        | Some r ->
-          let s = !r in
-          r :=
-            {
-              total_s = s.total_s +. seconds;
-              count = s.count + 1;
-              max_s = Float.max s.max_s seconds;
-            }
-        | None ->
-          Hashtbl.add span_tbl name
-            (ref { total_s = seconds; count = 1; max_s = seconds }))
-
-let time name f =
-  if not (Atomic.get on) then f ()
-  else begin
-    let t0 = now () in
-    Fun.protect ~finally:(fun () -> record_span name (now () -. t0)) f
+  if Atomic.get on then begin
+    let shard = Domain.DLS.get span_key in
+    let a =
+      match Hashtbl.find_opt shard.accs name with
+      | Some a -> a
+      | None ->
+        let a =
+          { total_s = 0.0; count = 0; max_s = 0.0; samples = Array.make 16 0.0; n_samples = 0 }
+        in
+        Hashtbl.add shard.accs name a;
+        a
+    in
+    a.total_s <- a.total_s +. seconds;
+    a.count <- a.count + 1;
+    if seconds > a.max_s then a.max_s <- seconds;
+    (if a.n_samples = Array.length a.samples then begin
+       let grown = Array.make (2 * a.n_samples) 0.0 in
+       Array.blit a.samples 0 grown 0 a.n_samples;
+       a.samples <- grown
+     end);
+    a.samples.(a.n_samples) <- seconds;
+    a.n_samples <- a.n_samples + 1
   end
 
+(* The thunk always runs; with both telemetry and tracing off the only
+   cost is two atomic loads.  When armed, the duration feeds the global
+   span (metrics), the ambient point context (ledger) and the event
+   ring (trace) as applicable. *)
+let time name f =
+  if not (Atomic.get on || Trace.active ()) then f ()
+  else begin
+    Trace.begin_span name;
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dt = now () -. t0 in
+        record_span name dt;
+        Trace.note_stage name dt;
+        Trace.end_span name)
+      f
+  end
+
+let all_span_shards () =
+  with_lock (fun () -> !span_shards)
+
+let merged_accs () =
+  let tbl : (string, span * float list) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun shard ->
+      Hashtbl.iter
+        (fun name a ->
+          let prev_span, prev_samples =
+            Option.value
+              (Hashtbl.find_opt tbl name)
+              ~default:({ total_s = 0.0; count = 0; max_s = 0.0 }, [])
+          in
+          let samples =
+            List.init a.n_samples (fun i -> a.samples.(i)) @ prev_samples
+          in
+          Hashtbl.replace tbl name
+            ( {
+                total_s = prev_span.total_s +. a.total_s;
+                count = prev_span.count + a.count;
+                max_s = Float.max prev_span.max_s a.max_s;
+              },
+              samples ))
+        shard.accs)
+    (all_span_shards ());
+  tbl
+
 let sorted_bindings tbl value =
-  with_lock (fun () ->
-      Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl [])
+  Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
-let spans () = sorted_bindings span_tbl (fun r -> !r)
+let spans () = sorted_bindings (merged_accs ()) fst
 
 let span_count name =
-  match with_lock (fun () -> Hashtbl.find_opt span_tbl name) with
-  | Some r -> !r.count
+  match Hashtbl.find_opt (merged_accs ()) name with
+  | Some (s, _) -> s.count
   | None -> 0
-let counters () = sorted_bindings counter_tbl Atomic.get
+
+let span_samples name =
+  match Hashtbl.find_opt (merged_accs ()) name with
+  | Some (_, samples) -> samples
+  | None -> []
+
+let distributions () =
+  sorted_bindings (merged_accs ()) (fun (_, samples) ->
+      {
+        p50_s = Stats.percentile 50.0 samples;
+        p90_s = Stats.percentile 90.0 samples;
+        p99_s = Stats.percentile 99.0 samples;
+      })
+
+let counters () =
+  with_lock (fun () ->
+      Hashtbl.fold (fun k v acc -> (k, Atomic.get v) :: acc) counter_tbl [])
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
 let reset () =
   with_lock (fun () ->
       Hashtbl.reset counter_tbl;
-      Hashtbl.reset span_tbl)
+      List.iter (fun shard -> Hashtbl.reset shard.accs) !span_shards)
 
 let to_json () =
-  let span_json (name, s) =
+  let merged = merged_accs () in
+  let span_json ((name, (s, samples)) : string * (span * float list)) =
+    let dist =
+      match samples with
+      | [] -> []
+      | _ ->
+        [
+          ("p50_s", Json.Float (Stats.percentile 50.0 samples));
+          ("p90_s", Json.Float (Stats.percentile 90.0 samples));
+          ("p99_s", Json.Float (Stats.percentile 99.0 samples));
+        ]
+    in
     ( name,
       Json.Obj
-        [ ("total_s", Json.Float s.total_s); ("count", Json.Int s.count);
-          ("max_s", Json.Float s.max_s) ] )
+        ([ ("total_s", Json.Float s.total_s); ("count", Json.Int s.count);
+           ("max_s", Json.Float s.max_s) ]
+        @ dist) )
   in
   Json.Obj
     [
-      ("spans", Json.Obj (List.map span_json (spans ())));
+      ("spans", Json.Obj (List.map span_json (sorted_bindings merged Fun.id)));
       ("counters", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters ())));
     ]
 
 let write_json ~path json =
-  let dir = Filename.dirname path in
-  let tmp =
-    try Filename.temp_file ~temp_dir:dir ".metrics" ".tmp"
-    with Sys_error msg ->
-      raise (Sys_error (Printf.sprintf "cannot write metrics to %s: %s" path msg))
-  in
-  let oc = open_out tmp in
-  (try
-     output_string oc (Json.to_string json);
-     output_char oc '\n'
-   with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
-     raise e);
-  close_out oc;
-  Sys.rename tmp path
+  Json.write_file ~prefix:".metrics" ~path (Json.to_string json ^ "\n")

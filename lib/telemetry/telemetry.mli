@@ -1,27 +1,17 @@
 (** Observability for the experiment pipeline: monotonic timers, named
     counters, per-stage spans and a JSON metrics emitter.
 
-    All state lives in one global, domain-safe registry so that worker
-    domains of the parallel suite runner can record into it directly.
-    Span accumulation takes a mutex per record; counters are atomic.
-    Recording is gated on {!enable} (default off) so the hot pipeline
-    pays one atomic load per stage when telemetry is unused. *)
+    Counters live in one global, domain-safe registry (atomic cells);
+    span accumulation is sharded per worker domain and merged at read
+    time, so recording never serializes the pool on a lock.  Readers
+    ({!spans}, {!to_json}, ...) must run after worker domains have
+    quiesced.  Recording is gated on {!enable} (default off) so the hot
+    pipeline pays one atomic load per stage when telemetry is unused.
 
-(** Minimal JSON tree, enough for metrics files.  No external
-    dependency; strings are escaped per RFC 8259. *)
-module Json : sig
-  type t =
-    | Null
-    | Bool of bool
-    | Int of int
-    | Float of float
-    | String of string
-    | List of t list
-    | Obj of (string * t) list
+    {!time} also feeds the event trace and the per-point run ledger
+    when those are armed — see {!Trace} and {!Ledger}. *)
 
-  (** Render with stable field order and 2-space indentation. *)
-  val to_string : t -> string
-end
+module Json = Json
 
 (** Monotonic time in seconds since an arbitrary origin.  Differences
     are meaningful; absolute values are not. *)
@@ -50,14 +40,23 @@ type span = {
   max_s : float;  (** longest single record *)
 }
 
+(** Percentiles over a span's raw samples (nearest-rank). *)
+type distribution = {
+  p50_s : float;
+  p90_s : float;
+  p99_s : float;
+}
+
 (** [time name f] runs [f ()] and, when enabled, adds its duration to
-    span [name].  Exceptions propagate; the span still records. *)
+    span [name].  Exceptions propagate; the span still records.  Also
+    notes the duration on the ambient {!Trace} point and emits
+    begin/end trace events when those layers are armed. *)
 val time : string -> (unit -> 'a) -> 'a
 
 (** [record_span name seconds] adds one measurement directly. *)
 val record_span : string -> float -> unit
 
-(** All spans, sorted by name. *)
+(** All spans, sorted by name, merged across domains. *)
 val spans : unit -> (string * span) list
 
 (** Number of records of one span; 0 if never recorded.  The compile
@@ -65,16 +64,26 @@ val spans : unit -> (string * span) list
     (config, loop) — is asserted against this. *)
 val span_count : string -> int
 
+(** Raw sample durations of one span, unordered; [] if never
+    recorded. *)
+val span_samples : string -> float list
+
+(** Per-span percentiles, sorted by name. *)
+val distributions : unit -> (string * distribution) list
+
 (** All counters, sorted by name. *)
 val counters : unit -> (string * int) list
 
-(** Clear every span and counter (the enabled flag is untouched). *)
+(** Clear every span and counter (the enabled flag is untouched).
+    Not safe concurrently with recording. *)
 val reset : unit -> unit
 
 (** Snapshot of the registry as JSON:
-    [{"spans": {name: {"total_s":..,"count":..,"max_s":..}},
+    [{"spans": {name: {"total_s":..,"count":..,"max_s":..,
+                       "p50_s":..,"p90_s":..,"p99_s":..}},
       "counters": {name: n}}]. *)
 val to_json : unit -> Json.t
 
-(** Write a JSON value to a file atomically (temp file + rename). *)
+(** Write a JSON value to a file atomically (temp file + rename; the
+    temp file is unlinked on any failure path). *)
 val write_json : path:string -> Json.t -> unit

@@ -1,0 +1,249 @@
+external now_ns : unit -> int64 = "ncdrf_monotonic_ns"
+
+type event = {
+  name : string;
+  phase : char;
+  ts_ns : int64;
+  domain : int;
+  loop : string;
+  config : string;
+  ii : int;
+}
+
+type point = {
+  loop : string;
+  config : string;
+  fp : string;
+  mutable ii : int;
+  mutable mii : int;
+  mutable rounds : int;
+  mutable spilled : int;
+  mutable requirement : int;
+  mutable maxlive : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable stages : (string * float) list;
+  mutable error : string option;
+}
+
+(* One shard per domain.  The ring is lazily grown up to the capacity,
+   then wraps (oldest events overwritten); [emitted] is the lifetime
+   event count, so [emitted - Array.length ring] events have been
+   dropped once the ring is saturated.  A shard is only ever written by
+   its owning domain; readers run after the pool has quiesced. *)
+type shard = {
+  mutable id : int;
+  mutable ring : event array;
+  mutable emitted : int;
+  mutable ctx : point option;
+}
+
+let events_on = Atomic.make false
+let context_demanded = Atomic.make false
+let ring_capacity = Atomic.make 65536
+
+let registry_lock = Mutex.create ()
+let shards : shard list ref = ref []
+
+let dummy_event =
+  { name = ""; phase = '?'; ts_ns = 0L; domain = 0; loop = ""; config = ""; ii = -1 }
+
+let key : shard Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        { id = (Domain.self () :> int); ring = [||]; emitted = 0; ctx = None }
+      in
+      Mutex.lock registry_lock;
+      shards := s :: !shards;
+      Mutex.unlock registry_lock;
+      s)
+
+let my () = Domain.DLS.get key
+
+let enable b = Atomic.set events_on b
+let enabled () = Atomic.get events_on
+let require_context b = Atomic.set context_demanded b
+let active () = Atomic.get events_on || Atomic.get context_demanded
+let set_domain_id id = (my ()).id <- id
+let set_ring_capacity n = Atomic.set ring_capacity (max 1 n)
+
+let all_shards () =
+  Mutex.lock registry_lock;
+  let l = !shards in
+  Mutex.unlock registry_lock;
+  l
+
+let emit s ev =
+  let cap = Atomic.get ring_capacity in
+  let len = Array.length s.ring in
+  (if len < cap && s.emitted >= len then begin
+     (* amortized doubling toward the capacity; events seen so far are
+        exactly ring[0..len-1] in emission order, so a blit preserves
+        them in place *)
+     let len' = min cap (max 1024 (2 * len)) in
+     let ring' = Array.make len' dummy_event in
+     Array.blit s.ring 0 ring' 0 len;
+     s.ring <- ring'
+   end);
+  s.ring.(s.emitted mod Array.length s.ring) <- ev;
+  s.emitted <- s.emitted + 1
+
+let event_of s ~name ~phase =
+  let loop, config, ii =
+    match s.ctx with
+    | Some p -> (p.loop, p.config, p.ii)
+    | None -> ("", "", -1)
+  in
+  { name; phase; ts_ns = now_ns (); domain = s.id; loop; config; ii }
+
+let begin_span name =
+  if Atomic.get events_on then begin
+    let s = my () in
+    emit s (event_of s ~name ~phase:'B')
+  end
+
+let end_span name =
+  if Atomic.get events_on then begin
+    let s = my () in
+    emit s (event_of s ~name ~phase:'E')
+  end
+
+let instant name =
+  if Atomic.get events_on then begin
+    let s = my () in
+    emit s (event_of s ~name ~phase:'i')
+  end
+
+let with_context ~loop ~config ~fp f =
+  if not (active ()) then f ()
+  else begin
+    let s = my () in
+    let saved = s.ctx in
+    s.ctx <-
+      Some
+        {
+          loop;
+          config;
+          fp;
+          ii = -1;
+          mii = -1;
+          rounds = -1;
+          spilled = -1;
+          requirement = -1;
+          maxlive = -1;
+          cache_hits = 0;
+          cache_misses = 0;
+          stages = [];
+          error = None;
+        };
+    Fun.protect ~finally:(fun () -> s.ctx <- saved) f
+  end
+
+let current () = if active () then (my ()).ctx else None
+
+let with_point f =
+  if active () then
+    match (my ()).ctx with
+    | Some p -> f p
+    | None -> ()
+
+let set_ii ii = with_point (fun p -> p.ii <- ii)
+
+let set_result ?mii ?ii ?rounds ?spilled ?requirement ?maxlive () =
+  with_point (fun p ->
+      Option.iter (fun v -> p.mii <- v) mii;
+      Option.iter (fun v -> p.ii <- v) ii;
+      Option.iter (fun v -> p.rounds <- v) rounds;
+      Option.iter (fun v -> p.spilled <- v) spilled;
+      Option.iter (fun v -> p.requirement <- v) requirement;
+      Option.iter (fun v -> p.maxlive <- v) maxlive)
+
+let set_error category = with_point (fun p -> p.error <- Some category)
+let note_stage name seconds = with_point (fun p -> p.stages <- (name, seconds) :: p.stages)
+
+let note_cache ~hit =
+  with_point (fun p ->
+      if hit then p.cache_hits <- p.cache_hits + 1
+      else p.cache_misses <- p.cache_misses + 1)
+
+let shard_events s =
+  let len = Array.length s.ring in
+  if len = 0 then []
+  else begin
+    let n = min s.emitted len in
+    let first = s.emitted - n in
+    List.init n (fun i -> s.ring.((first + i) mod len))
+  end
+
+(* Shards sort by (domain id, first timestamp): ids repeat across pool
+   generations (every pool numbers its workers 1..n-1), and a stable
+   chronological order within one id keeps per-track event streams
+   monotonic for trace viewers. *)
+let events () =
+  all_shards ()
+  |> List.map (fun s -> (s, shard_events s))
+  |> List.filter (fun (_, evs) -> evs <> [])
+  |> List.sort (fun (a, ae) (b, be) ->
+         match compare a.id b.id with
+         | 0 -> Int64.compare (List.hd ae).ts_ns (List.hd be).ts_ns
+         | c -> c)
+  |> List.concat_map snd
+
+let dropped () =
+  List.fold_left
+    (fun acc s -> acc + max 0 (s.emitted - Array.length s.ring))
+    0 (all_shards ())
+
+let reset () =
+  List.iter
+    (fun s ->
+      s.ring <- [||];
+      s.emitted <- 0)
+    (all_shards ())
+
+let to_chrome () =
+  let evs = events () in
+  let t0 =
+    List.fold_left
+      (fun acc e -> if Int64.compare e.ts_ns acc < 0 then e.ts_ns else acc)
+      (match evs with [] -> 0L | e :: _ -> e.ts_ns)
+      evs
+  in
+  let tids =
+    List.sort_uniq compare (List.map (fun e -> e.domain) evs)
+  in
+  let thread_meta tid =
+    Json.Obj
+      [
+        ("name", Json.String "thread_name");
+        ("ph", Json.String "M");
+        ("pid", Json.Int 1);
+        ("tid", Json.Int tid);
+        ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "domain-%d" tid)) ]);
+      ]
+  in
+  let event_json (e : event) =
+    let args =
+      (if e.loop = "" then [] else [ ("loop", Json.String e.loop) ])
+      @ (if e.config = "" then [] else [ ("config", Json.String e.config) ])
+      @ if e.ii < 0 then [] else [ ("ii", Json.Int e.ii) ]
+    in
+    Json.Obj
+      ([
+         ("name", Json.String e.name);
+         ("cat", Json.String "stage");
+         ("ph", Json.String (String.make 1 e.phase));
+         ("pid", Json.Int 1);
+         ("tid", Json.Int e.domain);
+         ("ts", Json.Float (Int64.to_float (Int64.sub e.ts_ns t0) /. 1000.0));
+       ]
+      @ if args = [] then [] else [ ("args", Json.Obj args) ])
+  in
+  Json.Obj
+    [
+      ( "traceEvents",
+        Json.List (List.map thread_meta tids @ List.map event_json evs) );
+      ("displayTimeUnit", Json.String "ms");
+    ]
+
+let write_chrome ~path = Json.write_file ~prefix:".trace" ~path (Json.to_string (to_chrome ()) ^ "\n")

@@ -1,0 +1,130 @@
+(** Event-level tracing: per-domain ring buffers of timestamped
+    begin/end events plus an ambient per-point context, exported as
+    Chrome trace-event JSON (chrome://tracing, Perfetto).
+
+    Two independent demands switch the layer on:
+    {ul
+    {- {!enable} arms event recording ([--trace]);}
+    {- {!require_context} arms only the ambient context, without
+       buffering events — the run ledger needs the per-point context
+       but no event stream ([--ledger]).}}
+    With both off every probe is one atomic load, and driver outputs
+    are byte-identical to a build without the probes.
+
+    Each domain owns one shard (ring buffer + context slot), created on
+    first use and never handed to another domain, so recording is
+    lock-free.  Readers ({!events}, {!write_chrome}) must run after
+    worker domains have quiesced — in the drivers, after the pool is
+    done. *)
+
+(** {1 Arming} *)
+
+(** Turn event buffering on or off. *)
+val enable : bool -> unit
+
+val enabled : unit -> bool
+
+(** Demand the ambient context even when event buffering is off. *)
+val require_context : bool -> unit
+
+(** True when events or the context are demanded — gate for any work
+    done only to feed the trace (e.g. computing MaxLive). *)
+val active : unit -> bool
+
+(** Cap each domain's ring buffer (default 65536 events); once full,
+    the oldest events of that domain are overwritten. *)
+val set_ring_capacity : int -> unit
+
+(** Give the calling domain a stable track id.  Pool workers call this
+    with their worker index so traces get one track per pool slot
+    instead of one per spawned domain. *)
+val set_domain_id : int -> unit
+
+(** {1 Ambient context} *)
+
+(** Mutable per-point context: results are filled in by the pipeline
+    stages as they run, then harvested into a ledger record. *)
+type point = {
+  loop : string;
+  config : string;  (** config display name *)
+  fp : string;  (** short hex digest of the config fingerprint *)
+  mutable ii : int;  (** chosen II; -1 = unknown *)
+  mutable mii : int;
+  mutable rounds : int;  (** spill rounds; -1 = no spill pass *)
+  mutable spilled : int;
+  mutable requirement : int;
+  mutable maxlive : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+  mutable stages : (string * float) list;  (** seconds, latest first *)
+  mutable error : string option;  (** error category name *)
+}
+
+(** [with_context ~loop ~config ~fp f] runs [f] with a fresh point
+    context installed on the calling domain (saving and restoring any
+    outer context).  A no-op pass-through when {!active} is false. *)
+val with_context : loop:string -> config:string -> fp:string -> (unit -> 'a) -> 'a
+
+(** The calling domain's current point, if inside {!with_context}. *)
+val current : unit -> point option
+
+val set_ii : int -> unit
+
+val set_result :
+  ?mii:int ->
+  ?ii:int ->
+  ?rounds:int ->
+  ?spilled:int ->
+  ?requirement:int ->
+  ?maxlive:int ->
+  unit ->
+  unit
+
+val set_error : string -> unit
+
+(** [note_stage name seconds] appends one stage duration to the current
+    point ({!Telemetry.time} calls this automatically). *)
+val note_stage : string -> float -> unit
+
+(** Attribute one compile-cache lookup to the current point. *)
+val note_cache : hit:bool -> unit
+
+(** {1 Events} *)
+
+(** One buffered event.  [phase] is the Chrome phase: 'B' begin,
+    'E' end, 'i' instant. *)
+type event = {
+  name : string;
+  phase : char;
+  ts_ns : int64;
+  domain : int;
+  loop : string;
+  config : string;
+  ii : int;
+}
+
+val begin_span : string -> unit
+val end_span : string -> unit
+val instant : string -> unit
+
+(** All buffered events: shards ordered by (domain id, first
+    timestamp), each shard's events in emission order. *)
+val events : unit -> event list
+
+(** Events lost to ring-buffer wrap-around, across all domains. *)
+val dropped : unit -> int
+
+(** Drop all buffered events (shards stay registered; the enabled
+    flags are untouched).  Not safe concurrently with recording. *)
+val reset : unit -> unit
+
+(** {1 Export} *)
+
+(** The buffered events as a Chrome trace-event document: one [pid],
+    one [tid] (track) per domain id with a [thread_name] metadata
+    record, timestamps in microseconds relative to the earliest
+    event, and [args] carrying the ambient loop/config/II. *)
+val to_chrome : unit -> Json.t
+
+(** Write {!to_chrome} atomically ({!Json.write_file}). *)
+val write_chrome : path:string -> unit

@@ -74,4 +74,25 @@ if dune exec bin/ncdrf.exe -- suite --size 60 --jobs 1 \
   exit 1
 fi
 
-echo "check.sh: OK (cache.misses=$misses, alloc.table_reuse=$reuse, errors.injected=$injected)"
+# Observability smoke: the same quick fig6 with --trace and --ledger must
+# produce a trace with real begin/end events and a ledger whose records
+# carry per-stage durations, and the profile analyzer must read it back.
+trace=$(mktemp /tmp/ncdrf-trace.XXXXXX.json)
+ledger=$(mktemp /tmp/ncdrf-ledger.XXXXXX.jsonl)
+profile_out=$(mktemp /tmp/ncdrf-profile.XXXXXX.txt)
+trap 'rm -f "$metrics" "$inj_metrics" "$inj_out" "$trace" "$ledger" "$profile_out"' EXIT
+dune exec bench/main.exe -- fig6 --quick --jobs 1 \
+  --trace "$trace" --ledger "$ledger" > /dev/null
+events=$(grep -c '"ph": *"[BE]"' "$trace" || true)
+if [ "${events:-0}" -eq 0 ]; then
+  echo "check.sh: trace $trace has no begin/end events" >&2
+  exit 1
+fi
+test -s "$ledger" || { echo "check.sh: ledger missing or empty" >&2; exit 1; }
+grep -q '"schedule":' "$ledger" || {
+  echo "check.sh: ledger records carry no stage durations" >&2; exit 1; }
+dune exec bin/ncdrf.exe -- profile "$ledger" > "$profile_out"
+grep -q 'slowest points' "$profile_out" || {
+  echo "check.sh: ncdrf profile printed no slowest-points section" >&2; exit 1; }
+
+echo "check.sh: OK (cache.misses=$misses, alloc.table_reuse=$reuse, errors.injected=$injected, trace_events=$events)"

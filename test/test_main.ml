@@ -11,6 +11,7 @@ let () =
       ("cache", Test_cache.suite);
       ("workloads", Test_workloads.suite);
       ("parallel", Test_parallel.suite);
+      ("trace", Test_trace.suite);
       ("robustness", Test_robustness.suite);
       ("extensions", Test_extensions.suite);
       ("sim", Test_sim.suite);

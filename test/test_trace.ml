@@ -1,0 +1,480 @@
+(* The observability layer: Json parser round-trips and atomic file
+   publication, span distributions feeding the metrics report, the
+   event trace (valid Chrome document, balanced B/E, --jobs
+   invariance), the run ledger (record round-trip, file round-trip,
+   --jobs identity-set guard) and the standing invariant that arming
+   tracing changes no pipeline result byte. *)
+
+open Ncdrf_ir
+open Ncdrf_machine
+open Ncdrf_sched
+open Ncdrf_core
+module Telemetry = Ncdrf_telemetry.Telemetry
+module Json = Ncdrf_telemetry.Json
+module Trace = Ncdrf_telemetry.Trace
+module Ledger = Ncdrf_telemetry.Ledger
+module Stats = Ncdrf_report.Stats
+module Pool = Ncdrf_parallel.Pool
+module Generator = Ncdrf_workloads.Generator
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 0.0))
+
+(* Arm the requested layers for [f], then disarm and drop everything
+   recorded so no other test sees observability state. *)
+let with_observability ?(trace = true) ?(ledger = true) f =
+  Trace.enable trace;
+  Ledger.enable ledger;
+  Fun.protect
+    ~finally:(fun () ->
+      Trace.enable false;
+      Ledger.enable false;
+      Trace.reset ();
+      Ledger.reset ())
+    f
+
+let fixed_loops ?(n = 10) () =
+  Ncdrf_workloads.Suite.full ~size:40 ~seed:2025 ()
+  |> List.filteri (fun i _ -> i < n)
+  |> List.map (fun e ->
+         { Suite_stats.ddg = e.Ncdrf_workloads.Suite.ddg;
+           weight = e.Ncdrf_workloads.Suite.iterations })
+
+(* ------------------------------------------------------------------ *)
+(* Json: parser round-trips and failures.                              *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip_values =
+  [
+    Json.Null;
+    Json.Bool true;
+    Json.Bool false;
+    Json.Int 0;
+    Json.Int (-42);
+    Json.Int max_int;
+    Json.Float 3.5;
+    Json.Float (-0.125);
+    Json.String "plain";
+    Json.String "quote\" slash\\ ctrl\n\t end";
+    Json.String "utf8 \xe2\x98\x83";
+    Json.List [];
+    Json.Obj [];
+    Json.List [ Json.Int 1; Json.Null; Json.String "x"; Json.List [ Json.Bool false ] ];
+    Json.Obj
+      [
+        ("a", Json.Int 1);
+        ("b", Json.List [ Json.Bool false; Json.Float 2.5 ]);
+        ("c", Json.Obj [ ("d", Json.Null); ("e", Json.String "") ]);
+      ];
+  ]
+
+let test_json_roundtrip () =
+  List.iter
+    (fun v ->
+      let back rendering s =
+        match Json.of_string s with
+        | Ok v' ->
+          check_bool (rendering ^ " round-trips: " ^ s) true (v = v')
+        | Error e -> Alcotest.fail (rendering ^ " parse failed: " ^ e)
+      in
+      back "to_string" (Json.to_string v);
+      back "to_compact" (Json.to_compact v))
+    roundtrip_values
+
+let test_json_parse_forms () =
+  let ok s v =
+    match Json.of_string s with
+    | Ok v' -> check_bool ("parses: " ^ s) true (v = v')
+    | Error e -> Alcotest.fail (s ^ ": " ^ e)
+  in
+  ok "12" (Json.Int 12);
+  ok "-3" (Json.Int (-3));
+  ok "12.0" (Json.Float 12.0);
+  ok "1e3" (Json.Float 1000.0);
+  ok "  [ 1 , 2 ]  " (Json.List [ Json.Int 1; Json.Int 2 ]);
+  ok "\"\\u0041\\n\"" (Json.String "A\n");
+  ok "\"\\u2603\"" (Json.String "\xe2\x98\x83");
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.fail ("should not parse: " ^ s)
+      | Error _ -> ())
+    [ ""; "tru"; "[1,]"; "{\"a\":1"; "{} trailing"; "\"open"; "{1:2}" ]
+
+let rec rm_rf p =
+  if Sys.is_directory p then begin
+    Array.iter (fun f -> rm_rf (Filename.concat p f)) (Sys.readdir p);
+    Sys.rmdir p
+  end
+  else Sys.remove p
+
+let test_write_file_no_tmp_litter () =
+  (* Point the writer at a path whose final rename must fail (the
+     target is a non-empty directory): the temp file may not survive. *)
+  let dir = Filename.temp_file "ncdrf_json" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  Fun.protect
+    ~finally:(fun () -> rm_rf dir)
+    (fun () ->
+      let target = Filename.concat dir "out" in
+      Sys.mkdir target 0o755;
+      let oc = open_out (Filename.concat target "occupied") in
+      close_out oc;
+      (match Json.write_file ~path:target "{}\n" with
+       | () -> Alcotest.fail "rename over a non-empty directory succeeded?"
+       | exception Sys_error _ -> ());
+      let leftovers =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+      in
+      Alcotest.(check (list string)) "no temp litter" [] leftovers;
+      (* The happy path still publishes (and also leaves no litter). *)
+      let good = Filename.concat dir "ok.json" in
+      Json.write_file ~path:good "[1]";
+      check_bool "published" true (Sys.file_exists good);
+      let tmps =
+        Sys.readdir dir |> Array.to_list
+        |> List.filter (fun f -> Filename.check_suffix f ".tmp")
+      in
+      Alcotest.(check (list string)) "no temp litter after success" [] tmps)
+
+(* ------------------------------------------------------------------ *)
+(* Stats.auto_histogram and span distributions.                        *)
+(* ------------------------------------------------------------------ *)
+
+let test_auto_histogram () =
+  Alcotest.(check (list (pair (float 0.0) int))) "empty" [] (Stats.auto_histogram []);
+  Alcotest.(check (list (pair (float 0.0) int)))
+    "constant series collapses"
+    [ (2.0, 3) ]
+    (Stats.auto_histogram [ 2.0; 2.0; 2.0 ]);
+  let values = List.init 101 float_of_int in
+  let buckets = Stats.auto_histogram values in
+  check_float "first bucket at the minimum" 0.0 (fst (List.hd buckets));
+  check_int "counts cover the series" 101
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 buckets);
+  check_bool "about the requested bucket count" true
+    (List.length buckets >= 10 && List.length buckets <= 11);
+  (* The renderer accepts what auto_histogram emits. *)
+  let rendered =
+    Stats.render_histogram ~label:(fun v -> Printf.sprintf "%.1f" v) buckets
+  in
+  check_bool "rendered one line per bucket" true
+    (List.length (String.split_on_char '\n' (String.trim rendered))
+     = List.length buckets)
+
+let test_span_distributions () =
+  Telemetry.enable true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.enable false;
+      Telemetry.reset ())
+    (fun () ->
+      Telemetry.reset ();
+      for i = 1 to 100 do
+        Telemetry.record_span "s" (float_of_int i)
+      done;
+      check_int "all samples kept" 100 (List.length (Telemetry.span_samples "s"));
+      (match List.assoc_opt "s" (Telemetry.distributions ()) with
+       | None -> Alcotest.fail "no distribution for a recorded span"
+       | Some d ->
+         check_float "p50 nearest-rank" 50.0 d.Telemetry.p50_s;
+         check_float "p90 nearest-rank" 90.0 d.Telemetry.p90_s;
+         check_float "p99 nearest-rank" 99.0 d.Telemetry.p99_s);
+      (* The metrics document carries the percentiles (additive keys). *)
+      let doc = Json.to_string (Telemetry.to_json ()) in
+      let contains key =
+        let n = String.length key in
+        let rec find i =
+          i + n <= String.length doc && (String.sub doc i n = key || find (i + 1))
+        in
+        find 0
+      in
+      List.iter
+        (fun key -> check_bool ("metrics JSON has " ^ key) true (contains key))
+        [ "\"p50_s\""; "\"p90_s\""; "\"p99_s\"" ])
+
+(* ------------------------------------------------------------------ *)
+(* Event trace: valid Chrome document with balanced, nested B/E.       *)
+(* ------------------------------------------------------------------ *)
+
+let obj = function
+  | Json.Obj o -> o
+  | _ -> Alcotest.fail "expected a JSON object"
+
+let str = function
+  | Json.String s -> s
+  | _ -> Alcotest.fail "expected a JSON string"
+
+let num = function
+  | Json.Int i -> float_of_int i
+  | Json.Float f -> f
+  | _ -> Alcotest.fail "expected a JSON number"
+
+let test_trace_chrome_document () =
+  let loops = fixed_loops () in
+  let config = Config.dual ~latency:3 in
+  with_observability ~ledger:false (fun () ->
+      Artifact.clear_cache ();
+      ignore (Suite_stats.measure_all ~config ~models:Model.all loops);
+      let path = Filename.temp_file "ncdrf_trace" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Trace.write_chrome ~path;
+          let doc = In_channel.with_open_text path In_channel.input_all in
+          let json =
+            match Json.of_string doc with
+            | Ok j -> j
+            | Error e -> Alcotest.fail ("trace file is not valid JSON: " ^ e)
+          in
+          let events =
+            match List.assoc "traceEvents" (obj json) with
+            | Json.List evs -> List.map obj evs
+            | _ -> Alcotest.fail "traceEvents is not a list"
+          in
+          check_bool "trace has events" true (events <> []);
+          (* Every phase is one we emit; B/E counts balance per name. *)
+          let begins = Hashtbl.create 16 and ends = Hashtbl.create 16 in
+          let bump h k = Hashtbl.replace h k (1 + Option.value ~default:0 (Hashtbl.find_opt h k)) in
+          let stacks : (float, string list) Hashtbl.t = Hashtbl.create 8 in
+          List.iter
+            (fun e ->
+              let name = str (List.assoc "name" e) in
+              let tid = num (List.assoc "tid" e) in
+              match str (List.assoc "ph" e) with
+              | ("B" | "E" | "i") when num (List.assoc "ts" e) < 0.0 ->
+                Alcotest.fail "negative timestamp"
+              | "B" ->
+                bump begins name;
+                Hashtbl.replace stacks tid
+                  (name :: Option.value ~default:[] (Hashtbl.find_opt stacks tid))
+              | "E" ->
+                bump ends name;
+                (match Hashtbl.find_opt stacks tid with
+                 | Some (top :: rest) ->
+                   Alcotest.(check string) "E matches innermost B" top name;
+                   Hashtbl.replace stacks tid rest
+                 | _ -> Alcotest.fail "E with no open B on its track")
+              | "i" | "M" -> ()
+              | ph -> Alcotest.fail ("unexpected phase " ^ ph))
+            events;
+          Hashtbl.iter
+            (fun name b ->
+              check_int ("balanced B/E for " ^ name) b
+                (Option.value ~default:0 (Hashtbl.find_opt ends name)))
+            begins;
+          Hashtbl.iter
+            (fun _ stack -> check_int "every span closed" 0 (List.length stack))
+            stacks;
+          check_bool "a schedule span was traced" true
+            (Hashtbl.mem begins "schedule");
+          check_int "nothing dropped on this small run" 0 (Trace.dropped ())))
+
+let event_key (e : Trace.event) =
+  (e.Trace.name, e.Trace.phase, e.Trace.loop, e.Trace.config)
+
+let test_trace_jobs_invariant () =
+  let loops = fixed_loops () in
+  let config = Config.dual ~latency:6 in
+  with_observability ~ledger:false (fun () ->
+      let run pool =
+        Artifact.clear_cache ();
+        Trace.reset ();
+        ignore (Suite_stats.measure_all ?pool ~config ~models:Model.all loops);
+        List.sort compare (List.map event_key (Trace.events ()))
+      in
+      let serial = run None in
+      let parallel = Pool.with_pool ~jobs:2 (fun pool -> run (Some pool)) in
+      check_bool "events recorded" true (serial <> []);
+      check_bool "--jobs 2 emits the same event multiset as --jobs 1" true
+        (serial = parallel))
+
+(* ------------------------------------------------------------------ *)
+(* Run ledger: record and file round-trips, --jobs identity guard.     *)
+(* ------------------------------------------------------------------ *)
+
+let sample_record : Ledger.record =
+  {
+    Ledger.label = "t";
+    loop = "loop-1";
+    config = "dual-L3";
+    fp = "abc123def456";
+    models = "unified+swapped";
+    capacity = Some 32;
+    mii = Some 4;
+    ii = Some 5;
+    rounds = Some 2;
+    spilled = Some 3;
+    requirement = Some 17;
+    maxlive = Some 21;
+    cache_hits = 2;
+    cache_misses = 4;
+    stages = [ ("alloc", 123456); ("schedule", 99) ];
+    total_ns = 424242;
+    ok = true;
+    error = None;
+  }
+
+let failed_record =
+  {
+    sample_record with
+    Ledger.loop = "loop-2";
+    capacity = None;
+    mii = None;
+    ii = None;
+    rounds = None;
+    spilled = None;
+    requirement = None;
+    maxlive = None;
+    stages = [];
+    ok = false;
+    error = Some "sched";
+  }
+
+let test_ledger_record_roundtrip () =
+  List.iter
+    (fun (r : Ledger.record) ->
+      match Ledger.parse_line (Json.to_compact (Ledger.to_json r)) with
+      | Ok r' -> check_bool ("record round-trips: " ^ r.Ledger.loop) true (r = r')
+      | Error e -> Alcotest.fail e)
+    [ sample_record; failed_record ]
+
+let test_ledger_file_roundtrip () =
+  with_observability ~trace:false (fun () ->
+      Ledger.set_label "file";
+      Ledger.add sample_record;
+      Ledger.add failed_record;
+      let loops = fixed_loops ~n:4 () in
+      let config = Config.dual ~latency:3 in
+      Artifact.clear_cache ();
+      ignore (Suite_stats.measure_all ~config ~models:[ Model.Swapped ] loops);
+      let path = Filename.temp_file "ncdrf_ledger" ".jsonl" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove path)
+        (fun () ->
+          Ledger.write ~path;
+          match Ledger.load ~path with
+          | Error e -> Alcotest.fail e
+          | Ok loaded ->
+            check_int "every record came back"
+              (List.length (Ledger.records ()))
+              (List.length loaded);
+            check_bool "file is identity-sorted" true
+              (List.stable_sort Ledger.compare_records (Ledger.records ()) = loaded);
+            check_bool "pipeline records carry stage durations" true
+              (List.exists
+                 (fun (r : Ledger.record) ->
+                   r.Ledger.label = "file"
+                   && r.Ledger.loop <> "loop-1"
+                   && r.Ledger.loop <> "loop-2"
+                   && List.mem_assoc "schedule" r.Ledger.stages)
+                 loaded)))
+
+(* Everything deterministic about a record: identity plus the result
+   fields that may not depend on worker count.  Durations are the one
+   thing allowed to differ. *)
+let ledger_identity (r : Ledger.record) =
+  ( ( r.Ledger.label,
+      r.Ledger.config,
+      r.Ledger.models,
+      r.Ledger.capacity,
+      r.Ledger.loop,
+      r.Ledger.fp ),
+    ( r.Ledger.ok,
+      r.Ledger.error,
+      List.map fst r.Ledger.stages,
+      r.Ledger.cache_hits,
+      r.Ledger.cache_misses ),
+    (r.Ledger.mii, r.Ledger.ii, r.Ledger.requirement, r.Ledger.maxlive) )
+
+let test_ledger_jobs_invariant () =
+  let loops = fixed_loops () in
+  let config = Config.dual ~latency:6 in
+  with_observability ~trace:false (fun () ->
+      Ledger.set_label "guard";
+      let run pool =
+        Artifact.clear_cache ();
+        Ledger.reset ();
+        ignore (Suite_stats.measure_all ?pool ~config ~models:Model.all loops);
+        List.sort compare (List.map ledger_identity (Ledger.records ()))
+      in
+      let serial = run None in
+      let parallel = Pool.with_pool ~jobs:2 (fun pool -> run (Some pool)) in
+      check_int "one record per loop" (List.length loops) (List.length serial);
+      check_bool "--jobs 2 ledger identity set equals --jobs 1" true
+        (serial = parallel))
+
+(* ------------------------------------------------------------------ *)
+(* Standing invariant: arming observability changes no result byte.    *)
+(* ------------------------------------------------------------------ *)
+
+(* %h renders the exact bit pattern, so string equality of this
+   rendering is byte-for-byte equality of the stats, schedule included. *)
+let render_stats (st : Pipeline.stats) =
+  let sched = st.Pipeline.schedule in
+  let placements =
+    String.concat ";"
+      (List.init (Ddg.num_nodes sched.Schedule.ddg) (fun v ->
+           Printf.sprintf "%d,%d" (Schedule.cycle sched v) (Schedule.cluster sched v)))
+  in
+  Printf.sprintf
+    "%s %s mii=%d ii=%d stages=%d req=%d cap=%s fits=%b spilled=%d addmem=%d bumps=%d \
+     memops=%d density=%h swaps=%d sched_ii=%d [%s]"
+    st.Pipeline.name
+    (Model.to_string st.Pipeline.model)
+    st.Pipeline.mii st.Pipeline.ii st.Pipeline.stages st.Pipeline.requirement
+    (match st.Pipeline.capacity with None -> "-" | Some c -> string_of_int c)
+    st.Pipeline.fits st.Pipeline.spilled st.Pipeline.added_memops st.Pipeline.ii_bumps
+    st.Pipeline.memops_per_iter st.Pipeline.density st.Pipeline.swaps (Schedule.ii sched)
+    placements
+
+let prop_traced_equals_untraced =
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, lat, cap) ->
+        Printf.sprintf "seed=%d lat=%d cap=%s" seed lat
+          (match cap with None -> "-" | Some c -> string_of_int c))
+      QCheck.Gen.(triple (int_bound 20_000) (int_range 1 8) (opt (int_range 8 64)))
+  in
+  QCheck.Test.make ~count:15
+    ~name:"traced + ledgered run byte-identical to untraced run" arb
+    (fun (seed, latency, capacity) ->
+      let ddg = Generator.generate Generator.default ~seed ~name:"trace-prop" in
+      let config = Config.dual ~latency in
+      let run () =
+        Artifact.clear_cache ();
+        List.map
+          (fun model -> render_stats (Pipeline.run ~config ~model ?capacity ddg))
+          Model.all
+      in
+      let plain = run () in
+      let observed =
+        with_observability (fun () ->
+            Ledger.set_label "prop";
+            run ())
+      in
+      plain = observed)
+
+let suite =
+  [
+    Alcotest.test_case "json renderings parse back" `Quick test_json_roundtrip;
+    Alcotest.test_case "json parse forms and failures" `Quick test_json_parse_forms;
+    Alcotest.test_case "atomic write leaves no temp litter" `Quick
+      test_write_file_no_tmp_litter;
+    Alcotest.test_case "auto_histogram covers the series" `Quick test_auto_histogram;
+    Alcotest.test_case "span distributions are nearest-rank" `Quick
+      test_span_distributions;
+    Alcotest.test_case "chrome trace is valid with balanced B/E" `Quick
+      test_trace_chrome_document;
+    Alcotest.test_case "trace events invariant under --jobs" `Quick
+      test_trace_jobs_invariant;
+    Alcotest.test_case "ledger record round-trips" `Quick test_ledger_record_roundtrip;
+    Alcotest.test_case "ledger file round-trips identity-sorted" `Quick
+      test_ledger_file_roundtrip;
+    Alcotest.test_case "ledger identity set invariant under --jobs" `Quick
+      test_ledger_jobs_invariant;
+    QCheck_alcotest.to_alcotest prop_traced_equals_untraced;
+  ]
