@@ -62,6 +62,13 @@ let failures_csv : string option ref = ref None
 
 (* The session pool; [None] means serial.  The serial-baseline rerun
    (see [run_experiment]) swaps this to [None] temporarily. *)
+(* Spill-loop strategy for every capacity run of the harness
+   (--spill-batch / --spill-incremental); the default is the
+   reference-identical policy, so committed figures are unchanged
+   unless a flag opts in. *)
+let the_spill = ref Ncdrf_spill.Spiller.default_policy
+let spill () = !the_spill
+
 let the_pool : Pool.t option ref = ref None
 let current_jobs () = match !the_pool with Some p -> Pool.jobs p | None -> 1
 let pool () = !the_pool
@@ -283,8 +290,8 @@ let performance_grid () =
             List.map
               (fun model ->
                 let p =
-                  Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures ~config
-                    ~model ~capacity loops
+                  Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures
+                    ~spill:(spill ()) ~config ~model ~capacity loops
                 in
                 (model, p))
               Model.all
@@ -396,7 +403,10 @@ let run_ablation () =
   let spill_time, bump_time =
     List.fold_left
       (fun (st, bt) l ->
-        let spill = Pipeline.run ~config ~model:Model.Unified ~capacity l.Suite_stats.ddg in
+        let spill =
+          Pipeline.run ~config ~model:Model.Unified ~capacity ~spill:(spill ())
+            l.Suite_stats.ddg
+        in
         (* II escalation only: reschedule with growing II until the
            requirement fits, no spill code. *)
         let rec escalate ii guard =
@@ -434,7 +444,7 @@ let run_spill_victims () =
         pool_map
           (fun l ->
             (l, Pipeline.run ~config ~model:Model.Swapped ~capacity ~victim
-               l.Suite_stats.ddg))
+               ~spill:(spill ()) l.Suite_stats.ddg))
           loops
       in
       List.iter
@@ -515,12 +525,12 @@ let run_doubling () =
         (fun r ->
           let config = Config.dual ~latency in
           let dual =
-            Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures ~config
-              ~model:Model.Swapped ~capacity:r loops
+            Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures
+              ~spill:(spill ()) ~config ~model:Model.Swapped ~capacity:r loops
           in
           let doubled =
-            Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures ~config
-              ~model:Model.Unified ~capacity:(2 * r) loops
+            Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures
+              ~spill:(spill ()) ~config ~model:Model.Unified ~capacity:(2 * r) loops
           in
           Printf.printf "L=%d,R=%-4d %22.3f %22.3f%s\n%!" latency r
             dual.Suite_stats.relative doubled.Suite_stats.relative
@@ -573,7 +583,9 @@ let run_memory () =
       let compiled =
         pool_map
           (fun l ->
-            let st = Pipeline.run ~config ~model ~capacity l.Suite_stats.ddg in
+            let st =
+              Pipeline.run ~config ~model ~capacity ~spill:(spill ()) l.Suite_stats.ddg
+            in
             let r =
               Ncdrf_sim.Memory_system.simulate ~config:mem ~iterations:25
                 st.Pipeline.schedule
@@ -610,7 +622,7 @@ let run_fission () =
       let g = l.Suite_stats.ddg in
       let w = l.Suite_stats.weight in
       (* Option 3 (the paper's evaluated choice): spill. *)
-      let spill = Pipeline.run ~config ~model:Model.Unified ~capacity g in
+      let spill = Pipeline.run ~config ~model:Model.Unified ~capacity ~spill:(spill ()) g in
       spill_t := !spill_t +. (w *. float_of_int spill.Pipeline.ii);
       (* Option 1: reschedule at increased II. *)
       let rec escalate ii guard =
@@ -1006,6 +1018,7 @@ let usage () =
   Printf.eprintf
     "usage: main.exe [EXPERIMENT...] [--quick] [--size N] [--seed N] [--jobs N]\n\
     \       [--csv DIR] [--metrics FILE] [--trace FILE] [--ledger FILE] [--no-cache]\n\
+    \       [--spill-batch K] [--spill-incremental]\n\
     \       [--fail-fast] [--max-failures N] [--failures FILE]\n\
     \       [--inject stage=NAME[,loop=REGEX][,every=N]]\n";
   exit 2
@@ -1044,6 +1057,12 @@ let () =
     | "--no-cache" :: rest ->
       Artifact.set_cache_enabled false;
       parse rest
+    | "--spill-batch" :: n :: rest ->
+      the_spill := { !the_spill with Ncdrf_spill.Spiller.batch = max 1 (int_arg "--spill-batch" n) };
+      parse rest
+    | "--spill-incremental" :: rest ->
+      the_spill := { !the_spill with Ncdrf_spill.Spiller.incremental = true };
+      parse rest
     | "--csv" :: dir :: rest ->
       csv_dir := Some dir;
       parse rest
@@ -1066,7 +1085,7 @@ let () =
       suite_size := max 1 (int_arg "--size" n);
       parse rest
     | ("--csv" | "--jobs" | "--metrics" | "--trace" | "--ledger" | "--seed" | "--size"
-      | "--max-failures" | "--failures" | "--inject")
+      | "--max-failures" | "--failures" | "--inject" | "--spill-batch")
       :: [] ->
       usage ()
     | a :: rest -> a :: parse rest

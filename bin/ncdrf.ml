@@ -112,18 +112,37 @@ let print_stats (stats : Pipeline.stats) =
   Format.printf "  memory ops/iteration %d, traffic density %.3f@."
     stats.Pipeline.memops_per_iter stats.Pipeline.density
 
+let spill_batch_arg =
+  let doc =
+    "Spill up to $(docv) non-interfering victims per spill round (default 1, the \
+     paper's one-victim loop)."
+  in
+  Arg.(value & opt int 1 & info [ "spill-batch" ] ~docv:"K" ~doc)
+
+let spill_incremental_arg =
+  let doc =
+    "Reschedule spill rounds incrementally, seeding the previous round's kernel and \
+     placing only the new memory operations."
+  in
+  Arg.(value & flag & info [ "spill-incremental" ] ~doc)
+
+let spill_policy ~batch ~incremental =
+  { Ncdrf_spill.Spiller.default_policy with batch; incremental }
+
 let schedule_cmd =
-  let run verbose file name latency clusters model capacity show_kernel =
+  let run verbose file name latency clusters model capacity spill_batch
+      spill_incremental show_kernel =
     setup_logs verbose;
     handle_errors @@ fun () ->
     let loops = load_loops file name in
     if loops = [] then (Printf.eprintf "no matching loops\n"; exit 1);
     let config = config_of ~clusters ~latency in
+    let spill = spill_policy ~batch:spill_batch ~incremental:spill_incremental in
     Format.printf "machine: %a@." Config.pp config;
     List.iter
       (fun ddg ->
         Format.printf "@.== %a@." Ddg.pp_stats ddg;
-        let stats = Pipeline.run ~config ~model ?capacity ddg in
+        let stats = Pipeline.run ~config ~model ?capacity ~spill ddg in
         print_stats stats;
         if show_kernel then print_string (Kernel.render stats.Pipeline.schedule))
       loops;
@@ -137,7 +156,8 @@ let schedule_cmd =
   Cmd.v (Cmd.info "schedule" ~doc)
     Term.(
       const run $ verbose_arg $ file_arg $ loop_name_arg $ latency_arg $ clusters_arg
-      $ model_arg $ capacity_arg $ kernel_arg)
+      $ model_arg $ capacity_arg $ spill_batch_arg $ spill_incremental_arg
+      $ kernel_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                 *)

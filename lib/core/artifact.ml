@@ -180,18 +180,32 @@ let is_spill_load node =
   | Opcode.Load (Opcode.Spill _) -> true
   | _ -> false
 
+let has_spill_load ddg =
+  Ddg.fold_nodes ddg ~init:false ~f:(fun acc n -> acc || is_spill_load n)
+
 (* The spiller's scheduling step (Spiller.run's default), memoized.  No
    "schedule" span here: spiller rounds are profiled by the enclosing
-   "spill" span, as before the cache existed. *)
+   "spill" span, as before the cache existed.
+
+   Round 0 of a capacity run asks for the original graph at min_ii 1:
+   that is exactly {!raw_schedule} — [schedule_with_min_ii ~min_ii:1]
+   starts the II search at the MII like [schedule], and [push_late]
+   over a graph with no spill loads moves nothing (normalize is
+   idempotent, so the result is structurally identical).  Delegating
+   shares the "#raw" memo entry instead of computing the same schedule
+   twice under two keys. *)
 let spill_schedule ~config ~min_ii ddg =
-  stage_boundary ~stage:"schedule" ~config ddg @@ fun () ->
-  let compute () =
-    let raw = Modulo.schedule_with_min_ii ~min_ii config ddg in
-    Spill_of (Adjust.push_late raw ~eligible:is_spill_load)
-  in
-  match
-    memo ~loop:(Ddg.name ddg) (base_key ~config ddg ^ "#spill:" ^ string_of_int min_ii)
-      compute
-  with
-  | Spill_of s -> s
-  | Mii_of _ | Raw_of _ | View_of _ -> wrong_stage ()
+  if min_ii <= 1 && not (has_spill_load ddg) then raw_schedule ~config ddg
+  else begin
+    stage_boundary ~stage:"schedule" ~config ddg @@ fun () ->
+    let compute () =
+      let raw = Modulo.schedule_with_min_ii ~min_ii config ddg in
+      Spill_of (Adjust.push_late raw ~eligible:is_spill_load)
+    in
+    match
+      memo ~loop:(Ddg.name ddg) (base_key ~config ddg ^ "#spill:" ^ string_of_int min_ii)
+        compute
+    with
+    | Spill_of s -> s
+    | Mii_of _ | Raw_of _ | View_of _ -> wrong_stage ()
+  end

@@ -6,6 +6,8 @@ module Telemetry = Ncdrf_telemetry.Telemetry
 module Trace = Ncdrf_telemetry.Trace
 module Ledger = Ncdrf_telemetry.Ledger
 module Error = Ncdrf_error.Error
+module Fault = Ncdrf_fault.Fault
+module Regalloc = Ncdrf_regalloc
 
 type stats = {
   name : string;
@@ -63,6 +65,8 @@ let point_record ~models ~capacity ~t0 ~ok (p : Trace.point) =
     spilled = opt p.Trace.spilled;
     requirement = opt p.Trace.requirement;
     maxlive = opt p.Trace.maxlive;
+    spill_full = opt p.Trace.spill_full;
+    spill_incremental = opt p.Trace.spill_incremental;
     cache_hits = p.Trace.cache_hits;
     cache_misses = p.Trace.cache_misses;
     stages;
@@ -98,7 +102,25 @@ let with_point ~config ~models ?capacity ddg f =
       raise e
   end
 
-let run ~config ~model ?capacity ?victim ddg =
+(* Cheap, sound lower bound on a raw schedule's register requirement
+   under [model], used by the spiller to skip exact measurements of
+   rounds that are provably still over capacity.  Unified: MaxLive.
+   Partitioned: per-cluster MaxLive under the current assignment.
+   Swapped: the assignment will change, but every cluster counts its
+   locals plus all globals, so the widest cluster holds at least
+   [ceil (MaxLive / num_clusters)] values under any assignment. *)
+let spill_lower_bound ~config ~model raw ~lifetimes =
+  match model with
+  | Model.Ideal -> 0
+  | Model.Unified ->
+    Regalloc.Lifetime.max_live ~ii:(Schedule.ii raw) (Lazy.force lifetimes)
+  | Model.Partitioned -> Requirements.max_live_cost ~lifetimes:(Lazy.force lifetimes) raw
+  | Model.Swapped ->
+    let ml = Regalloc.Lifetime.max_live ~ii:(Schedule.ii raw) (Lazy.force lifetimes) in
+    let k = max 1 (Config.num_clusters config) in
+    (ml + k - 1) / k
+
+let run ~config ~model ?capacity ?victim ?(spill = Spiller.default_policy) ddg =
   with_point ~config ~models:[ model ] ?capacity ddg @@ fun () ->
   Telemetry.incr "pipeline.loops";
   let mii = Artifact.mii ~config ddg in
@@ -139,6 +161,31 @@ let run ~config ~model ?capacity ?victim ddg =
     finish ~final_ddg:ddg ~sched:v.Artifact.sched ~requirement:v.Artifact.requirement
       ~fits ~spilled:0 ~added_memops:0 ~ii_bumps:0 ~swaps:v.Artifact.swaps ()
   | Some cap, _ ->
+    (* Round 0 of the spill loop schedules the original graph at the
+       free-running II and measures it — exactly what a capacity-less
+       run computes.  Doing that {e before} entering the spiller keeps
+       the common fits-immediately case out of the spill stage entirely
+       (and shares the raw-schedule memo entry with free runs of the
+       same point).  The spiller's entry fault point fires here so an
+       armed "spill" fault still hits every capacity run; the selection
+       hash is stateless, so the second firing inside [Spiller.run] on
+       the slow path decides identically (a no-op). *)
+    Fault.point ~stage:"spill" ~key:(Ddg.name ddg);
+    let raw0 = Artifact.spill_schedule ~config ~min_ii:1 ddg in
+    let v0 = Artifact.view_of_schedule ~model raw0 in
+    if v0.Artifact.requirement <= cap then begin
+      Telemetry.incr ~by:0 "pipeline.spilled";
+      Telemetry.incr ~by:0 "pipeline.ii_bumps";
+      if Trace.active () then
+        Trace.set_result
+          ~ii:(Schedule.ii v0.Artifact.sched)
+          ~rounds:0 ~spilled:0 ~requirement:v0.Artifact.requirement
+          ~maxlive:(Requirements.max_live_cost v0.Artifact.sched) ();
+      finish ~final_ddg:ddg ~sched:v0.Artifact.sched
+        ~requirement:v0.Artifact.requirement ~fits:true ~spilled:0 ~added_memops:0
+        ~ii_bumps:0 ~swaps:v0.Artifact.swaps ()
+    end
+    else begin
     (* The "spill" span wraps the whole iterative spill loop, which
        re-schedules and re-allocates internally — so the nested
        "alloc"/"swap" records of those rounds are included in its
@@ -151,7 +198,9 @@ let run ~config ~model ?capacity ?victim ddg =
               let v = Artifact.view_of_schedule ~model raw in
               (v.Artifact.sched, v.Artifact.requirement))
             ~schedule:(fun ~min_ii ddg -> Artifact.spill_schedule ~config ~min_ii ddg)
-            ~capacity:cap ?victim ddg)
+            ~capacity:cap ?victim ~policy:spill
+            ~lower_bound:(spill_lower_bound ~config ~model)
+            ddg)
     in
     Telemetry.incr ~by:outcome.Spiller.spilled "pipeline.spilled";
     Telemetry.incr ~by:outcome.Spiller.ii_bumps "pipeline.ii_bumps";
@@ -176,3 +225,4 @@ let run ~config ~model ?capacity ?victim ddg =
       ~fits:outcome.Spiller.fits ~spilled:outcome.Spiller.spilled
       ~added_memops:outcome.Spiller.added_memops ~ii_bumps:outcome.Spiller.ii_bumps
       ~swaps ()
+    end

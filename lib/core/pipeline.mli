@@ -84,11 +84,20 @@ val count_swaps : Model.t -> Schedule.t -> Schedule.t -> int
     [capacity], registers are unlimited (the paper's Section 5.3
     measurement).  With [capacity], the spiller runs for every model
     except [Ideal] (Section 5.4); [victim] selects its heuristic
-    (default: the paper's longest-lifetime). *)
+    (default: the paper's longest-lifetime) and [spill] its loop
+    strategy (default {!Ncdrf_spill.Spiller.default_policy}, the
+    reference-identical one).  A capacity run whose first schedule
+    already fits never enters the spill stage: the pipeline measures
+    the free-running schedule first and returns it directly (same
+    result, shared with the capacity-less memo entries).  The spiller,
+    when it does run, is handed a per-model MaxLive lower bound so
+    rounds that are provably still over capacity skip the exact
+    allocation measurement. *)
 val run :
   config:Config.t ->
   model:Model.t ->
   ?capacity:int ->
   ?victim:Ncdrf_spill.Spiller.victim ->
+  ?spill:Ncdrf_spill.Spiller.policy ->
   Ddg.t ->
   stats

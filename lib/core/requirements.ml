@@ -15,7 +15,7 @@ let unified ?strategy ?order sched =
   let lifetimes = Lifetime.of_schedule sched in
   Alloc.min_capacity ?strategy ?order ~ii:(Schedule.ii sched) lifetimes
 
-let grouped_lifetimes sched =
+let grouped_lifetimes ?lifetimes sched =
   let n_clusters = Config.num_clusters sched.Schedule.config in
   let locals = Array.make n_clusters [] in
   let globals = ref [] in
@@ -24,15 +24,19 @@ let grouped_lifetimes sched =
     | Classify.Global -> globals := l :: !globals
     | Classify.Local c -> locals.(c) <- l :: locals.(c)
   in
-  List.iter place (Lifetime.of_schedule sched);
+  let all =
+    match lifetimes with Some ls -> ls | None -> Lifetime.of_schedule sched
+  in
+  List.iter place all;
   (List.rev !globals, Array.map List.rev locals)
 
-let cluster_max_live sched =
+let cluster_max_live ?lifetimes sched =
   let ii = Schedule.ii sched in
-  let globals, locals = grouped_lifetimes sched in
+  let globals, locals = grouped_lifetimes ?lifetimes sched in
   Array.map (fun ls -> Lifetime.max_live ~ii (globals @ ls)) locals
 
-let max_live_cost sched = Array.fold_left max 0 (cluster_max_live sched)
+let max_live_cost ?lifetimes sched =
+  Array.fold_left max 0 (cluster_max_live ?lifetimes sched)
 
 (* Shared conflict tables for a joint allocation problem: one table per
    cluster over globals @ locals.(c) — the globals occupy the index

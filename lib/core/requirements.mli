@@ -50,15 +50,17 @@ val joint_requirement :
 
 (** Per-cluster MaxLive lower bound (globals counted in every cluster);
     the estimate the swap pass minimises.  For a single-cluster machine
-    this is plain MaxLive. *)
-val cluster_max_live : Schedule.t -> int array
+    this is plain MaxLive.  [lifetimes], when supplied, must equal
+    [Lifetime.of_schedule sched] — callers that already hold the list
+    (the spiller's lower-bound hook) pass it to skip the recompute. *)
+val cluster_max_live : ?lifetimes:Lifetime.t list -> Schedule.t -> int array
 
 (** [max] of {!cluster_max_live} — the scalar swap cost. *)
-val max_live_cost : Schedule.t -> int
+val max_live_cost : ?lifetimes:Lifetime.t list -> Schedule.t -> int
 
 (** Lifetimes grouped by class: [(globals, per-cluster locals)]. *)
 val grouped_lifetimes :
-  Schedule.t -> Lifetime.t list * Lifetime.t list array
+  ?lifetimes:Lifetime.t list -> Schedule.t -> Lifetime.t list * Lifetime.t list array
 
 (** Concrete register assignment for a non-consistent dual register
     file at the minimal capacity: globals occupy the same indices in

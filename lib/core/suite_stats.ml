@@ -134,7 +134,7 @@ type performance = {
   unfit : int;
 }
 
-let performance ?pool ?failures ~config ~model ~capacity loops =
+let performance ?pool ?failures ?spill ~config ~model ~capacity loops =
   let ideal_time = ref 0.0 in
   let achieved_time = ref 0.0 in
   let traffic_num = ref 0.0 in
@@ -148,7 +148,7 @@ let performance ?pool ?failures ~config ~model ~capacity loops =
      whatever the worker count. *)
   let compiled =
     suite_map ?pool ?failures
-      ~f:(fun loop -> (loop, Pipeline.run ~config ~model ~capacity loop.ddg))
+      ~f:(fun loop -> (loop, Pipeline.run ~config ~model ~capacity ?spill loop.ddg))
       loops
   in
   let one (loop, stats) =

@@ -86,8 +86,12 @@ type performance = {
     failing loops are classified, recorded, and excluded from the
     aggregates.  A spiller that gives up is {e not} a failure here — it
     stays in the aggregates and is counted in [unfit], with the
-    divergence detail on [Pipeline.stats.error]. *)
+    divergence detail on [Pipeline.stats.error].
+
+    [spill] selects the spill-loop strategy passed through to
+    {!Pipeline.run} (default: the reference-identical policy). *)
 val performance :
   ?pool:Ncdrf_parallel.Pool.t ->
   ?failures:Ncdrf_error.Failures.t ->
+  ?spill:Ncdrf_spill.Spiller.policy ->
   config:Config.t -> model:Model.t -> capacity:int -> workload list -> performance

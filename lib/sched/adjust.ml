@@ -1,5 +1,6 @@
 open Ncdrf_ir
 open Ncdrf_machine
+module Error = Ncdrf_error.Error
 
 let push_late sched ~eligible =
   let ddg = sched.Schedule.ddg in
@@ -42,9 +43,15 @@ let push_late sched ~eligible =
       Reservation.release rt ~op ~cycle:cycle.(v) ~cluster:cluster.(v);
       let rec attempt c =
         if c < lo then begin
-          (* No later slot: put it back where it was. *)
-          let ok = Reservation.reserve_in rt ~op ~cycle:cycle.(v) ~cluster:cluster.(v) in
-          assert ok
+          (* No later slot: put it back where it was.  The slot was just
+             released, so failing to re-reserve it means the table is
+             corrupt — raise a typed error rather than an assert that
+             [-noassert] would erase, silently keeping the bad table. *)
+          if not (Reservation.reserve_in rt ~op ~cycle:cycle.(v) ~cluster:cluster.(v))
+          then
+            Error.errorf ~loop:(Ddg.name ddg) ~ii ~stage:"schedule" Error.Internal
+              "Adjust.push_late: lost the reservation of %s at cycle %d"
+              node.Ddg.label cycle.(v)
         end
         else
           match Reservation.reserve rt ~op ~cycle:c with

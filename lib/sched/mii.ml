@@ -94,3 +94,32 @@ let rec_mii_by_circuits ?max_circuits cfg ddg =
   List.fold_left (fun acc c -> max acc (circuit_bound c)) 1 circuits
 
 let mii cfg ddg = max (res_mii cfg ddg) (rec_mii cfg ddg)
+
+(* [max (mii cfg ddg) floor] without the full RecMII binary search when
+   the floor already dominates.  One feasibility probe at [floor]
+   decides [rec_mii <= floor]; only when the probe fails does the
+   search run, and then its infeasible end starts at [floor] instead of
+   1.  This is the spill loop's hot path: with the monotone II floor,
+   each round's floor is the previous round's achieved II, which almost
+   always still covers the spilled graph's recurrences. *)
+let mii_with_floor ~floor cfg ddg =
+  if floor <= 1 then max (mii cfg ddg) floor
+  else begin
+    let res = res_mii cfg ddg in
+    if feasible cfg ddg ~ii:floor then max res floor
+    else begin
+      let hi =
+        Ddg.fold_nodes ddg ~init:floor ~f:(fun acc n ->
+            acc + Config.latency cfg n.Ddg.opcode)
+      in
+      let rec search lo hi =
+        (* invariant: lo infeasible, hi feasible *)
+        if hi - lo <= 1 then hi
+        else begin
+          let mid = (lo + hi) / 2 in
+          if feasible cfg ddg ~ii:mid then search lo mid else search mid hi
+        end
+      in
+      max res (search floor hi)
+    end
+  end

@@ -27,3 +27,12 @@ val rec_mii : Config.t -> Ddg.t -> int
 val rec_mii_by_circuits : ?max_circuits:int -> Config.t -> Ddg.t -> int
 
 val mii : Config.t -> Ddg.t -> int
+
+(** [mii_with_floor ~floor cfg ddg] is exactly
+    [max (mii cfg ddg) floor], computed without the RecMII binary
+    search when a single feasibility probe shows the recurrences are
+    already satisfied at [floor].  The spiller's monotone II floor
+    makes this the hot path for spill rounds: the floor is the previous
+    round's achieved II, which nearly always still covers the spilled
+    graph's (only lengthened) recurrence circuits. *)
+val mii_with_floor : floor:int -> Config.t -> Ddg.t -> int

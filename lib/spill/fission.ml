@@ -9,8 +9,19 @@ type split = {
 
 (* Build one piece: the member nodes, their internal edges, a store for
    every member value consumed outside, and a load for every outside
-   value the members consume.  Cross-piece distances fold into the
-   scratch arrays' indexing, so reconnection edges have distance 0. *)
+   value the members consume.
+
+   Invariant: a cross-cut flow edge of distance [d] reconnects through a
+   load of the {e distance-d view} of the producer's scratch stream.
+   The producer stores iteration [i]'s value as element [i] of
+   [fis.src]; a consumer at distance [d] needs element [i - d], a
+   different location than the distance-0 consumers read.  The IR's
+   array operands carry no affine indexing, so the offset is encoded in
+   the array identity instead: [fis.src] is the distance-0 view and
+   [fis.src.dD] the distance-D view of the same stream.  Loads therefore
+   dedup per (producer, distance) — one load per view, shared by every
+   consumer at that distance — and reconnection edges stay distance 0,
+   the offset having folded into the indexing. *)
 let build_piece ~name ~suffix ddg ~member =
   let n = Ddg.num_nodes ddg in
   let b = Ddg.Builder.create ~name:(name ^ suffix) in
@@ -53,18 +64,24 @@ let build_piece ~name ~suffix ddg ~member =
         && (not (member e.Ddg.src))
         && member e.Ddg.dst
       then begin
+        let key = (e.Ddg.src, e.Ddg.distance) in
         let load =
-          match Hashtbl.find_opt loads e.Ddg.src with
+          match Hashtbl.find_opt loads key with
           | Some id -> id
           | None ->
-            let array = Printf.sprintf "fis.%d" e.Ddg.src in
+            let array =
+              if e.Ddg.distance = 0 then Printf.sprintf "fis.%d" e.Ddg.src
+              else Printf.sprintf "fis.%d.d%d" e.Ddg.src e.Ddg.distance
+            in
+            let label =
+              if e.Ddg.distance = 0 then Printf.sprintf "fL%d" e.Ddg.src
+              else Printf.sprintf "fL%d.d%d" e.Ddg.src e.Ddg.distance
+            in
             let id =
-              Ddg.Builder.add_node b
-                (Opcode.Load (Opcode.Array array))
-                ~label:(Printf.sprintf "fL%d" e.Ddg.src)
+              Ddg.Builder.add_node b (Opcode.Load (Opcode.Array array)) ~label
             in
             incr added_memops;
-            Hashtbl.replace loads e.Ddg.src id;
+            Hashtbl.replace loads key id;
             id
         in
         Ddg.Builder.add_edge b ~src:load ~dst:remap.(e.Ddg.dst) ~distance:0 Ddg.Flow
@@ -124,26 +141,30 @@ let split ddg =
   end
 
 let split_until ~requirement ~capacity ?(max_pieces = 8) ddg =
+  let fits g = requirement g <= capacity in
+  (* Convergence is checked before the piece cap: a decomposition that
+     fits with exactly [max_pieces] pieces converged, it did not run out
+     of budget.  Each pass splits at most [max_pieces - pieces] loops so
+     the cap is never overshot (the old concat-map could double the
+     piece count past it in one pass). *)
   let rec refine pieces =
-    if List.length pieces >= max_pieces then (pieces, false)
+    if List.for_all fits pieces then (pieces, true)
+    else if List.length pieces >= max_pieces then (pieces, false)
     else begin
-      let over = List.filter (fun g -> requirement g > capacity) pieces in
-      match over with
-      | [] -> (pieces, true)
-      | _ ->
-        let progressed = ref false in
-        let expand g =
-          if requirement g > capacity then
-            match split g with
-            | Some s ->
-              progressed := true;
-              [ s.first; s.second ]
-            | None -> [ g ]
-          else [ g ]
-        in
-        let pieces' = List.concat_map expand pieces in
-        if !progressed then refine pieces'
-        else (pieces', List.for_all (fun g -> requirement g <= capacity) pieces')
+      let budget = ref (max_pieces - List.length pieces) in
+      let progressed = ref false in
+      let expand g =
+        if (not (fits g)) && !budget > 0 then
+          match split g with
+          | Some s ->
+            decr budget;
+            progressed := true;
+            [ s.first; s.second ]
+          | None -> [ g ]
+        else [ g ]
+      in
+      let pieces' = List.concat_map expand pieces in
+      if !progressed then refine pieces' else (pieces', false)
     end
   in
   refine [ ddg ]

@@ -23,7 +23,14 @@
 
     If register pressure cannot be reduced below the capacity by
     spilling alone (no candidates left), the loop is rescheduled with
-    II+1, the paper's first alternative, as a documented safety valve. *)
+    II+1, the paper's first alternative, as a documented safety valve.
+
+    At {!default_policy} the loop is byte-identical to the verbatim
+    pre-optimization spiller kept as {!Spiller_reference}
+    (test/test_spill.ml pins the equivalence); the compounding
+    optimizations — incremental rescheduling, batched victims — opt in
+    through {!policy} and may diverge (characterized in
+    EXPERIMENTS.md). *)
 
 open Ncdrf_ir
 open Ncdrf_machine
@@ -41,6 +48,42 @@ type victim =
           [ceil(len/II) / (1 + consumers)] *)
   | Fewest_consumers
       (** cheapest reload cost first; lifetime length breaks ties *)
+
+(** Spill-loop strategy.
+
+    [batch] spills up to that many pairwise non-interfering victims per
+    round (victims connected by a flow edge interfere: spilling one
+    invalidates the other's measured lifetime).  [batch = 1] is the
+    reference one-victim-per-round loop.
+
+    [incremental] reschedules each round by seeding the previous round's
+    kernel placements and only placing the new memory ops
+    ({!Modulo.reschedule_incremental}), falling back to the full II
+    search when seeding declines.  Incremental rounds keep the previous
+    II even where a full search might have found the new memory ops a
+    cheaper arrangement, so outcomes may diverge from the reference.
+
+    [ii_floor] starts each round's II search at the previously achieved
+    II instead of rediscovering it: spill code only adds resource usage
+    and dependences, so the minimal II never decreases across spill
+    rounds.  On by default — it changes which [min_ii] the schedule
+    callback sees, not the schedules produced. *)
+type policy = {
+  batch : int;
+  incremental : bool;
+  ii_floor : bool;
+}
+
+(** [{ batch = 1; incremental = false; ii_floor = true }] — the
+    reference-identical configuration. *)
+val default_policy : policy
+
+(** Next free spill slot of a graph: one past the highest slot named by
+    any spill load/store, 0 for a graph with no spill code.  [run]
+    tracks this incrementally across rounds (each spill consumes exactly
+    one slot) and asserts agreement with this fold; exported so tests
+    can check the invariant on final outcomes. *)
+val next_spill_slot : Ddg.t -> int
 
 type outcome = {
   schedule : Schedule.t;  (** final schedule (after any model transform) *)
@@ -61,13 +104,6 @@ type outcome = {
           round) *)
 }
 
-(** Next free spill slot of a graph: one past the highest slot named by
-    any spill load/store, 0 for a graph with no spill code.  [run]
-    tracks this incrementally across rounds (each spill consumes exactly
-    one slot) and asserts agreement with this fold; exported so tests
-    can check the invariant on final outcomes. *)
-val next_spill_slot : Ddg.t -> int
-
 (** [run ~config ~requirement ~capacity ddg] iterates until the
     requirement fits.  [requirement] maps a raw schedule to the
     (possibly transformed, e.g. cluster-swapped) schedule and its
@@ -87,7 +123,23 @@ val next_spill_slot : Ddg.t -> int
     at [min_ii] followed by pushing spill loads late); the pipeline
     injects a memoized version so rounds shared between models and
     capacities are scheduled once.  Any replacement must be a pure
-    function of [(min_ii, ddg)] and preserve those semantics. *)
+    function of [(min_ii, ddg)] and preserve those semantics.
+
+    [lower_bound], when supplied, maps a raw schedule to a cheap lower
+    bound on its register requirement; a round whose bound already
+    exceeds [capacity] skips the exact model measurement (it is forced
+    lazily only if a terminal outcome needs the number).  The
+    [lifetimes] argument forces to [Lifetime.of_schedule] of that same
+    schedule — bounds derived from lifetimes use it so a pruned round
+    shares the computation with victim selection.  The bound must be
+    sound ([lower_bound raw <= snd (requirement raw)]) and
+    [requirement] must then be total — it may not raise — since its
+    failures can no longer be attributed to the round that computed it.
+
+    Per-run telemetry: bumps the [spill.full_reschedules] /
+    [spill.incremental_reschedules] / [spill.batch_rounds] /
+    [spill.batch_size] / [spill.lb_pruned] counters and records the
+    reschedule split on the current trace point. *)
 val run :
   config:Config.t ->
   requirement:(Schedule.t -> Schedule.t * int) ->
@@ -96,5 +148,7 @@ val run :
   ?schedule:(min_ii:int -> Ddg.t -> Schedule.t) ->
   ?max_rounds:int ->
   ?max_ii_bumps:int ->
+  ?policy:policy ->
+  ?lower_bound:(Schedule.t -> lifetimes:Ncdrf_regalloc.Lifetime.t list Lazy.t -> int) ->
   Ddg.t ->
   outcome

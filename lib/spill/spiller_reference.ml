@@ -1,25 +1,22 @@
+(* The pre-incremental spiller, kept verbatim as the behavioural oracle
+   for [Spiller]: at default policy the rebuilt spiller must produce
+   byte-identical outcomes (test/test_spill.ml pins the equivalence with
+   qcheck and a fixed-seed digest).  Do not "improve" this file — its
+   value is that it does not change. *)
+
 open Ncdrf_ir
 open Ncdrf_sched
 open Ncdrf_regalloc
 module Error = Ncdrf_error.Error
 module Fault = Ncdrf_fault.Fault
-module Telemetry = Ncdrf_telemetry.Telemetry
 module Trace = Ncdrf_telemetry.Trace
 
-type victim =
+type victim = Spiller.victim =
   | Longest_lifetime
   | Best_ratio
   | Fewest_consumers
 
-type policy = {
-  batch : int;
-  incremental : bool;
-  ii_floor : bool;
-}
-
-let default_policy = { batch = 1; incremental = false; ii_floor = true }
-
-type outcome = {
+type outcome = Spiller.outcome = {
   schedule : Schedule.t;
   raw_schedule : Schedule.t;
   ddg : Ddg.t;
@@ -32,7 +29,7 @@ type outcome = {
   error : Error.t option;
 }
 
-let src = Logs.Src.create "ncdrf.spiller" ~doc:"naive iterative spiller"
+let src = Logs.Src.create "ncdrf.spiller-ref" ~doc:"reference iterative spiller"
 
 module Log = (val Logs.src_log src : Logs.LOG)
 
@@ -135,41 +132,6 @@ let pick_victim ~victim ~ii ~counts candidates =
     None candidates
   |> Option.map fst
 
-(* Two candidate producers interfere when a flow edge connects them:
-   spilling the producer rewrites the consumer's input (or the spilled
-   value's own fan-out), so the second victim's lifetime — measured on
-   the pre-batch schedule — would be stale.  Batched selection only
-   admits pairwise non-interfering victims. *)
-let flow_adjacent ddg p q =
-  let feeds a b =
-    List.exists
-      (fun e -> e.Ddg.kind = Ddg.Flow && e.Ddg.dst = b)
-      (Ddg.succs ddg a)
-  in
-  feeds p q || feeds q p
-
-(* Greedy top-k: repeatedly take the best remaining victim, dropping
-   candidates that interfere with anything already picked.  [k = 1] is
-   exactly [pick_victim]. *)
-let pick_victims ~victim ~ii ~counts ~k ddg candidates =
-  let rec pick acc remaining k =
-    if k <= 0 then List.rev acc
-    else
-      match pick_victim ~victim ~ii ~counts remaining with
-      | None -> List.rev acc
-      | Some l ->
-        let p = l.Lifetime.producer in
-        let remaining =
-          List.filter
-            (fun c ->
-              let q = c.Lifetime.producer in
-              q <> p && not (flow_adjacent ddg p q))
-            remaining
-        in
-        pick (l :: acc) remaining (k - 1)
-  in
-  pick [] candidates k
-
 (* A mid-round scheduling/allocation failure with a partial outcome in
    hand degrades to [Spill_diverged] instead of killing the point; the
    last completed round's schedule is the partial outcome.  Faults
@@ -184,11 +146,9 @@ let containable (e : Error.t) =
 
 let run ~config ~requirement ~capacity ?(victim = Longest_lifetime)
     ?(schedule = fun ~min_ii ddg -> schedule_once config ~min_ii ddg) ?(max_rounds = 64)
-    ?(max_ii_bumps = 32) ?(policy = default_policy) ?lower_bound ddg =
+    ?(max_ii_bumps = 32) ddg =
   Fault.point ~stage:"spill" ~key:(Ddg.name ddg);
-  if policy.batch < 1 then invalid_arg "Spiller.run: policy.batch must be >= 1";
   let original_memops = Ddg.num_memory_ops ddg in
-  let full_reschedules = ref 0 and incremental_reschedules = ref 0 in
   let give_up ~raw sched ddg req ~spilled ~ii_bumps ~rounds ~error =
     {
       schedule = sched;
@@ -210,39 +170,11 @@ let run ~config ~requirement ~capacity ?(victim = Longest_lifetime)
           Error.Spill_diverged message)
       fmt
   in
-  (* One scheduling step: seed the previous round's kernel when the
-     incremental policy is on and the previous schedule's II is still an
-     acceptable floor (an II bump invalidates it); otherwise run the
-     full II search.  The incremental path can decline (new recurrence,
-     seed conflict, budget) — then the full search is the fallback. *)
-  let schedule_round ~min_ii ~base ddg =
-    let incremental =
-      if not policy.incremental then None
-      else
-        match base with
-        | Some b when Schedule.ii b >= min_ii ->
-          (match Modulo.reschedule_incremental ~base:b config ddg with
-           | Some raw -> Some (Adjust.push_late raw ~eligible:is_spill_load)
-           | None -> None)
-        | _ -> None
-    in
-    match incremental with
-    | Some raw ->
-      incr incremental_reschedules;
-      Telemetry.incr "spill.incremental_reschedules";
-      raw
-    | None ->
-      incr full_reschedules;
-      Telemetry.incr "spill.full_reschedules";
-      schedule ~min_ii ddg
-  in
   (* [next_slot] is the next free spill slot, tracked incrementally
      (each spill adds exactly one slot) instead of re-folding the whole
      graph every round; [counts] is the consumer fan-out of the current
-     graph.  Both survive II bumps unchanged — the graph does too.
-     [base] is the previous round's raw schedule, the seed for
-     incremental rescheduling. *)
-  let rec iterate ddg ~min_ii ~spilled ~ii_bumps ~rounds ~last ~base ~next_slot ~counts =
+     graph.  Both survive II bumps unchanged — the graph does too. *)
+  let rec iterate ddg ~min_ii ~spilled ~ii_bumps ~rounds ~last ~next_slot ~counts =
     match
       (* Each round (reschedule + reallocate) is one trace span, nested
          inside the driver's enclosing "spill" span, so a trace shows
@@ -251,52 +183,23 @@ let run ~config ~requirement ~capacity ?(victim = Longest_lifetime)
       Fun.protect
         ~finally:(fun () -> Trace.end_span "spill.round")
         (fun () ->
-          let raw = schedule_round ~min_ii ~base ddg in
-          (* The exact requirement is measured lazily: when
-             [lower_bound] already proves the round over capacity, the
-             (more expensive) model measurement is skipped unless a
-             terminal outcome needs the number.  [requirement] must be
-             pure, so a deferred force yields the same value. *)
-          let view =
-            let cell = ref None in
-            fun () ->
-              match !cell with
-              | Some v -> v
-              | None ->
-                let v = requirement raw in
-                cell := Some v;
-                v
-          in
-          (* Shared between the bound and victim selection: a pruned
-             round otherwise measures the same raw schedule's lifetimes
-             twice. *)
-          let raw_lifetimes = lazy (Lifetime.of_schedule raw) in
-          let over =
-            match lower_bound with
-            | Some lb when lb raw ~lifetimes:raw_lifetimes > capacity ->
-              Telemetry.incr "spill.lb_pruned";
-              true
-            | _ ->
-              let _, req = view () in
-              req > capacity
-          in
-          (raw, view, raw_lifetimes, over))
+          let raw = schedule ~min_ii ddg in
+          let sched, req = requirement raw in
+          (raw, sched, req))
     with
-    | exception Error.Error e when containable e && Option.is_some last ->
+    | exception Error.Error e when containable e && last <> None ->
       (* The spill code itself made the round infeasible (e.g. a budget
          sized for the original graph).  Degrade to the last completed
          round rather than losing the point. *)
-      let last_raw, last_view, last_ddg = Option.get last in
-      let last_sched, last_req = last_view () in
+      let last_raw, last_sched, last_req, last_ddg = Option.get last in
       let error =
         diverged ~ii:(Schedule.ii last_sched) ~rounds "round failed: %s"
           (Error.to_string e)
       in
       give_up ~raw:last_raw last_sched last_ddg last_req ~spilled ~ii_bumps ~rounds
         ~error
-    | raw, view, raw_lifetimes, over ->
-      if not over then begin
-        let sched, req = view () in
+    | raw, sched, req ->
+      if req <= capacity then
         {
           schedule = sched;
           raw_schedule = raw;
@@ -309,88 +212,46 @@ let run ~config ~requirement ~capacity ?(victim = Longest_lifetime)
           rounds;
           error = None;
         }
-      end
-      else if rounds >= max_rounds then begin
-        let sched, req = view () in
+      else if rounds >= max_rounds then
         give_up ~raw sched ddg req ~spilled ~ii_bumps ~rounds
           ~error:
             (diverged ~ii:(Schedule.ii sched) ~rounds
                "max rounds (%d) reached with requirement %d > capacity %d (%d spilled, %d II bumps)"
                max_rounds req capacity spilled ii_bumps)
-      end
       else begin
-        (* Pick the best spillable lifetimes of the current schedule.
-           Lifetimes and II are measured on whichever schedule is in
-           hand: the transformed view when the requirement was computed,
-           the raw schedule when the lower bound pruned it — the model
-           transforms only move values between clusters, so cycles,
-           lifetimes and II agree between the two. *)
-        let sel, lifetimes =
-          match lower_bound with
-          | None ->
-            let s = fst (view ()) in
-            (s, Lifetime.of_schedule s)
-          | Some _ -> (raw, Lazy.force raw_lifetimes)
-        in
-        let ii = Schedule.ii sel in
+        (* Pick the longest spillable lifetime of the current schedule. *)
+        let lifetimes = Lifetime.of_schedule sched in
         let candidates =
           List.filter (fun l -> spillable ddg l.Lifetime.producer) lifetimes
         in
-        match pick_victims ~victim ~ii ~counts ~k:policy.batch ddg candidates with
-        | _ :: _ as victims ->
-          let width = List.length victims in
-          Telemetry.incr "spill.batch_rounds";
-          Telemetry.incr ~by:width "spill.batch_size";
+        match pick_victim ~victim ~ii:(Schedule.ii sched) ~counts candidates with
+        | Some l ->
           Log.debug (fun m ->
-              m "%s: spilling %d value(s) (%s), over capacity %d" (Ddg.name ddg) width
-                (String.concat ", "
-                   (List.map
-                      (fun l ->
-                        Printf.sprintf "node %d lifetime %d" l.Lifetime.producer
-                          (Lifetime.length l))
-                      victims))
-                capacity);
-          let last = Some (raw, view, ddg) in
-          let ddg, next_slot' =
-            List.fold_left
-              (fun (g, slot) l -> (spill_value g ~slot l.Lifetime.producer, slot + 1))
-              (ddg, next_slot) victims
-          in
-          assert (next_spill_slot ddg = next_slot');
-          (* Monotone II floor: II never recovers once spilling has
-             pushed it up (spill code only adds resource usage and
-             dependences), so the next round's II search starts at the
-             last achieved II instead of rediscovering it from
-             [min_ii]. *)
-          let min_ii = if policy.ii_floor then max min_ii (Schedule.ii raw) else min_ii in
-          iterate ddg ~min_ii ~spilled:(spilled + width) ~ii_bumps ~rounds:(rounds + 1)
-            ~last ~base:(Some raw) ~next_slot:next_slot' ~counts:(consumer_counts ddg)
-        | [] ->
-          let req_of () = snd (view ()) in
+              m "%s: spilling value of node %d (lifetime %d), req %d > %d" (Ddg.name ddg)
+                l.Lifetime.producer (Lifetime.length l) req capacity);
+          let last = Some (raw, sched, req, ddg) in
+          let ddg = spill_value ddg ~slot:next_slot l.Lifetime.producer in
+          assert (next_spill_slot ddg = next_slot + 1);
+          iterate ddg ~min_ii ~spilled:(spilled + 1) ~ii_bumps ~rounds:(rounds + 1) ~last
+            ~next_slot:(next_slot + 1) ~counts:(consumer_counts ddg)
+        | None ->
           if ii_bumps >= max_ii_bumps then
-            let sched, req = view () in
             give_up ~raw sched ddg req ~spilled ~ii_bumps ~rounds
               ~error:
                 (diverged ~ii:(Schedule.ii sched) ~rounds
                    "max II bumps (%d) reached with requirement %d > capacity %d and no spill candidate (%d spilled)"
                    max_ii_bumps req capacity spilled)
           else begin
-            let bumped = Schedule.ii raw + 1 in
+            let bumped = Schedule.ii sched + 1 in
             Log.debug (fun m ->
-                m "%s: no spill candidate left (req %d > %d), rescheduling at II=%d"
-                  (Ddg.name ddg) (req_of ()) capacity bumped);
+                m "%s: no spill candidate left, rescheduling at II=%d" (Ddg.name ddg)
+                  bumped);
             iterate ddg ~min_ii:bumped ~spilled ~ii_bumps:(ii_bumps + 1)
               ~rounds:(rounds + 1)
-              ~last:(Some (raw, view, ddg))
-              ~base:None ~next_slot ~counts
+              ~last:(Some (raw, sched, req, ddg))
+              ~next_slot ~counts
           end
       end
   in
-  let outcome =
-    iterate ddg ~min_ii:1 ~spilled:0 ~ii_bumps:0 ~rounds:0 ~last:None ~base:None
-      ~next_slot:(next_spill_slot ddg) ~counts:(consumer_counts ddg)
-  in
-  if Trace.active () then
-    Trace.set_result ~spill_full:!full_reschedules
-      ~spill_incremental:!incremental_reschedules ();
-  outcome
+  iterate ddg ~min_ii:1 ~spilled:0 ~ii_bumps:0 ~rounds:0 ~last:None
+    ~next_slot:(next_spill_slot ddg) ~counts:(consumer_counts ddg)

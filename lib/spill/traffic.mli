@@ -12,10 +12,16 @@ open Ncdrf_sched
 (** Loads plus stores per iteration, spill code included. *)
 val memops_per_iteration : Ddg.t -> int
 
-(** Density of memory traffic of one scheduled loop, in [0, 1]. *)
+(** Density of memory traffic of one scheduled loop, in [0, 1] on any
+    machine with memory bandwidth.  A loop with no memory operations has
+    density 0 regardless of the machine; memory traffic on a machine
+    with zero bandwidth is [infinity], distinguishing "no traffic" from
+    "no bus". *)
 val density : Schedule.t -> float
 
 (** Weighted average density over a collection of loops, each weighted
     by its execution time [weight * ii] (the paper's dynamic
-    weighting): [sum (w * memops) / sum (w * ii * bandwidth)]. *)
+    weighting): [sum (w * memops) / sum (w * ii * bandwidth)].  Zero
+    weighted traffic is 0.0; nonzero traffic over zero aggregate
+    bandwidth is [infinity]. *)
 val aggregate_density : (Schedule.t * float) list -> float

@@ -11,6 +11,8 @@ type record = {
   spilled : int option;
   requirement : int option;
   maxlive : int option;
+  spill_full : int option;
+  spill_incremental : int option;
   cache_hits : int;
   cache_misses : int;
   stages : (string * int) list;
@@ -87,6 +89,8 @@ let to_json r =
       ("spilled", opt_int r.spilled);
       ("requirement", opt_int r.requirement);
       ("maxlive", opt_int r.maxlive);
+      ("spill_full", opt_int r.spill_full);
+      ("spill_incremental", opt_int r.spill_incremental);
       ( "cache",
         Json.Obj
           [ ("hits", Json.Int r.cache_hits); ("misses", Json.Int r.cache_misses) ] );
@@ -130,6 +134,8 @@ let of_json json =
     let* spilled = int_opt "spilled" in
     let* requirement = int_opt "requirement" in
     let* maxlive = int_opt "maxlive" in
+    let* spill_full = int_opt "spill_full" in
+    let* spill_incremental = int_opt "spill_incremental" in
     let* cache_hits, cache_misses =
       match field "cache" fields with
       | Some (Json.Obj cf) -> (
@@ -177,6 +183,8 @@ let of_json json =
         spilled;
         requirement;
         maxlive;
+        spill_full;
+        spill_incremental;
         cache_hits;
         cache_misses;
         stages;

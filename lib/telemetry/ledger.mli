@@ -18,6 +18,11 @@ type record = {
   spilled : int option;
   requirement : int option;
   maxlive : int option;
+  spill_full : int option;
+      (** spill rounds scheduled by a full II search; [None] when the
+          point never entered the spill loop *)
+  spill_incremental : int option;
+      (** spill rounds that reused the previous kernel incrementally *)
   cache_hits : int;
   cache_misses : int;
   stages : (string * int) list;  (** stage name -> nanoseconds, name-sorted *)

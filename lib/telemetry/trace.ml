@@ -20,6 +20,8 @@ type point = {
   mutable spilled : int;
   mutable requirement : int;
   mutable maxlive : int;
+  mutable spill_full : int;
+  mutable spill_incremental : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable stages : (string * float) list;
@@ -131,6 +133,8 @@ let with_context ~loop ~config ~fp f =
           spilled = -1;
           requirement = -1;
           maxlive = -1;
+          spill_full = -1;
+          spill_incremental = -1;
           cache_hits = 0;
           cache_misses = 0;
           stages = [];
@@ -149,14 +153,17 @@ let with_point f =
 
 let set_ii ii = with_point (fun p -> p.ii <- ii)
 
-let set_result ?mii ?ii ?rounds ?spilled ?requirement ?maxlive () =
+let set_result ?mii ?ii ?rounds ?spilled ?requirement ?maxlive ?spill_full
+    ?spill_incremental () =
   with_point (fun p ->
       Option.iter (fun v -> p.mii <- v) mii;
       Option.iter (fun v -> p.ii <- v) ii;
       Option.iter (fun v -> p.rounds <- v) rounds;
       Option.iter (fun v -> p.spilled <- v) spilled;
       Option.iter (fun v -> p.requirement <- v) requirement;
-      Option.iter (fun v -> p.maxlive <- v) maxlive)
+      Option.iter (fun v -> p.maxlive <- v) maxlive;
+      Option.iter (fun v -> p.spill_full <- v) spill_full;
+      Option.iter (fun v -> p.spill_incremental <- v) spill_incremental)
 
 let set_error category = with_point (fun p -> p.error <- Some category)
 let note_stage name seconds = with_point (fun p -> p.stages <- (name, seconds) :: p.stages)

@@ -54,6 +54,11 @@ type point = {
   mutable spilled : int;
   mutable requirement : int;
   mutable maxlive : int;
+  mutable spill_full : int;
+      (** spill rounds scheduled by a full II search; -1 = no spill pass *)
+  mutable spill_incremental : int;
+      (** spill rounds that reused the previous kernel incrementally;
+          -1 = no spill pass *)
   mutable cache_hits : int;
   mutable cache_misses : int;
   mutable stages : (string * float) list;  (** seconds, latest first *)
@@ -77,6 +82,8 @@ val set_result :
   ?spilled:int ->
   ?requirement:int ->
   ?maxlive:int ->
+  ?spill_full:int ->
+  ?spill_incremental:int ->
   unit ->
   unit
 

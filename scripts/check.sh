@@ -28,6 +28,27 @@ if sed 's/.\[[0-9;]*m//g' "$equiv_out" | grep '\[SKIP\]' | awk '{print $2}' \
 fi
 rm -f "$equiv_out"
 
+# Spiller equivalence: same deal for the spill suite, which pins the
+# rewritten spill loop to the verbatim Spiller_reference oracle (qcheck
+# byte-identity at the default policy plus a fixed-seed digest of the
+# opt-in incremental mode).  A skip here would void that guarantee too.
+spill_out=$(mktemp /tmp/ncdrf-spill-suite.XXXXXX.txt)
+dune exec test/test_main.exe -- test spill > "$spill_out" 2>&1 || {
+  cat "$spill_out" >&2; rm -f "$spill_out"; exit 1; }
+ok=$(grep -c 'OK.*spill' "$spill_out" || true)
+if [ "${ok:-0}" -lt 29 ]; then
+  echo "check.sh: expected 29 spill tests (incl. reference equivalence) to run, got $ok" >&2
+  rm -f "$spill_out"
+  exit 1
+fi
+if sed 's/.\[[0-9;]*m//g' "$spill_out" | grep '\[SKIP\]' | awk '{print $2}' \
+    | grep -qx 'spill'; then
+  echo "check.sh: spill equivalence tests were skipped" >&2
+  rm -f "$spill_out"
+  exit 1
+fi
+rm -f "$spill_out"
+
 # The quickstart example must keep running end to end.
 dune exec examples/quickstart.exe > /dev/null
 
@@ -53,11 +74,28 @@ if [ -z "${reuse:-}" ] || [ "$reuse" -eq 0 ]; then
   exit 1
 fi
 
+# Spill-path smoke: fig6 never spills (its capacity grid sits at or
+# above every loop's requirement), so the incremental-reschedule gate
+# runs on the fig8 performance sweep instead, which drives the spill
+# loop hard.  With --spill-incremental the seeded rescheduler must
+# engage at least once; zero would mean the incremental path is
+# disconnected from the spill loop (every round silently falling back
+# to the full II search).
+spill_metrics=$(mktemp /tmp/ncdrf-spillrun.XXXXXX.json)
+trap 'rm -f "$metrics" "$spill_metrics"' EXIT
+dune exec bench/main.exe -- fig8 --quick --jobs 1 --spill-incremental \
+  --metrics "$spill_metrics" > /dev/null
+incs=$(grep -o '"spill.incremental_reschedules": *[0-9]*' "$spill_metrics" | head -n1 | grep -o '[0-9]*$' || true)
+if [ -z "${incs:-}" ] || [ "$incs" -eq 0 ]; then
+  echo "check.sh: spill.incremental_reschedules missing or zero in $spill_metrics" >&2
+  exit 1
+fi
+
 # Fault-isolation smoke: an injected keep-going suite run must succeed,
 # report the injected points in the metrics, and still print its table.
 inj_metrics=$(mktemp /tmp/ncdrf-inject.XXXXXX.json)
 inj_out=$(mktemp /tmp/ncdrf-inject.XXXXXX.txt)
-trap 'rm -f "$metrics" "$inj_metrics" "$inj_out"' EXIT
+trap 'rm -f "$metrics" "$spill_metrics" "$inj_metrics" "$inj_out"' EXIT
 dune exec bin/ncdrf.exe -- suite --size 60 --jobs 1 \
   --inject stage=schedule,every=7 --metrics "$inj_metrics" > "$inj_out"
 injected=$(grep -o '"errors.injected": *[0-9]*' "$inj_metrics" | head -n1 | grep -o '[0-9]*$' || true)
@@ -80,7 +118,7 @@ fi
 trace=$(mktemp /tmp/ncdrf-trace.XXXXXX.json)
 ledger=$(mktemp /tmp/ncdrf-ledger.XXXXXX.jsonl)
 profile_out=$(mktemp /tmp/ncdrf-profile.XXXXXX.txt)
-trap 'rm -f "$metrics" "$inj_metrics" "$inj_out" "$trace" "$ledger" "$profile_out"' EXIT
+trap 'rm -f "$metrics" "$spill_metrics" "$inj_metrics" "$inj_out" "$trace" "$ledger" "$profile_out"' EXIT
 dune exec bench/main.exe -- fig6 --quick --jobs 1 \
   --trace "$trace" --ledger "$ledger" > /dev/null
 events=$(grep -c '"ph": *"[BE]"' "$trace" || true)
@@ -95,4 +133,4 @@ dune exec bin/ncdrf.exe -- profile "$ledger" > "$profile_out"
 grep -q 'slowest points' "$profile_out" || {
   echo "check.sh: ncdrf profile printed no slowest-points section" >&2; exit 1; }
 
-echo "check.sh: OK (cache.misses=$misses, alloc.table_reuse=$reuse, errors.injected=$injected, trace_events=$events)"
+echo "check.sh: OK (cache.misses=$misses, alloc.table_reuse=$reuse, spill.incremental_reschedules=$incs, errors.injected=$injected, trace_events=$events)"

@@ -257,6 +257,277 @@ let prop_fission_structural =
         && Ddg.num_nodes s.Fission.first + Ddg.num_nodes s.Fission.second
            = Ddg.num_nodes g + s.Fission.added_memops)
 
+(* --- Spiller vs the verbatim reference oracle --- *)
+
+(* Outcomes are compared field by field; schedules via II + placements
+   (plain int records) and graphs via their content digest, never with
+   [=] on whole values — [Ddg.t] carries a mutable digest memo whose
+   population depends on evaluation order. *)
+let same_schedule a b =
+  Schedule.ii a = Schedule.ii b
+  && a.Schedule.placements = b.Schedule.placements
+  && Ddg.digest a.Schedule.ddg = Ddg.digest b.Schedule.ddg
+
+let same_outcome (o : Spiller.outcome) (r : Spiller_reference.outcome) =
+  same_schedule o.Spiller.schedule r.Spiller.schedule
+  && same_schedule o.Spiller.raw_schedule r.Spiller.raw_schedule
+  && Ddg.digest o.Spiller.ddg = Ddg.digest r.Spiller.ddg
+  && o.Spiller.requirement = r.Spiller.requirement
+  && o.Spiller.fits = r.Spiller.fits
+  && o.Spiller.spilled = r.Spiller.spilled
+  && o.Spiller.added_memops = r.Spiller.added_memops
+  && o.Spiller.ii_bumps = r.Spiller.ii_bumps
+  && o.Spiller.rounds = r.Spiller.rounds
+  && o.Spiller.error = r.Spiller.error
+
+(* A sound lower bound for [unified_requirement]: MaxLive never exceeds
+   the unified minimum capacity. *)
+let unified_lower_bound raw ~lifetimes =
+  Ncdrf_regalloc.Lifetime.max_live ~ii:(Schedule.ii raw) (Lazy.force lifetimes)
+
+let victims = [| Spiller.Longest_lifetime; Spiller.Best_ratio; Spiller.Fewest_consumers |]
+
+let spiller_eq_arb =
+  QCheck.make
+    ~print:(fun (seed, cap, heavy) ->
+      Printf.sprintf "seed=%d cap=%d heavy=%b" seed cap heavy)
+    QCheck.Gen.(triple (int_bound 20_000) (int_range 10 48) bool)
+
+let prop_spiller_matches_reference =
+  QCheck.Test.make ~count:30
+    ~name:"default policy is byte-identical to Spiller_reference" spiller_eq_arb
+    (fun (seed, capacity, heavy) ->
+      let params =
+        if heavy then Ncdrf_workloads.Generator.heavy else Ncdrf_workloads.Generator.default
+      in
+      let g = Ncdrf_workloads.Generator.generate params ~seed ~name:"spill-eq" in
+      let config = Config.dual ~latency:3 in
+      let victim = victims.(seed mod Array.length victims) in
+      let o = Spiller.run ~config ~requirement:unified_requirement ~capacity ~victim g in
+      let r =
+        Spiller_reference.run ~config ~requirement:unified_requirement ~capacity ~victim g
+      in
+      same_outcome o r)
+
+let prop_lower_bound_preserves_outcomes =
+  QCheck.Test.make ~count:30
+    ~name:"lower-bound pruning never changes the outcome" spiller_eq_arb
+    (fun (seed, capacity, heavy) ->
+      let params =
+        if heavy then Ncdrf_workloads.Generator.heavy else Ncdrf_workloads.Generator.default
+      in
+      let g = Ncdrf_workloads.Generator.generate params ~seed ~name:"spill-lb" in
+      let config = Config.dual ~latency:3 in
+      let o =
+        Spiller.run ~config ~requirement:unified_requirement ~capacity
+          ~lower_bound:unified_lower_bound g
+      in
+      let r = Spiller_reference.run ~config ~requirement:unified_requirement ~capacity g in
+      same_outcome o r)
+
+(* The same equivalence on real (scheduled) kernels, at a spilling and a
+   non-spilling capacity each. *)
+let test_spiller_matches_reference_on_kernels () =
+  let config = Config.dual ~latency:6 in
+  List.iter
+    (fun (g, _) ->
+      List.iter
+        (fun capacity ->
+          let o = Spiller.run ~config ~requirement:unified_requirement ~capacity g in
+          let r =
+            Spiller_reference.run ~config ~requirement:unified_requirement ~capacity g
+          in
+          if not (same_outcome o r) then
+            Alcotest.failf "%s at capacity %d: outcome diverged from the reference"
+              (Ddg.name g) capacity)
+        [ 8; 64 ])
+    (Ncdrf_workloads.Kernels.all ())
+
+(* --- Opt-in policies (may diverge from the reference) --- *)
+
+let incremental_policy = { Spiller.default_policy with Spiller.incremental = true }
+
+let test_incremental_reschedules_counted () =
+  (* A recurrence-bound kernel: the II is pinned well above ResMII, so
+     the LS rows of the reservation table have slack for the spill
+     memops and seeding can actually succeed. *)
+  let config = Config.dual ~latency:6 in
+  let ddg = kernel "ll5-tridiag" in
+  let spill_free =
+    Requirements.unified (Modulo.schedule config ddg)
+  in
+  let capacity = spill_free - 1 in
+  let module T = Ncdrf_telemetry.Telemetry in
+  let was_enabled = T.enabled () in
+  T.enable true;
+  let inc0 = T.counter "spill.incremental_reschedules" in
+  let full0 = T.counter "spill.full_reschedules" in
+  let o =
+    Spiller.run ~config ~requirement:unified_requirement ~capacity
+      ~policy:incremental_policy ddg
+  in
+  let inc = T.counter "spill.incremental_reschedules" - inc0 in
+  let full = T.counter "spill.full_reschedules" - full0 in
+  T.enable was_enabled;
+  check_bool "fits" true o.Spiller.fits;
+  Helpers.check_valid "incremental outcome" o.Spiller.schedule;
+  check_bool "spilled something" true (o.Spiller.spilled > 0);
+  (* One scheduling step per round plus the initial one; each is either
+     seeded or a full search. *)
+  check_int "every round is counted once" (o.Spiller.rounds + 1) (inc + full);
+  check_bool "round zero has no seed" true (full >= 1);
+  check_bool "later rounds reschedule incrementally" true (inc >= 1)
+
+let test_batch_spills_in_fewer_rounds () =
+  let config = Config.example () in
+  let ddg = Helpers.example_ddg () in
+  let policy = { Spiller.default_policy with Spiller.batch = 4 } in
+  let o = Spiller.run ~config ~requirement:unified_requirement ~capacity:30 ~policy ddg in
+  let r = Spiller_reference.run ~config ~requirement:unified_requirement ~capacity:30 ddg in
+  check_bool "fits" true o.Spiller.fits;
+  Helpers.check_valid "batched outcome" o.Spiller.schedule;
+  check_bool "within capacity" true (o.Spiller.requirement <= 30);
+  check_bool "no more rounds than the reference" true (o.Spiller.rounds <= r.Spiller.rounds);
+  (* Slot bookkeeping holds across batched rounds too. *)
+  check_int "slots consumed = values spilled" o.Spiller.spilled
+    (Spiller.next_spill_slot o.Spiller.ddg)
+
+let test_batch_zero_rejected () =
+  let config = Config.example () in
+  let ddg = Helpers.example_ddg () in
+  let policy = { Spiller.default_policy with Spiller.batch = 0 } in
+  try
+    ignore
+      (Spiller.run ~config ~requirement:unified_requirement ~capacity:30 ~policy ddg);
+    Alcotest.fail "batch = 0 accepted"
+  with Invalid_argument _ -> ()
+
+(* Incremental-mode outputs are pinned by a fixed-seed digest: the mode
+   may diverge from the reference (it keeps the previous round's II
+   where a full search might restructure), but it must diverge the same
+   way every run.  Any intended change to the incremental path must
+   update this hex. *)
+let test_incremental_fixed_seed_digest () =
+  let config = Config.dual ~latency:3 in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun seed ->
+      let g =
+        Ncdrf_workloads.Generator.generate Ncdrf_workloads.Generator.heavy ~seed
+          ~name:(Printf.sprintf "inc%d" seed)
+      in
+      let o =
+        Spiller.run ~config ~requirement:unified_requirement ~capacity:16
+          ~policy:incremental_policy g
+      in
+      Helpers.check_valid "incremental outcome" o.Spiller.schedule;
+      Printf.bprintf buf "%d: ii=%d req=%d spilled=%d bumps=%d rounds=%d fits=%b %s\n" seed
+        (Schedule.ii o.Spiller.schedule)
+        o.Spiller.requirement o.Spiller.spilled o.Spiller.ii_bumps o.Spiller.rounds
+        o.Spiller.fits
+        (Ddg.digest o.Spiller.ddg))
+    [ 1; 2; 3; 5; 8; 13; 21; 34 ];
+  Alcotest.(check string)
+    "incremental fixed-seed digest" "fd344bfcb29b85e3a02cae1c97c880ac"
+    (Digest.to_hex (Digest.string (Buffer.contents buf)))
+
+(* --- Traffic density edge cases --- *)
+
+let test_density_zero_bandwidth_is_infinite () =
+  let g = Expr.(compile ~name:"membound" [ Store ("o", load "x") ]) in
+  (* One LS unit but zero machine-wide ports: bandwidth 0.  The schedule
+     is built directly — such a machine cannot pass resource validation,
+     which is exactly why density must not report its traffic as free. *)
+  let config =
+    Config.make ~name:"no-bw"
+      ~clusters:[| { Config.adders = 1; multipliers = 1; ls_units = 1 } |]
+      ~add_latency:3 ~mul_latency:3 ~load_ports:0 ~store_ports:0 ()
+  in
+  let placements =
+    Array.init (Ddg.num_nodes g) (fun v -> { Schedule.cycle = v; cluster = 0 })
+  in
+  let sched = Schedule.make ~config ~ii:1 ~placements g in
+  check_bool "density is infinite" true (Traffic.density sched = infinity);
+  check_bool "aggregate density is infinite" true
+    (Traffic.aggregate_density [ (sched, 1.0) ] = infinity);
+  (* No traffic at all stays 0, even when the denominator is 0 too. *)
+  Alcotest.(check (float 0.0)) "empty aggregate" 0.0 (Traffic.aggregate_density []);
+  Alcotest.(check (float 0.0)) "zero-weight aggregate" 0.0
+    (Traffic.aggregate_density [ (sched, 0.0) ])
+
+(* --- Fission regressions --- *)
+
+(* A value consumed by the other piece at distances 0 and 1 must
+   round-trip through two distinct scratch views: element [i] for the
+   same-iteration consumer, element [i - 1] for the loop-carried one.
+   The pre-fix code collapsed both onto one load of the distance-0
+   view. *)
+let test_fission_loop_carried_cross_cut () =
+  let g =
+    let open Expr in
+    compile ~name:"cross-cut"
+      [ Def ("a", load "x" + inv "c"); Store ("o", ref_ "a" + prev "a") ]
+  in
+  match Fission.split g with
+  | None -> Alcotest.fail "cross-cut loop should be splittable"
+  | Some s ->
+    check_bool "first validates" true (Ddg.validate s.Fission.first = Ok ());
+    check_bool "second validates" true (Ddg.validate s.Fission.second = Ok ());
+    let scratch_loads =
+      Ddg.fold_nodes s.Fission.second ~init:[] ~f:(fun acc n ->
+          match n.Ddg.opcode with
+          | Opcode.Load (Opcode.Array a) when Helpers.contains a "fis." -> (n, a) :: acc
+          | _ -> acc)
+    in
+    let arrays = List.sort_uniq compare (List.map snd scratch_loads) in
+    check_int "two scratch loads" 2 (List.length scratch_loads);
+    check_int "two distinct views" 2 (List.length arrays);
+    check_bool "one view is the distance-1 stream" true
+      (List.exists (fun a -> Helpers.contains a ".d1") arrays);
+    (* The iteration offset lives in the array identity; reconnection
+       edges are all distance 0. *)
+    List.iter
+      (fun (n, _) ->
+        List.iter
+          (fun e -> check_int "reconnect distance" 0 e.Ddg.distance)
+          (Ddg.succs s.Fission.second n.Ddg.id))
+      scratch_loads;
+    (* The producer stores once; the consumers load twice. *)
+    check_int "added memops" 3 s.Fission.added_memops;
+    check_int "node conservation"
+      (Ddg.num_nodes g + s.Fission.added_memops)
+      (Ddg.num_nodes s.Fission.first + Ddg.num_nodes s.Fission.second);
+    let cfg = Config.dual ~latency:3 in
+    Helpers.check_valid "first piece schedules" (Modulo.schedule cfg s.Fission.first);
+    Helpers.check_valid "second piece schedules" (Modulo.schedule cfg s.Fission.second)
+
+(* A decomposition that fits with exactly [max_pieces] pieces converged;
+   the pre-fix code tested the cap before the fit and reported it as a
+   failure. *)
+let test_fission_split_until_exact_cap_converges () =
+  let config = Config.dual ~latency:6 in
+  let requirement g = Requirements.unified (Modulo.schedule config g) in
+  let ddg = kernel "ll9-integrate" in
+  match Fission.split ddg with
+  | None -> Alcotest.fail "ll9-integrate should be splittable"
+  | Some s ->
+    let cap = max (requirement s.Fission.first) (requirement s.Fission.second) in
+    check_bool "the whole loop does not fit" true (requirement ddg > cap);
+    let pieces, fits = Fission.split_until ~requirement ~capacity:cap ~max_pieces:2 ddg in
+    check_int "exactly two pieces" 2 (List.length pieces);
+    check_bool "reported as converged" true fits
+
+(* The per-pass split budget keeps the cap exact: a pass used to
+   concat-map every unfitting piece and could double the count past
+   [max_pieces]. *)
+let test_fission_split_until_cap_not_overshot () =
+  let config = Config.dual ~latency:6 in
+  let requirement g = Requirements.unified (Modulo.schedule config g) in
+  let ddg = kernel "ll9-integrate" in
+  let pieces, fits = Fission.split_until ~requirement ~capacity:1 ~max_pieces:3 ddg in
+  check_bool "at most three pieces" true (List.length pieces <= 3);
+  check_bool "nothing fits in one register" true (not fits)
+
 (* The spiller tracks the next spill slot incrementally across rounds;
    the final graph must agree with the from-scratch fold: one fresh slot
    per spilled value, starting from the input graph's next slot. *)
@@ -295,6 +566,25 @@ let suite =
     Alcotest.test_case "fission: split_until" `Quick test_fission_split_until;
     Alcotest.test_case "fission: unsplittable loops" `Quick test_fission_unsplittable;
     Alcotest.test_case "incremental spill slots" `Quick test_incremental_spill_slots;
+    Alcotest.test_case "spiller matches the reference on kernels" `Quick
+      test_spiller_matches_reference_on_kernels;
+    Alcotest.test_case "incremental rounds are counted" `Quick
+      test_incremental_reschedules_counted;
+    Alcotest.test_case "batched victims spill in fewer rounds" `Quick
+      test_batch_spills_in_fewer_rounds;
+    Alcotest.test_case "batch = 0 is rejected" `Quick test_batch_zero_rejected;
+    Alcotest.test_case "incremental fixed-seed digest" `Quick
+      test_incremental_fixed_seed_digest;
+    Alcotest.test_case "density with zero bandwidth" `Quick
+      test_density_zero_bandwidth_is_infinite;
+    Alcotest.test_case "fission: loop-carried cross-cut views" `Quick
+      test_fission_loop_carried_cross_cut;
+    Alcotest.test_case "fission: exact-cap decomposition converges" `Quick
+      test_fission_split_until_exact_cap_converges;
+    Alcotest.test_case "fission: piece cap never overshot" `Quick
+      test_fission_split_until_cap_not_overshot;
     QCheck_alcotest.to_alcotest prop_spiller_terminates_and_fits;
     QCheck_alcotest.to_alcotest prop_fission_structural;
+    QCheck_alcotest.to_alcotest prop_spiller_matches_reference;
+    QCheck_alcotest.to_alcotest prop_lower_bound_preserves_outcomes;
   ]

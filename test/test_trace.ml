@@ -310,6 +310,8 @@ let sample_record : Ledger.record =
     spilled = Some 3;
     requirement = Some 17;
     maxlive = Some 21;
+    spill_full = Some 2;
+    spill_incremental = Some 1;
     cache_hits = 2;
     cache_misses = 4;
     stages = [ ("alloc", 123456); ("schedule", 99) ];
@@ -329,6 +331,8 @@ let failed_record =
     spilled = None;
     requirement = None;
     maxlive = None;
+    spill_full = None;
+    spill_incremental = None;
     stages = [];
     ok = false;
     error = Some "sched";
