@@ -8,8 +8,12 @@
      dune exec bench/main.exe -- fig8 --quick -- smaller suite
 
    Experiment ids: example table1 fig6 fig7 fig8 fig9 ablation spill-victims
-   cluster-policy mve doubling fission cost sacks lifetime-postpass bechamel.
+   cluster-policy mve doubling fission cost sacks lifetime-postpass
+   cluster-sweep bechamel.
    --csv DIR mirrors the figure series to CSV files.
+   --clusters K / --read-ports N / --write-ports N swap the machine
+   under test for a K-cluster NCDRF with per-subfile port budgets; the
+   defaults (2, uncapped) reproduce the paper's dual machine exactly.
    --jobs N runs the per-loop pipeline on N domains (default: the
    recommended domain count); results are identical to --jobs 1.
    --metrics FILE emits a JSON report (wall clock and per-stage span
@@ -72,6 +76,18 @@ let spill () = !the_spill
 let the_pool : Pool.t option ref = ref None
 let current_jobs () = match !the_pool with Some p -> Pool.jobs p | None -> 1
 let pool () = !the_pool
+
+(* Machine under test for every dual-machine experiment
+   (--clusters / --read-ports / --write-ports).  The defaults build
+   exactly [Config.dual], so committed figures are byte-identical
+   unless a flag opts into the generalized k-cluster machine. *)
+let cluster_count = ref 2
+let rf_read_ports : int option ref = ref None
+let rf_write_ports : int option ref = ref None
+
+let machine ~latency =
+  Config.k_cluster ?read_ports:!rf_read_ports ?write_ports:!rf_write_ports
+    ~k:!cluster_count ~latency ()
 
 (* Map the per-loop stage of an experiment over the session pool,
    keeping input order; serial when no pool is active.  Failing loops
@@ -242,7 +258,7 @@ let run_distribution ~dynamic () =
   let loops = workloads () in
   List.iter
     (fun latency ->
-      let config = Config.dual ~latency in
+      let config = machine ~latency in
       Printf.printf "\n-- latency %d (%s), %% of %s with requirement <= R\n" latency
         config.Config.name
         (if dynamic then "cycles" else "loops");
@@ -285,7 +301,7 @@ let performance_grid () =
     (fun latency ->
       List.iter
         (fun capacity ->
-          let config = Config.dual ~latency in
+          let config = machine ~latency in
           let cells =
             List.map
               (fun model ->
@@ -369,7 +385,7 @@ let run_fig9 () =
 let run_ablation () =
   banner "Ablation: allocation schema (Wands-Only order)";
   let loops = workloads () in
-  let config = Config.dual ~latency:6 in
+  let config = machine ~latency:6 in
   let schedules =
     List.map (fun l -> Artifact.raw_schedule ~config l.Suite_stats.ddg) loops
   in
@@ -431,7 +447,7 @@ let run_ablation () =
 let run_spill_victims () =
   banner "Extension: spill-victim heuristics (the paper asks for better ones)";
   let loops = workloads () in
-  let config = Config.dual ~latency:6 in
+  let config = machine ~latency:6 in
   let capacity = 32 in
   Printf.printf "%-18s %10s %12s %10s %8s\n" "victim" "rel.perf" "density" "spills" "unfit";
   List.iter
@@ -467,7 +483,7 @@ let run_cluster_policy () =
   let loops = workloads () in
   List.iter
     (fun latency ->
-      let config = Config.dual ~latency in
+      let config = machine ~latency in
       Printf.printf "\n-- latency %d: registers required over the suite\n" latency;
       let total policy swap =
         List.fold_left
@@ -486,7 +502,7 @@ let run_cluster_policy () =
 let run_mve () =
   banner "Extension: rotating register file vs modulo variable expansion";
   let loops = workloads () in
-  let config = Config.dual ~latency:6 in
+  let config = machine ~latency:6 in
   let rotating = ref 0 and mve_regs = ref 0 and mve_min_unroll = ref 0 in
   let kernel_rows = ref 0 and unrolled_rows = ref 0 in
   let count = ref 0 in
@@ -523,7 +539,7 @@ let run_doubling () =
     (fun latency ->
       List.iter
         (fun r ->
-          let config = Config.dual ~latency in
+          let config = machine ~latency in
           let dual =
             Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures
               ~spill:(spill ()) ~config ~model:Model.Swapped ~capacity:r loops
@@ -545,7 +561,7 @@ let run_scheduler_policy () =
   let loops = workloads () in
   List.iter
     (fun latency ->
-      let config = Config.dual ~latency in
+      let config = machine ~latency in
       let asap_regs = ref 0 and bidir_regs = ref 0 in
       let asap_ii = ref 0 and bidir_ii = ref 0 in
       List.iter
@@ -568,7 +584,7 @@ let run_scheduler_policy () =
 let run_memory () =
   banner "Extension: banked-memory back-pressure (completing Figure 9's argument)";
   let loops = workloads () in
-  let config = Config.dual ~latency:6 in
+  let config = machine ~latency:6 in
   let capacity = 32 in
   let mem = { Ncdrf_sim.Memory_system.banks = 4; service_time = 2; tolerance = 4 } in
   Printf.printf "L=6, R=%d, memory: %d banks, %d-cycle service, tolerance %d\n" capacity
@@ -612,7 +628,7 @@ let run_memory () =
 let run_fission () =
   banner "Extension: all three pressure-reduction options of Section 5.4";
   let loops = workloads () in
-  let config = Config.dual ~latency:6 in
+  let config = machine ~latency:6 in
   let capacity = 32 in
   let requirement g = Requirements.unified (Artifact.raw_schedule ~config g) in
   let spill_t = ref 0.0 and bump_t = ref 0.0 and fission_t = ref 0.0 in
@@ -657,12 +673,12 @@ let run_fission () =
 
 let run_cost () =
   banner "Hardware cost (paper Section 3.2 models): area / access time / operand bits";
-  let config = Config.dual ~latency:6 in
+  let config = machine ~latency:6 in
   Printf.printf "machine: %s (per-cluster 1 add + 1 mul + 1 ld/st)\n\n" config.Config.name;
   Printf.printf "%-22s %5s %8s %6s %6s %12s %9s %6s\n" "organization" "regs" "copies" "rd" "wr"
     "area" "access" "bits";
   let orgs =
-    [ Cost.Unified; Cost.Consistent_dual; Cost.Non_consistent_dual; Cost.Doubled_unified ]
+    [ Cost.Unified; Cost.consistent_dual; Cost.non_consistent_dual; Cost.Doubled_unified ]
   in
   List.iter
     (fun registers ->
@@ -678,12 +694,12 @@ let run_cost () =
         orgs;
       print_newline ())
     [ 32; 64 ];
-  let ncdrf32 = Cost.total_area config ~registers:32 Cost.Non_consistent_dual in
+  let ncdrf32 = Cost.total_area config ~registers:32 Cost.non_consistent_dual in
   let doubled32 = Cost.total_area config ~registers:32 Cost.Doubled_unified in
   Printf.printf "claims: NCDRF@32 area / doubled-unified@64 area = %.2f (cheaper %s)\n"
     (ncdrf32 /. doubled32)
     (if ncdrf32 < doubled32 then "yes" else "NO");
-  let t_ncdrf = Cost.organization_access_time config ~registers:32 Cost.Non_consistent_dual in
+  let t_ncdrf = Cost.organization_access_time config ~registers:32 Cost.non_consistent_dual in
   let t_unified = Cost.organization_access_time config ~registers:32 Cost.Unified in
   Printf.printf "        NCDRF@32 access %.2f vs unified@32 %.2f (no penalty %s)\n" t_ncdrf
     t_unified
@@ -692,7 +708,7 @@ let run_cost () =
 let run_sacks () =
   banner "Extension: sacked register files (CONPAR'94) vs NCDRF on the same schedules";
   let loops = workloads () in
-  let config = Config.dual ~latency:6 in
+  let config = machine ~latency:6 in
   let unified = ref 0 and ncdrf = ref 0 in
   let primary2 = ref 0 and primary4 = ref 0 in
   let placed = ref 0 and eligible = ref 0 and values = ref 0 in
@@ -725,7 +741,7 @@ let run_lifetime_postpass () =
   let loops = workloads () in
   List.iter
     (fun latency ->
-      let config = Config.dual ~latency in
+      let config = machine ~latency in
       let base = ref 0 and pushed = ref 0 in
       List.iter
         (fun l ->
@@ -738,6 +754,76 @@ let run_lifetime_postpass () =
         latency !base !pushed
         (100.0 *. float_of_int (!base - !pushed) /. float_of_int !base))
     [ 3; 6 ]
+
+let run_cluster_sweep () =
+  banner "Extension: k-cluster NCDRF sweep (cluster count x subfile port budget)";
+  let loops = workloads () in
+  let latency = 3 in
+  let capacity = 32 in
+  (* Executor IPC is measured on a fixed prefix of the suite: the
+     cycle-accurate machine is far slower than the analytic sweep, and a
+     deterministic sample keeps the column comparable across rows. *)
+  let exec_sample = List.filteri (fun i _ -> i < 12) loops in
+  let grid =
+    List.concat_map
+      (fun k -> List.map (fun ports -> (k, ports)) [ None; Some (4, 2); Some (2, 1) ])
+      [ 2; 3; 4 ]
+  in
+  Printf.printf "latency %d, capacity %d, swapped model; IPC over %d sample loops\n"
+    latency capacity (List.length exec_sample);
+  Printf.printf "%-16s %8s %8s %9s %9s %7s %6s %7s %7s\n" "machine" "alloc%" "dyn%"
+    "rel.perf" "density" "spills" "unfit" "ipc" "stalls";
+  let rows = ref [] in
+  List.iter
+    (fun (k, ports) ->
+      let config =
+        match ports with
+        | None -> Config.k_cluster ~k ~latency ()
+        | Some (r, w) -> Config.k_cluster ~read_ports:r ~write_ports:w ~k ~latency ()
+      in
+      let ms =
+        Suite_stats.measure ?pool:(pool ()) ~failures:!the_failures ~config
+          ~model:Model.Swapped loops
+      in
+      let static, dynamic = Suite_stats.allocatable ms ~r:capacity in
+      let perf =
+        Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures ~spill:(spill ())
+          ~config ~model:Model.Swapped ~capacity loops
+      in
+      let ops = ref 0 and cycles = ref 0 and stalls = ref 0 in
+      List.iter
+        (fun l ->
+          let sched = Artifact.raw_schedule ~config l.Suite_stats.ddg in
+          let swapped, _ = Swap.improve sched in
+          let iterations = 8 in
+          let o = Ncdrf_sim.Executor.run_clustered ~iterations swapped in
+          ops := !ops + (iterations * Ddg.num_nodes l.Suite_stats.ddg);
+          cycles := !cycles + o.Ncdrf_sim.Executor.cycles;
+          stalls := !stalls + o.Ncdrf_sim.Executor.port_stalls)
+        exec_sample;
+      let ipc = float_of_int !ops /. float_of_int (max 1 !cycles) in
+      let ports_label =
+        match ports with None -> "-" | Some (r, w) -> Printf.sprintf "r%d,w%d" r w
+      in
+      Printf.printf "k=%d ports=%-6s %8.1f %8.1f %9.3f %9.3f %7d %6d %7.2f %7d\n%!" k
+        ports_label static dynamic perf.Suite_stats.relative perf.Suite_stats.density
+        perf.Suite_stats.total_spills perf.Suite_stats.unfit ipc !stalls;
+      rows :=
+        [ string_of_int k;
+          (match ports with None -> "" | Some (r, _) -> string_of_int r);
+          (match ports with None -> "" | Some (_, w) -> string_of_int w);
+          Printf.sprintf "%.2f" static; Printf.sprintf "%.2f" dynamic;
+          Printf.sprintf "%.4f" perf.Suite_stats.relative;
+          Printf.sprintf "%.4f" perf.Suite_stats.density;
+          string_of_int perf.Suite_stats.total_spills;
+          string_of_int perf.Suite_stats.unfit; Printf.sprintf "%.3f" ipc;
+          string_of_int !stalls ]
+        :: !rows)
+    grid;
+  emit_csv "cluster-sweep"
+    ([ "clusters"; "read_ports"; "write_ports"; "allocatable_pct"; "dynamic_pct";
+       "rel_perf"; "density"; "spills"; "unfit"; "exec_ipc"; "port_stalls" ]
+     :: List.rev !rows)
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel timing benches: one Test.make per experiment + micro.      *)
@@ -753,7 +839,7 @@ let bechamel_tests () =
           weight = e.Ncdrf_workloads.Suite.iterations })
       small
   in
-  let config = Config.dual ~latency:3 in
+  let config = machine ~latency:3 in
   let example = Ncdrf_workloads.Kernels.paper_example () in
   let sched = Modulo.schedule config example in
   [
@@ -837,6 +923,7 @@ let experiments =
     ("cost", run_cost);
     ("sacks", run_sacks);
     ("lifetime-postpass", run_lifetime_postpass);
+    ("cluster-sweep", run_cluster_sweep);
     ("bechamel", run_bechamel);
   ]
 
@@ -847,7 +934,8 @@ let experiments =
 (* Experiments whose per-loop stage runs on the pool — the only ones
    worth a serial-baseline rerun for the speedup figure. *)
 let pooled_experiments =
-  [ "table1"; "fig6"; "fig7"; "fig8"; "fig9"; "doubling"; "spill-victims"; "memory" ]
+  [ "table1"; "fig6"; "fig7"; "fig8"; "fig9"; "doubling"; "spill-victims"; "memory";
+    "cluster-sweep" ]
 
 type experiment_metric = {
   ex_name : string;
@@ -1017,6 +1105,7 @@ let report_failures () =
 let usage () =
   Printf.eprintf
     "usage: main.exe [EXPERIMENT...] [--quick] [--size N] [--seed N] [--jobs N]\n\
+    \       [--clusters K] [--read-ports N] [--write-ports N]\n\
     \       [--csv DIR] [--metrics FILE] [--trace FILE] [--ledger FILE] [--no-cache]\n\
     \       [--spill-batch K] [--spill-incremental]\n\
     \       [--fail-fast] [--max-failures N] [--failures FILE]\n\
@@ -1084,8 +1173,18 @@ let () =
     | "--size" :: n :: rest ->
       suite_size := max 1 (int_arg "--size" n);
       parse rest
+    | "--clusters" :: n :: rest ->
+      cluster_count := max 1 (int_arg "--clusters" n);
+      parse rest
+    | "--read-ports" :: n :: rest ->
+      rf_read_ports := Some (max 1 (int_arg "--read-ports" n));
+      parse rest
+    | "--write-ports" :: n :: rest ->
+      rf_write_ports := Some (max 1 (int_arg "--write-ports" n));
+      parse rest
     | ("--csv" | "--jobs" | "--metrics" | "--trace" | "--ledger" | "--seed" | "--size"
-      | "--max-failures" | "--failures" | "--inject" | "--spill-batch")
+      | "--max-failures" | "--failures" | "--inject" | "--spill-batch" | "--clusters"
+      | "--read-ports" | "--write-ports")
       :: [] ->
       usage ()
     | a :: rest -> a :: parse rest

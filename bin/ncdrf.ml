@@ -26,19 +26,47 @@ let model_conv =
   let parse s = Model.of_string s |> Result.map_error (fun e -> `Msg e) in
   Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Model.to_string m))
 
-let config_of ~clusters ~latency =
+let config_of ?read_ports ?write_ports ~clusters ~latency () =
   match clusters with
-  | 1 -> Config.dual_unified ~latency
-  | 2 -> Config.dual ~latency
-  | n -> invalid_arg (Printf.sprintf "unsupported cluster count %d (use 1 or 2)" n)
+  | n when n < 1 ->
+    invalid_arg (Printf.sprintf "unsupported cluster count %d (must be >= 1)" n)
+  | 1 ->
+    (match read_ports, write_ports with
+     | None, None -> Config.dual_unified ~latency
+     | _ ->
+       (* The unified machine's resources with register-file port caps. *)
+       Config.make
+         ~name:(Printf.sprintf "unified-L%d" latency)
+         ~clusters:
+           [|
+             Config.symmetric_cluster ?read_ports ?write_ports ~adders:2
+               ~multipliers:2 ~ls_units:2 ();
+           |]
+         ~add_latency:latency ~mul_latency:latency ())
+  | 2 when read_ports = None && write_ports = None -> Config.dual ~latency
+  | k -> Config.k_cluster ?read_ports ?write_ports ~k ~latency ()
 
 let latency_arg =
   let doc = "Latency of the floating-point adders and multipliers (3 or 6 in the paper)." in
   Arg.(value & opt int 3 & info [ "l"; "latency" ] ~docv:"CYCLES" ~doc)
 
 let clusters_arg =
-  let doc = "Number of clusters: 1 (unified machine) or 2 (dual)." in
+  let doc =
+    "Number of clusters: 1 (unified machine) or $(docv) >= 2 subfiles (2 is the \
+     paper's dual machine)."
+  in
   Arg.(value & opt int 2 & info [ "c"; "clusters" ] ~docv:"N" ~doc)
+
+let read_ports_arg =
+  let doc =
+    "Cap each cluster's register-file reads per cycle (omit for unconstrained \
+     subfiles, the paper's machine)."
+  in
+  Arg.(value & opt (some int) None & info [ "read-ports" ] ~docv:"N" ~doc)
+
+let write_ports_arg =
+  let doc = "Cap each cluster's register-file writes per cycle (omit for unconstrained)." in
+  Arg.(value & opt (some int) None & info [ "write-ports" ] ~docv:"N" ~doc)
 
 let model_arg =
   let doc = "Register file model: ideal, unified, partitioned or swapped." in
@@ -130,13 +158,13 @@ let spill_policy ~batch ~incremental =
   { Ncdrf_spill.Spiller.default_policy with batch; incremental }
 
 let schedule_cmd =
-  let run verbose file name latency clusters model capacity spill_batch
-      spill_incremental show_kernel =
+  let run verbose file name latency clusters read_ports write_ports model capacity
+      spill_batch spill_incremental show_kernel =
     setup_logs verbose;
     handle_errors @@ fun () ->
     let loops = load_loops file name in
     if loops = [] then (Printf.eprintf "no matching loops\n"; exit 1);
-    let config = config_of ~clusters ~latency in
+    let config = config_of ?read_ports ?write_ports ~clusters ~latency () in
     let spill = spill_policy ~batch:spill_batch ~incremental:spill_incremental in
     Format.printf "machine: %a@." Config.pp config;
     List.iter
@@ -156,8 +184,8 @@ let schedule_cmd =
   Cmd.v (Cmd.info "schedule" ~doc)
     Term.(
       const run $ verbose_arg $ file_arg $ loop_name_arg $ latency_arg $ clusters_arg
-      $ model_arg $ capacity_arg $ spill_batch_arg $ spill_incremental_arg
-      $ kernel_arg)
+      $ read_ports_arg $ write_ports_arg $ model_arg $ capacity_arg $ spill_batch_arg
+      $ spill_incremental_arg $ kernel_arg)
 
 (* ------------------------------------------------------------------ *)
 (* dot                                                                 *)
@@ -197,8 +225,8 @@ let write_failures_csv path failures =
   Format.printf "[failures: %s]@." path
 
 let suite_cmd =
-  let run latency size registers jobs metrics fail_fast max_failures inject
-      failures_csv no_cache trace ledger =
+  let run latency clusters read_ports write_ports size registers jobs metrics
+      fail_fast max_failures inject failures_csv no_cache trace ledger =
     let module Pool = Ncdrf_parallel.Pool in
     let module Telemetry = Ncdrf_telemetry.Telemetry in
     let module Trace = Ncdrf_telemetry.Trace in
@@ -214,7 +242,7 @@ let suite_cmd =
     let failures = Failures.create ~fail_fast ?max_failures () in
     handle_errors @@ fun () ->
     Fun.protect ~finally:Fault.disarm @@ fun () ->
-    let config = Config.dual ~latency in
+    let config = config_of ?read_ports ?write_ports ~clusters ~latency () in
     let loops =
       List.map
         (fun e ->
@@ -350,9 +378,10 @@ let suite_cmd =
   let doc = "Register-pressure summary over the synthetic Perfect-Club-like suite." in
   Cmd.v (Cmd.info "suite" ~doc)
     Term.(
-      const run $ latency_arg $ size_arg $ registers_arg $ jobs_arg $ metrics_arg
-      $ fail_fast_arg $ max_failures_arg $ inject_arg $ failures_arg $ no_cache_arg
-      $ trace_arg $ ledger_arg)
+      const run $ latency_arg $ clusters_arg $ read_ports_arg $ write_ports_arg
+      $ size_arg $ registers_arg $ jobs_arg $ metrics_arg $ fail_fast_arg
+      $ max_failures_arg $ inject_arg $ failures_arg $ no_cache_arg $ trace_arg
+      $ ledger_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -392,11 +421,17 @@ let sweep_cmd =
 (* ------------------------------------------------------------------ *)
 
 let simulate_cmd =
-  let run file name latency iterations =
+  let run file name latency clusters read_ports write_ports iterations =
     handle_errors @@ fun () ->
       let loops = load_loops file name in
       if loops = [] then (Printf.eprintf "no matching loops\n"; exit 1);
-      let config = Config.dual ~latency in
+      let config =
+        config_of ?read_ports ?write_ports ~clusters:(max clusters 2) ~latency ()
+      in
+      let clustered_tag =
+        if Config.num_clusters config = 2 then "dual"
+        else Printf.sprintf "k%d" (Config.num_clusters config)
+      in
       let failures = ref 0 in
       List.iter
         (fun ddg ->
@@ -407,14 +442,17 @@ let simulate_cmd =
           let check tag outcome =
             let ok = Ncdrf_sim.Reference.equal_stores outcome.Ncdrf_sim.Executor.stores expected in
             if not ok then incr failures;
-            Format.printf "  %-8s %d regs/file, %d cycles: %s@." tag
+            Format.printf "  %-8s %d regs/file, %d cycles%s: %s@." tag
               outcome.Ncdrf_sim.Executor.capacity outcome.Ncdrf_sim.Executor.cycles
+              (if outcome.Ncdrf_sim.Executor.port_stalls > 0 then
+                 Printf.sprintf " (%d port stall(s))" outcome.Ncdrf_sim.Executor.port_stalls
+               else "")
               (if ok then "matches reference" else "DIVERGES")
           in
           check "unified" (Ncdrf_sim.Executor.run_unified ~iterations sched);
-          check "dual" (Ncdrf_sim.Executor.run_dual ~iterations sched);
+          check clustered_tag (Ncdrf_sim.Executor.run_clustered ~iterations sched);
           let swapped, _ = Swap.improve sched in
-          check "swapped" (Ncdrf_sim.Executor.run_dual ~iterations swapped))
+          check "swapped" (Ncdrf_sim.Executor.run_clustered ~iterations swapped))
         loops;
       if !failures > 0 then 1 else 0
   in
@@ -426,7 +464,9 @@ let simulate_cmd =
     "Execute loops on the simulated machine and check against the reference interpreter."
   in
   Cmd.v (Cmd.info "simulate" ~doc)
-    Term.(const run $ file_arg $ loop_name_arg $ latency_arg $ iterations_arg)
+    Term.(
+      const run $ file_arg $ loop_name_arg $ latency_arg $ clusters_arg
+      $ read_ports_arg $ write_ports_arg $ iterations_arg)
 
 (* ------------------------------------------------------------------ *)
 (* kernels                                                             *)
@@ -639,6 +679,9 @@ let usage =
       "";
       "suite options:";
       "  -l, --latency N    FP add/mul latency (default 3)";
+      "  -c, --clusters K   clusters/subfiles: 1 = unified, 2 = dual (default), K > 2";
+      "      --read-ports N   per-subfile register-file read-port cap (default: none)";
+      "      --write-ports N  per-subfile register-file write-port cap (default: none)";
       "      --size N       loops in the synthetic suite (default 300)";
       "  -r, --registers N  register budget to test against (default 32)";
       "  -j, --jobs N       worker domains (results identical for any N)";

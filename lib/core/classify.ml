@@ -3,19 +3,28 @@ open Ncdrf_sched
 
 type t =
   | Global
+  | Shared of int list
   | Local of int
 
 let equal a b =
   match a, b with
   | Global, Global -> true
+  | Shared x, Shared y -> x = y
   | Local x, Local y -> x = y
-  | Global, Local _ | Local _, Global -> false
+  | _, _ -> false
 
 let pp ppf = function
   | Global -> Format.pp_print_string ppf "GL"
+  | Shared cs ->
+    Format.fprintf ppf "S%s" (String.concat "" (List.map string_of_int cs))
   | Local 0 -> Format.pp_print_string ppf "LO"
   | Local 1 -> Format.pp_print_string ppf "RO"
   | Local c -> Format.fprintf ppf "C%d" c
+
+let clusters_of ~num_clusters = function
+  | Global -> List.init num_clusters Fun.id
+  | Shared cs -> cs
+  | Local c -> [ c ]
 
 let value_class sched v =
   let ddg = sched.Schedule.ddg in
@@ -28,7 +37,12 @@ let value_class sched v =
   match consumer_clusters with
   | [] -> Local (Schedule.cluster sched v)
   | first :: rest ->
-    if List.for_all (fun c -> c = first) rest then Local first else Global
+    if List.for_all (fun c -> c = first) rest then Local first
+    else begin
+      let num_clusters = Ncdrf_machine.Config.num_clusters sched.Schedule.config in
+      let members = List.sort_uniq compare consumer_clusters in
+      if List.length members >= num_clusters then Global else Shared members
+    end
 
 let classify sched =
   let ddg = sched.Schedule.ddg in
@@ -44,7 +58,7 @@ let counts sched =
   let globals = ref 0 in
   let tally (_, cls) =
     match cls with
-    | Global -> incr globals
+    | Global | Shared _ -> incr globals
     | Local c -> locals.(c) <- locals.(c) + 1
   in
   List.iter tally (classify sched);

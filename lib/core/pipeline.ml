@@ -59,6 +59,7 @@ let point_record ~models ~capacity ~t0 ~ok (p : Trace.point) =
     fp = p.Trace.fp;
     models;
     capacity;
+    clusters = opt p.Trace.clusters;
     mii = opt p.Trace.mii;
     ii = opt p.Trace.ii;
     rounds = opt p.Trace.rounds;
@@ -83,6 +84,7 @@ let with_point ~config ~models ?capacity ddg f =
     Trace.with_context ~loop:(Ddg.name ddg) ~config:config.Config.name
       ~fp:(short_fingerprint config)
     @@ fun () ->
+    Trace.set_result ~clusters:(Config.num_clusters config) ();
     let record ~ok =
       if Ledger.enabled () then
         Option.iter
@@ -123,6 +125,8 @@ let spill_lower_bound ~config ~model raw ~lifetimes =
 let run ~config ~model ?capacity ?victim ?(spill = Spiller.default_policy) ddg =
   with_point ~config ~models:[ model ] ?capacity ddg @@ fun () ->
   Telemetry.incr "pipeline.loops";
+  Telemetry.incr ~by:(Config.num_clusters config) "cluster.subfiles";
+  if Config.has_port_caps config then Telemetry.incr "ports.capped_points";
   let mii = Artifact.mii ~config ddg in
   let finish ?error ~final_ddg ~sched ~requirement ~fits ~spilled ~added_memops ~ii_bumps
       ~swaps () =

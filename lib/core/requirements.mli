@@ -1,11 +1,15 @@
 (** Register requirements of a schedule under the register-file models.
 
-    For the non-consistent dual register file, the global values occupy
-    the {e same} register indices in every subfile (they are written to
-    both, exactly like a consistent dual file would), while local values
-    use the remaining registers of their cluster's subfile.  A loop is
-    allocatable with subfiles of [R] registers iff the globals plus each
-    cluster's locals can be jointly allocated within [R]. *)
+    For the non-consistent clustered register file, each replicated
+    value occupies the {e same} register index in every subfile that
+    holds it (on a two-cluster machine every replicated value is global
+    and written to both subfiles, exactly like a consistent dual file
+    would), while local values use the remaining registers of their
+    cluster's subfile.  A loop is allocatable with subfiles of [R]
+    registers iff the replicated values plus each cluster's locals can
+    be jointly allocated within [R].  At [k > 2] clusters a value
+    consumed by a proper subset of the clusters ([Classify.Shared]) is
+    replicated only in those subfiles. *)
 
 open Ncdrf_regalloc
 open Ncdrf_sched
@@ -13,11 +17,11 @@ open Ncdrf_sched
 type detail = {
   requirement : int;  (** registers per subfile: max over clusters *)
   cluster_requirements : int array;
-      (** smallest capacity at which globals + that cluster's locals
-          allocate, taken per cluster in isolation; [requirement] uses a
-          single global placement shared by all clusters, so it is at
-          least the max of these *)
-  global_requirement : int;  (** globals allocated alone *)
+      (** smallest capacity at which that cluster's replicated prefix +
+          locals allocate, taken per cluster in isolation;
+          [requirement] uses a single shared placement for all
+          clusters, so it is at least the max of these *)
+  global_requirement : int;  (** replicated values allocated alone *)
   local_requirements : int array;  (** each cluster's locals alone *)
   max_live : int array;  (** per-cluster MaxLive lower bound *)
 }
@@ -26,14 +30,15 @@ type detail = {
     smallest capacity allocating all values. *)
 val unified : ?strategy:Alloc.strategy -> ?order:Alloc.order -> Schedule.t -> int
 
-(** Requirement detail with a non-consistent dual register file under
-    the schedule's current cluster assignment. *)
+(** Requirement detail with a non-consistent clustered register file
+    under the schedule's current cluster assignment. *)
 val partitioned :
   ?strategy:Alloc.strategy -> ?order:Alloc.order -> Schedule.t -> detail
 
 (** Smallest capacity jointly allocating the globals (one shared
-    placement) plus each cluster's locals on top of it.  [upper] caps
-    the search (default: a generous internal bound).
+    placement, replicated in every cluster) plus each cluster's locals
+    on top of it.  [upper] caps the search (default: a generous
+    internal bound).
 
     @raise Ncdrf_error.Error.Error with category [Alloc_infeasible] and
     the range searched when no capacity up to [upper] is feasible (only
@@ -48,27 +53,31 @@ val joint_requirement :
   unit ->
   int
 
-(** Per-cluster MaxLive lower bound (globals counted in every cluster);
-    the estimate the swap pass minimises.  For a single-cluster machine
-    this is plain MaxLive.  [lifetimes], when supplied, must equal
-    [Lifetime.of_schedule sched] — callers that already hold the list
-    (the spiller's lower-bound hook) pass it to skip the recompute. *)
+(** Per-cluster MaxLive lower bound (each replicated value counted in
+    every cluster holding it); the estimate the swap pass minimises.
+    For a single-cluster machine this is plain MaxLive.  [lifetimes],
+    when supplied, must equal [Lifetime.of_schedule sched] — callers
+    that already hold the list (the spiller's lower-bound hook) pass it
+    to skip the recompute. *)
 val cluster_max_live : ?lifetimes:Lifetime.t list -> Schedule.t -> int array
 
 (** [max] of {!cluster_max_live} — the scalar swap cost. *)
 val max_live_cost : ?lifetimes:Lifetime.t list -> Schedule.t -> int
 
-(** Lifetimes grouped by class: [(globals, per-cluster locals)]. *)
+(** Lifetimes grouped by class: [(replicated, per-cluster locals)].
+    [Global] and [Shared] values both land in the first component. *)
 val grouped_lifetimes :
   ?lifetimes:Lifetime.t list -> Schedule.t -> Lifetime.t list * Lifetime.t list array
 
-(** Concrete register assignment for a non-consistent dual register
-    file at the minimal capacity: globals occupy the same indices in
-    every subfile, locals their own cluster's.  Used by the execution
-    simulator. *)
+(** Concrete register assignment for a non-consistent clustered
+    register file at the minimal capacity: each replicated value
+    occupies the same index in every subfile of its replica set
+    (carried alongside the placement), locals their own cluster's.
+    Used by the execution simulator. *)
 type allocation = {
   capacity : int;  (** registers per subfile *)
-  globals : Alloc.placement list;
+  globals : (Alloc.placement * int list) list;
+      (** replicated values with their replica clusters *)
   locals : Alloc.placement list array;  (** per cluster *)
 }
 

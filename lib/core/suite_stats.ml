@@ -54,6 +54,9 @@ let measure_all ?pool ?failures ~config ~models loops =
        just like Pipeline.run does for capacity sweeps. *)
     Pipeline.with_point ~config ~models loop.ddg @@ fun () ->
     Ncdrf_telemetry.Telemetry.incr "pipeline.loops";
+    Ncdrf_telemetry.Telemetry.incr ~by:(Config.num_clusters config) "cluster.subfiles";
+    if Config.has_port_caps config then
+      Ncdrf_telemetry.Telemetry.incr "ports.capped_points";
     let raw = Artifact.raw_schedule ~config loop.ddg in
     let rows =
       List.map

@@ -4,6 +4,8 @@ type cluster = {
   adders : int;
   multipliers : int;
   ls_units : int;
+  read_ports : int option;
+  write_ports : int option;
 }
 
 type t = {
@@ -25,40 +27,57 @@ let make ~name ~clusters ~add_latency ~mul_latency ?(mem_latency = 1) ?load_port
   positive "mem_latency must be >= 1" mem_latency;
   let check_cluster c =
     if c.adders < 0 || c.multipliers < 0 || c.ls_units < 0 then
-      invalid_arg "Config.make: negative unit count"
+      invalid_arg "Config.make: negative unit count";
+    let port = function
+      | Some n when n < 1 -> invalid_arg "Config.make: register-file port cap must be >= 1"
+      | _ -> ()
+    in
+    port c.read_ports;
+    port c.write_ports
   in
   Array.iter check_cluster clusters;
   { name; clusters; add_latency; mul_latency; mem_latency; load_ports; store_ports }
+
+let symmetric_cluster ?read_ports ?write_ports ~adders ~multipliers ~ls_units () =
+  { adders; multipliers; ls_units; read_ports; write_ports }
 
 let pxly ~parallelism ~latency =
   make
     ~name:(Printf.sprintf "P%dL%d" parallelism latency)
     ~clusters:
-      [| { adders = parallelism; multipliers = parallelism; ls_units = 3 } |]
+      [|
+        symmetric_cluster ~adders:parallelism ~multipliers:parallelism ~ls_units:3 ();
+      |]
     ~add_latency:latency ~mul_latency:latency ~load_ports:2 ~store_ports:1 ()
 
-let dual ~latency =
-  make
-    ~name:(Printf.sprintf "dual-L%d" latency)
+let k_cluster ?read_ports ?write_ports ~k ~latency () =
+  if k < 1 then invalid_arg "Config.k_cluster: k must be >= 1";
+  let name =
+    if k = 2 && read_ports = None && write_ports = None then
+      Printf.sprintf "dual-L%d" latency
+    else Printf.sprintf "k%d-L%d" k latency
+  in
+  make ~name
     ~clusters:
-      [|
-        { adders = 1; multipliers = 1; ls_units = 1 };
-        { adders = 1; multipliers = 1; ls_units = 1 };
-      |]
+      (Array.init k (fun _ ->
+           symmetric_cluster ?read_ports ?write_ports ~adders:1 ~multipliers:1
+             ~ls_units:1 ()))
     ~add_latency:latency ~mul_latency:latency ()
+
+let dual ~latency = k_cluster ~k:2 ~latency ()
 
 let dual_unified ~latency =
   make
     ~name:(Printf.sprintf "unified-L%d" latency)
-    ~clusters:[| { adders = 2; multipliers = 2; ls_units = 2 } |]
+    ~clusters:[| symmetric_cluster ~adders:2 ~multipliers:2 ~ls_units:2 () |]
     ~add_latency:latency ~mul_latency:latency ()
 
 let example () =
   make ~name:"example"
     ~clusters:
       [|
-        { adders = 1; multipliers = 1; ls_units = 2 };
-        { adders = 1; multipliers = 1; ls_units = 2 };
+        symmetric_cluster ~adders:1 ~multipliers:1 ~ls_units:2 ();
+        symmetric_cluster ~adders:1 ~multipliers:1 ~ls_units:2 ();
       |]
     ~add_latency:3 ~mul_latency:3 ()
 
@@ -75,6 +94,9 @@ let total_adders t = sum_clusters t (fun c -> c.adders)
 let total_multipliers t = sum_clusters t (fun c -> c.multipliers)
 let total_ls_units t = sum_clusters t (fun c -> c.ls_units)
 
+let has_port_caps t =
+  Array.exists (fun c -> c.read_ports <> None || c.write_ports <> None) t.clusters
+
 let memory_bandwidth t =
   let units = total_ls_units t in
   match t.load_ports, t.store_ports with
@@ -86,15 +108,23 @@ let memory_bandwidth t =
 (* Stable cache-key rendering of every field.  The name is included on
    purpose: it does not change scheduling, but keying on it keeps a
    cached schedule's embedded [config] byte-identical to the one the
-   caller passed, so cached and cold runs print identically. *)
+   caller passed, so cached and cold runs print identically.  Per-cluster
+   register-file port caps are rendered only when set, so configurations
+   predating the caps keep their historical fingerprint while any port
+   budget yields a distinct cache key. *)
 let fingerprint t =
   let buf = Buffer.create 64 in
   Buffer.add_string buf t.name;
   Buffer.add_char buf '\x00';
-  Array.iter
-    (fun c -> Buffer.add_string buf (Printf.sprintf "%d,%d,%d|" c.adders c.multipliers c.ls_units))
-    t.clusters;
   let port = function None -> "-" | Some n -> string_of_int n in
+  Array.iter
+    (fun c ->
+      Buffer.add_string buf (Printf.sprintf "%d,%d,%d" c.adders c.multipliers c.ls_units);
+      if c.read_ports <> None || c.write_ports <> None then
+        Buffer.add_string buf
+          (Printf.sprintf ",r%s,w%s" (port c.read_ports) (port c.write_ports));
+      Buffer.add_char buf '|')
+    t.clusters;
   Buffer.add_string buf
     (Printf.sprintf "lat=%d,%d,%d;ports=%s,%s" t.add_latency t.mul_latency t.mem_latency
        (port t.load_ports) (port t.store_ports));
@@ -102,7 +132,12 @@ let fingerprint t =
 
 let pp ppf t =
   let cluster_desc c =
-    Printf.sprintf "%da+%dm+%dls" c.adders c.multipliers c.ls_units
+    let base = Printf.sprintf "%da+%dm+%dls" c.adders c.multipliers c.ls_units in
+    match c.read_ports, c.write_ports with
+    | None, None -> base
+    | r, w ->
+      let show = function None -> "-" | Some n -> string_of_int n in
+      Printf.sprintf "%s,rd=%s,wr=%s" base (show r) (show w)
   in
   let clusters =
     String.concat " | " (Array.to_list (Array.map cluster_desc t.clusters))

@@ -6,6 +6,12 @@
     Table 1, which constrain loads to 2 per cycle and stores to 1 per
     cycle irrespective of unit counts).
 
+    Each cluster may additionally carry optional {e register-file} port
+    budgets ([read_ports]/[write_ports]): per-cycle caps on how many
+    operands its subfile can deliver and how many results it can accept.
+    [None] (the default) means unconstrained, which reproduces the
+    original machine model exactly.
+
     All functional units are fully pipelined: a unit accepts a new
     operation every cycle; latency only delays the result. *)
 
@@ -15,11 +21,17 @@ type cluster = {
   adders : int;
   multipliers : int;
   ls_units : int;  (** load/store units private to the cluster *)
+  read_ports : int option;
+      (** per-cycle cap on register-file reads from this cluster's
+          subfile; [None] = unconstrained *)
+  write_ports : int option;
+      (** per-cycle cap on register-file writes into this cluster's
+          subfile; [None] = unconstrained *)
 }
 
 type t = private {
   name : string;
-  clusters : cluster array;  (** length 1 (unified) or 2 (dual) *)
+  clusters : cluster array;  (** length [k >= 1]: 1 = unified, 2 = dual, ... *)
   add_latency : int;  (** adds, subtracts, conversions *)
   mul_latency : int;  (** multiplies and divides *)
   mem_latency : int;  (** loads and stores, 1 in the paper *)
@@ -38,9 +50,27 @@ val make :
   unit ->
   t
 
+(** A cluster with symmetric unit counts; register-file port caps
+    default to unconstrained. *)
+val symmetric_cluster :
+  ?read_ports:int ->
+  ?write_ports:int ->
+  adders:int ->
+  multipliers:int ->
+  ls_units:int ->
+  unit ->
+  cluster
+
 (** Table 1 configuration PxLy: [x] adders and [x] multipliers of latency
     [y], one store port and two load ports, single cluster. *)
 val pxly : parallelism:int -> latency:int -> t
+
+(** [k] clusters of {1 adder, 1 multiplier, 1 load/store unit} at FP
+    latency [latency], each optionally capped at [read_ports] reads and
+    [write_ports] writes per cycle on its subfile.  With [k = 2] and no
+    port caps this is exactly {!dual} (same name, same fingerprint). *)
+val k_cluster :
+  ?read_ports:int -> ?write_ports:int -> k:int -> latency:int -> unit -> t
 
 (** The evaluation configuration of Section 5.2: two clusters of {1
     adder, 1 multiplier, 1 load/store unit}, FP latency
@@ -65,13 +95,20 @@ val total_adders : t -> int
 val total_multipliers : t -> int
 val total_ls_units : t -> int
 
+(** True when any cluster carries a register-file read or write port
+    cap. *)
+val has_port_caps : t -> bool
+
 (** Number of memory ports used in the density-of-traffic denominator:
     the effective per-cycle memory issue bandwidth. *)
 val memory_bandwidth : t -> int
 
-(** Stable serialization of every field (name, clusters, latencies,
-    port caps), usable as the machine half of a compile-cache key: two
-    configurations fingerprint equally iff they are equal. *)
+(** Stable serialization of every field (name, clusters incl. any
+    register-file port caps, latencies, machine-wide port caps), usable
+    as the machine half of a compile-cache key: two configurations
+    fingerprint equally iff they are equal.  Configurations without
+    register-file port caps keep the historical rendering, so existing
+    cache keys and ledger digests are unchanged. *)
 val fingerprint : t -> string
 
 val pp : Format.formatter -> t -> unit

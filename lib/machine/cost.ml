@@ -19,14 +19,19 @@ let operand_field_bits ~registers =
 
 type organization =
   | Unified
-  | Consistent_dual
-  | Non_consistent_dual
+  | Consistent of int
+  | Non_consistent of int
   | Doubled_unified
+
+let consistent_dual = Consistent 2
+let non_consistent_dual = Non_consistent 2
 
 let organization_name = function
   | Unified -> "unified"
-  | Consistent_dual -> "consistent-dual"
-  | Non_consistent_dual -> "non-consistent-dual"
+  | Consistent 2 -> "consistent-dual"
+  | Consistent k -> Printf.sprintf "consistent-%d" k
+  | Non_consistent 2 -> "non-consistent-dual"
+  | Non_consistent k -> Printf.sprintf "non-consistent-%d" k
   | Doubled_unified -> "doubled-unified"
 
 (* FP-file port demand of one cluster: adders and multipliers read two
@@ -43,6 +48,12 @@ let machine_writes cfg = Array.fold_left (fun acc c -> acc + cluster_writes c) 0
 let max_cluster_reads cfg =
   Array.fold_left (fun acc c -> max acc (cluster_reads c)) 0 cfg.Config.clusters
 
+let copies_of = function
+  | Unified | Doubled_unified -> 1
+  | Consistent k | Non_consistent k ->
+    if k < 1 then invalid_arg "Cost: subfile count must be >= 1";
+    k
+
 let specify cfg ~registers org =
   let bits = 64 in
   match org with
@@ -57,18 +68,19 @@ let specify cfg ~registers org =
         bits;
       },
       1 )
-  | Consistent_dual | Non_consistent_dual ->
-    let copies = max 1 (Config.num_clusters cfg) in
+  | Consistent k | Non_consistent k ->
+    let copies = copies_of org in
     (* Each copy serves one cluster's reads but receives every write
        (the non-consistent file keeps the same write structure; it just
-       does not use every write for every value). *)
-    ( {
-        registers;
-        read_ports = max_cluster_reads cfg;
-        write_ports = machine_writes cfg;
-        bits;
-      },
-      copies )
+       does not use every write for every value).  When the organization
+       matches the machine's cluster count the per-copy read demand is
+       the widest cluster's; otherwise the machine's read demand is
+       spread evenly over the [k] copies. *)
+    let read_ports =
+      if k = max 1 (Config.num_clusters cfg) then max_cluster_reads cfg
+      else (machine_reads cfg + k - 1) / k
+    in
+    ({ registers; read_ports; write_ports = machine_writes cfg; bits }, copies)
 
 let total_area cfg ~registers org =
   let spec, copies = specify cfg ~registers org in

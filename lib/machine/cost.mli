@@ -32,23 +32,35 @@ val operand_field_bits : registers:int -> int
 
 type organization =
   | Unified  (** one file, every port *)
-  | Consistent_dual
-      (** two identical copies: per-copy read ports halve, every result
-          is written to both copies *)
-  | Non_consistent_dual
-      (** two subfiles, same port structure as the consistent dual;
-          capacity counts per subfile but values are not all duplicated *)
+  | Consistent of int
+      (** [k] identical copies: per-copy read ports serve one cluster,
+          every result is written to every copy *)
+  | Non_consistent of int
+      (** [k] subfiles, same port structure as the consistent file of
+          the same arity; capacity counts per subfile but values are
+          replicated only where consumed *)
   | Doubled_unified  (** a unified file with twice the registers *)
 
+(** The paper's two-subfile organizations: [Consistent 2] and
+    [Non_consistent 2]. *)
+val consistent_dual : organization
+
+val non_consistent_dual : organization
+
+(** ["consistent-dual"]/["non-consistent-dual"] at arity 2 (the paper's
+    names), ["consistent-k"]/["non-consistent-k"] otherwise. *)
 val organization_name : organization -> string
 
 (** Per-subfile specification of an organization on a machine:
     [registers] is the per-(sub)file capacity; FP read ports = 2 per
     adder + 2 per multiplier + 1 per load/store unit (store data), FP
-    write ports = 1 per adder/multiplier/load unit.  Dual organizations
-    serve each cluster's reads locally but accept every cluster's
-    writes.  Returns the spec of ONE subfile and how many subfiles the
-    organization instantiates. *)
+    write ports = 1 per adder/multiplier/load unit.  Clustered
+    organizations serve each cluster's reads locally but accept every
+    cluster's writes: when the organization's arity matches the
+    machine's cluster count each copy carries the widest cluster's read
+    demand, otherwise the machine's read demand is split evenly across
+    the [k] copies.  Returns the spec of ONE subfile and how many
+    subfiles the organization instantiates. *)
 val specify : Config.t -> registers:int -> organization -> file_spec * int
 
 (** Total silicon area of the organization (all subfiles). *)

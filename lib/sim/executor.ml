@@ -3,6 +3,8 @@ open Ncdrf_machine
 open Ncdrf_regalloc
 open Ncdrf_sched
 open Ncdrf_core
+module Telemetry = Ncdrf_telemetry.Telemetry
+module Error = Ncdrf_error.Error
 
 exception Corrupted of string
 
@@ -11,6 +13,7 @@ type outcome = {
   cycles : int;
   register_reads : int;
   capacity : int;
+  port_stalls : int;
 }
 
 let corrupt fmt = Printf.ksprintf (fun s -> raise (Corrupted s)) fmt
@@ -35,6 +38,10 @@ type machine = {
   capacity : int;
   placements : placement_info option array;  (* per node; None for stores *)
   read_file_of_cluster : int -> int;  (* consumer cluster -> file index *)
+  read_caps : int option array;  (* per file, reads per cycle; None = open *)
+  write_caps : int option array;  (* per file, writes per cycle *)
+  reads_now : int array;  (* per file, current-cycle read demand *)
+  writes_now : int array;  (* per file, current-cycle write demand *)
 }
 
 let physical machine ~register ~iteration =
@@ -47,6 +54,7 @@ let write_value machine v ~iteration value =
     let idx = physical machine ~register:p.register ~iteration in
     List.iter
       (fun f ->
+        machine.writes_now.(f) <- machine.writes_now.(f) + 1;
         machine.files.(f).values.(idx) <- value;
         machine.files.(f).tags.(idx) <- Some (v, iteration))
       p.subfiles
@@ -55,7 +63,9 @@ let read_value machine ~consumer_cluster v ~iteration =
   match machine.placements.(v) with
   | None -> corrupt "read of a value-less node %d" v
   | Some p ->
-    let file = machine.files.(machine.read_file_of_cluster consumer_cluster) in
+    let fi = machine.read_file_of_cluster consumer_cluster in
+    machine.reads_now.(fi) <- machine.reads_now.(fi) + 1;
+    let file = machine.files.(fi) in
     let idx = physical machine ~register:p.register ~iteration in
     (match file.tags.(idx) with
      | Some (v', k') when v' = v && k' = iteration -> file.values.(idx)
@@ -64,9 +74,22 @@ let read_value machine ~consumer_cluster v ~iteration =
          v iteration v' k'
      | None -> corrupt "register read before write: node %d iter %d" v iteration)
 
-(* Build a machine for a unified rotating file. *)
+let port_arrays cfg ~n_files ~per_cluster =
+  let read_caps = Array.make n_files None in
+  let write_caps = Array.make n_files None in
+  (if per_cluster then
+     Array.iteri
+       (fun i (c : Config.cluster) ->
+         read_caps.(i) <- c.Config.read_ports;
+         write_caps.(i) <- c.Config.write_ports)
+       cfg.Config.clusters);
+  (read_caps, write_caps)
+
+(* Build a machine for a unified rotating file.  Per-subfile port caps
+   only apply when the whole machine is the one cluster. *)
 let unified_machine sched =
   let ddg = sched.Schedule.ddg in
+  let cfg = sched.Schedule.config in
   let ii = Schedule.ii sched in
   let lifetimes = Lifetime.of_schedule sched in
   let capacity = Alloc.min_capacity ~ii lifetimes in
@@ -79,26 +102,38 @@ let unified_machine sched =
            Some { register = p.Alloc.register; subfiles = [ 0 ] })
        placed
    | None -> if lifetimes <> [] then corrupt "unified allocation failed");
+  let read_caps, write_caps =
+    port_arrays cfg ~n_files:1 ~per_cluster:(Config.num_clusters cfg = 1)
+  in
   {
     files = [| make_file capacity |];
     capacity;
     placements;
     read_file_of_cluster = (fun _ -> 0);
+    read_caps;
+    write_caps;
+    reads_now = Array.make 1 0;
+    writes_now = Array.make 1 0;
   }
 
-(* Build a machine for the non-consistent dual register file. *)
-let dual_machine sched =
+(* Build a machine for the non-consistent clustered register file: one
+   subfile per cluster, each replicated value written to every subfile
+   of its replica set, locals only to their cluster's. *)
+let clustered_machine sched =
   let ddg = sched.Schedule.ddg in
-  let n_clusters = Config.num_clusters sched.Schedule.config in
-  if n_clusters < 2 then invalid_arg "Executor.run_dual: machine has a single cluster";
+  let cfg = sched.Schedule.config in
+  let n_clusters = Config.num_clusters cfg in
+  if n_clusters < 2 then
+    Error.errorf ~stage:"execute" Error.Invalid_graph
+      "Executor.run_clustered: machine %s has a single cluster (use run_unified)"
+      cfg.Config.name;
   let alloc = Requirements.partitioned_allocation sched in
   let capacity = alloc.Requirements.capacity in
   let placements = Array.make (Ddg.num_nodes ddg) None in
-  let all_files = List.init n_clusters (fun i -> i) in
   List.iter
-    (fun p ->
+    (fun (p, replicas) ->
       placements.(p.Alloc.value.Lifetime.producer) <-
-        Some { register = p.Alloc.register; subfiles = all_files })
+        Some { register = p.Alloc.register; subfiles = replicas })
     alloc.Requirements.globals;
   Array.iteri
     (fun cluster placed ->
@@ -108,11 +143,16 @@ let dual_machine sched =
             Some { register = p.Alloc.register; subfiles = [ cluster ] })
         placed)
     alloc.Requirements.locals;
+  let read_caps, write_caps = port_arrays cfg ~n_files:n_clusters ~per_cluster:true in
   {
     files = Array.init n_clusters (fun _ -> make_file capacity);
     capacity;
     placements;
     read_file_of_cluster = (fun c -> c);
+    read_caps;
+    write_caps;
+    reads_now = Array.make n_clusters 0;
+    writes_now = Array.make n_clusters 0;
   }
 
 (* The spill store feeding loads of a slot, and the store->load
@@ -123,6 +163,13 @@ let spill_source ddg load_id =
   with
   | Some e -> (e.Ddg.src, e.Ddg.distance)
   | None -> corrupt "spill load %d has no memory source" load_id
+
+(* Extra cycles a subfile's port budget demands for [count] same-cycle
+   accesses: a file with cap [c] serves [c] per cycle, so [count]
+   accesses take [ceil(count / c)] cycles — [ceil - 1] stalls. *)
+let stall_cycles ~count = function
+  | Some cap when count > cap -> ((count + cap - 1) / cap) - 1
+  | Some _ | None -> 0
 
 let run_on machine sched ~iterations =
   let ddg = sched.Schedule.ddg in
@@ -199,20 +246,42 @@ let run_on machine sched ~iterations =
       write_value machine v ~iteration:k x
     | None -> corrupt "completion of an operation that never issued: node %d iter %d" v k
   in
+  let n_files = Array.length machine.files in
+  let port_stalls = ref 0 in
+  let read_stalls = ref 0 in
+  let write_stalls = ref 0 in
   for t = 0 to !last_cycle do
+    Array.fill machine.reads_now 0 n_files 0;
+    Array.fill machine.writes_now 0 n_files 0;
     (* Results land before same-cycle issues read them. *)
     List.iter finish (Option.value ~default:[] (Hashtbl.find_opt finishes t));
-    List.iter issue (Option.value ~default:[] (Hashtbl.find_opt issues t))
+    List.iter issue (Option.value ~default:[] (Hashtbl.find_opt issues t));
+    (* A subfile whose per-cycle read or write demand exceeds its port
+       budget stalls the whole machine until the backlog drains —
+       the same lockstep treatment the scheduler gives the machine-wide
+       load/store ports, applied at execution time. *)
+    let rs = ref 0 and ws = ref 0 in
+    for f = 0 to n_files - 1 do
+      rs := max !rs (stall_cycles ~count:machine.reads_now.(f) machine.read_caps.(f));
+      ws := max !ws (stall_cycles ~count:machine.writes_now.(f) machine.write_caps.(f))
+    done;
+    read_stalls := !read_stalls + !rs;
+    write_stalls := !write_stalls + !ws;
+    port_stalls := !port_stalls + max !rs !ws
   done;
+  if !read_stalls > 0 then Telemetry.incr ~by:!read_stalls "ports.read_stalls";
+  if !write_stalls > 0 then Telemetry.incr ~by:!write_stalls "ports.write_stalls";
   ignore n;
   {
     stores = List.sort compare !stores;
-    cycles = !last_cycle + 1;
+    cycles = !last_cycle + 1 + !port_stalls;
     register_reads = !reads;
     capacity = machine.capacity;
+    port_stalls = !port_stalls;
   }
 
 let run_unified ~iterations sched =
   run_on (unified_machine sched) sched ~iterations
 
-let run_dual ~iterations sched = run_on (dual_machine sched) sched ~iterations
+let run_clustered ~iterations sched = run_on (clustered_machine sched) sched ~iterations
+let run_dual = run_clustered

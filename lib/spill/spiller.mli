@@ -64,18 +64,23 @@ type victim =
     cheaper arrangement, so outcomes may diverge from the reference.
 
     [ii_floor] starts each round's II search at the previously achieved
-    II instead of rediscovering it: spill code only adds resource usage
-    and dependences, so the minimal II never decreases across spill
-    rounds.  On by default — it changes which [min_ii] the schedule
-    callback sees, not the schedules produced. *)
+    II instead of rediscovering it.  On by default.  Spill code only
+    adds resource usage and dependences, so the {e bounds} never
+    decrease — but the achieved II is a heuristic result, and spill
+    stores/loads can restructure a critical chain so that a {e lower}
+    II becomes feasible on the rewritten graph.  When that happens the
+    floored loop keeps the higher II for the round and may pick
+    different victims downstream: same final quality in practice, but
+    not byte-identical to the reference
+    ([{ batch = 1; incremental = false; ii_floor = false }] is the
+    reference-identical configuration). *)
 type policy = {
   batch : int;
   incremental : bool;
   ii_floor : bool;
 }
 
-(** [{ batch = 1; incremental = false; ii_floor = true }] — the
-    reference-identical configuration. *)
+(** [{ batch = 1; incremental = false; ii_floor = true }]. *)
 val default_policy : policy
 
 (** Next free spill slot of a graph: one past the highest slot named by

@@ -5,6 +5,7 @@ type record = {
   fp : string;
   models : string;
   capacity : int option;
+  clusters : int option;
   mii : int option;
   ii : int option;
   rounds : int option;
@@ -83,6 +84,7 @@ let to_json r =
       ("fp", Json.String r.fp);
       ("models", Json.String r.models);
       ("capacity", opt_int r.capacity);
+      ("clusters", opt_int r.clusters);
       ("mii", opt_int r.mii);
       ("ii", opt_int r.ii);
       ("rounds", opt_int r.rounds);
@@ -128,6 +130,7 @@ let of_json json =
     let* fp = str "fp" in
     let* models = str "models" in
     let* capacity = int_opt "capacity" in
+    let* clusters = int_opt "clusters" in
     let* mii = int_opt "mii" in
     let* ii = int_opt "ii" in
     let* rounds = int_opt "rounds" in
@@ -177,6 +180,7 @@ let of_json json =
         fp;
         models;
         capacity;
+        clusters;
         mii;
         ii;
         rounds;

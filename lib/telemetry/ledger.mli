@@ -12,6 +12,7 @@ type record = {
   fp : string;  (** short hex digest of the config fingerprint *)
   models : string;  (** models measured, "+"-joined *)
   capacity : int option;  (** register capacity; [None] = unconstrained *)
+  clusters : int option;  (** machine cluster count *)
   mii : int option;
   ii : int option;
   rounds : int option;  (** spill rounds *)

@@ -16,6 +16,7 @@ type point = {
   fp : string;
   mutable ii : int;
   mutable mii : int;
+  mutable clusters : int;
   mutable rounds : int;
   mutable spilled : int;
   mutable requirement : int;
@@ -129,6 +130,7 @@ let with_context ~loop ~config ~fp f =
           fp;
           ii = -1;
           mii = -1;
+          clusters = -1;
           rounds = -1;
           spilled = -1;
           requirement = -1;
@@ -153,11 +155,12 @@ let with_point f =
 
 let set_ii ii = with_point (fun p -> p.ii <- ii)
 
-let set_result ?mii ?ii ?rounds ?spilled ?requirement ?maxlive ?spill_full
+let set_result ?mii ?ii ?clusters ?rounds ?spilled ?requirement ?maxlive ?spill_full
     ?spill_incremental () =
   with_point (fun p ->
       Option.iter (fun v -> p.mii <- v) mii;
       Option.iter (fun v -> p.ii <- v) ii;
+      Option.iter (fun v -> p.clusters <- v) clusters;
       Option.iter (fun v -> p.rounds <- v) rounds;
       Option.iter (fun v -> p.spilled <- v) spilled;
       Option.iter (fun v -> p.requirement <- v) requirement;

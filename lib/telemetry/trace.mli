@@ -50,6 +50,7 @@ type point = {
   fp : string;  (** short hex digest of the config fingerprint *)
   mutable ii : int;  (** chosen II; -1 = unknown *)
   mutable mii : int;
+  mutable clusters : int;  (** machine cluster count; -1 = unknown *)
   mutable rounds : int;  (** spill rounds; -1 = no spill pass *)
   mutable spilled : int;
   mutable requirement : int;
@@ -78,6 +79,7 @@ val set_ii : int -> unit
 val set_result :
   ?mii:int ->
   ?ii:int ->
+  ?clusters:int ->
   ?rounds:int ->
   ?spilled:int ->
   ?requirement:int ->

@@ -112,13 +112,42 @@ if dune exec bin/ncdrf.exe -- suite --size 60 --jobs 1 \
   exit 1
 fi
 
+# k-cluster smoke: a four-cluster suite run must flow end to end and
+# actually build four-subfile machines — the cluster.subfiles counter
+# is bumped by the cluster count per point, so 4x the loop count proves
+# the flag reached the machine model rather than silently defaulting.
+k4_metrics=$(mktemp /tmp/ncdrf-k4.XXXXXX.json)
+trap 'rm -f "$metrics" "$spill_metrics" "$inj_metrics" "$inj_out" "$k4_metrics"' EXIT
+dune exec bin/ncdrf.exe -- suite --size 60 --jobs 1 --clusters 4 \
+  --metrics "$k4_metrics" > /dev/null
+subfiles=$(grep -o '"cluster.subfiles": *[0-9]*' "$k4_metrics" | head -n1 | grep -o '[0-9]*$' || true)
+loops=$(grep -o '"pipeline.loops": *[0-9]*' "$k4_metrics" | head -n1 | grep -o '[0-9]*$' || true)
+if [ -z "${subfiles:-}" ] || [ -z "${loops:-}" ] || [ "$loops" -eq 0 ] \
+    || [ "$subfiles" -ne $((4 * loops)) ]; then
+  echo "check.sh: --clusters 4 not reflected in cluster.subfiles ($subfiles vs 4*$loops)" >&2
+  exit 1
+fi
+
+# Port-budget smoke: a port-capped run must tag every point as capped —
+# zero ports.capped_points would mean the caps were dropped on the way
+# into the config (and the executor would never see them either).
+ports_metrics=$(mktemp /tmp/ncdrf-ports.XXXXXX.json)
+trap 'rm -f "$metrics" "$spill_metrics" "$inj_metrics" "$inj_out" "$k4_metrics" "$ports_metrics"' EXIT
+dune exec bin/ncdrf.exe -- suite --size 60 --jobs 1 --read-ports 4 --write-ports 2 \
+  --metrics "$ports_metrics" > /dev/null
+capped=$(grep -o '"ports.capped_points": *[0-9]*' "$ports_metrics" | head -n1 | grep -o '[0-9]*$' || true)
+if [ -z "${capped:-}" ] || [ "$capped" -eq 0 ]; then
+  echo "check.sh: ports.capped_points missing or zero in $ports_metrics" >&2
+  exit 1
+fi
+
 # Observability smoke: the same quick fig6 with --trace and --ledger must
 # produce a trace with real begin/end events and a ledger whose records
 # carry per-stage durations, and the profile analyzer must read it back.
 trace=$(mktemp /tmp/ncdrf-trace.XXXXXX.json)
 ledger=$(mktemp /tmp/ncdrf-ledger.XXXXXX.jsonl)
 profile_out=$(mktemp /tmp/ncdrf-profile.XXXXXX.txt)
-trap 'rm -f "$metrics" "$spill_metrics" "$inj_metrics" "$inj_out" "$trace" "$ledger" "$profile_out"' EXIT
+trap 'rm -f "$metrics" "$spill_metrics" "$inj_metrics" "$inj_out" "$k4_metrics" "$ports_metrics" "$trace" "$ledger" "$profile_out"' EXIT
 dune exec bench/main.exe -- fig6 --quick --jobs 1 \
   --trace "$trace" --ledger "$ledger" > /dev/null
 events=$(grep -c '"ph": *"[BE]"' "$trace" || true)
@@ -133,4 +162,4 @@ dune exec bin/ncdrf.exe -- profile "$ledger" > "$profile_out"
 grep -q 'slowest points' "$profile_out" || {
   echo "check.sh: ncdrf profile printed no slowest-points section" >&2; exit 1; }
 
-echo "check.sh: OK (cache.misses=$misses, alloc.table_reuse=$reuse, spill.incremental_reschedules=$incs, errors.injected=$injected, trace_events=$events)"
+echo "check.sh: OK (cache.misses=$misses, alloc.table_reuse=$reuse, spill.incremental_reschedules=$incs, errors.injected=$injected, cluster.subfiles=$subfiles, ports.capped_points=$capped, trace_events=$events)"

@@ -133,7 +133,7 @@ let test_fig8_slice_byte_identity () =
         let alloc = Requirements.partitioned_allocation st.Pipeline.schedule in
         Printf.bprintf buf "cap=%d" alloc.Requirements.capacity;
         List.iter
-          (fun p ->
+          (fun (p, _) ->
             Printf.bprintf buf " g%d:%d" p.Alloc.value.Lifetime.producer p.Alloc.register)
           alloc.Requirements.globals;
         Array.iteri

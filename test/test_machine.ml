@@ -38,11 +38,11 @@ let test_config_validation () =
       Config.make ~name:"bad" ~clusters:[||] ~add_latency:3 ~mul_latency:3 ());
   expect_invalid (fun () ->
       Config.make ~name:"bad"
-        ~clusters:[| { Config.adders = 1; multipliers = 1; ls_units = 1 } |]
+        ~clusters:[| { Config.adders = 1; multipliers = 1; ls_units = 1; read_ports = None; write_ports = None } |]
         ~add_latency:0 ~mul_latency:3 ());
   expect_invalid (fun () ->
       Config.make ~name:"bad"
-        ~clusters:[| { Config.adders = -1; multipliers = 1; ls_units = 1 } |]
+        ~clusters:[| { Config.adders = -1; multipliers = 1; ls_units = 1; read_ports = None; write_ports = None } |]
         ~add_latency:3 ~mul_latency:3 ())
 
 let test_reservation_capacity () =
@@ -147,21 +147,21 @@ let test_cost_organizations () =
   check_int "unified writes" 6 unified.Cost.write_ports;
   check_int "unified copies" 1 copies_u;
   (* Dual: each copy serves one cluster's 5 reads, takes all 6 writes. *)
-  let dual, copies_d = Cost.specify cfg ~registers:32 Cost.Non_consistent_dual in
+  let dual, copies_d = Cost.specify cfg ~registers:32 Cost.non_consistent_dual in
   check_int "dual reads" 5 dual.Cost.read_ports;
   check_int "dual writes" 6 dual.Cost.write_ports;
   check_int "dual copies" 2 copies_d;
   (* Paper Section 3.2 / conclusions: the dual organization is cheaper
      than doubling the registers and does not penalize access time. *)
   check_bool "NCDRF cheaper than doubling" true
-    (Cost.total_area cfg ~registers:32 Cost.Non_consistent_dual
+    (Cost.total_area cfg ~registers:32 Cost.non_consistent_dual
      < Cost.total_area cfg ~registers:32 Cost.Doubled_unified);
   check_bool "NCDRF no access-time penalty" true
-    (Cost.organization_access_time cfg ~registers:32 Cost.Non_consistent_dual
+    (Cost.organization_access_time cfg ~registers:32 Cost.non_consistent_dual
      <= Cost.organization_access_time cfg ~registers:32 Cost.Unified);
   check_bool "consistent and non-consistent duals share the structure" true
-    (Cost.specify cfg ~registers:32 Cost.Consistent_dual
-     = Cost.specify cfg ~registers:32 Cost.Non_consistent_dual)
+    (Cost.specify cfg ~registers:32 Cost.consistent_dual
+     = Cost.specify cfg ~registers:32 Cost.non_consistent_dual)
 
 let suite =
   [

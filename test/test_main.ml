@@ -15,4 +15,5 @@ let () =
       ("robustness", Test_robustness.suite);
       ("extensions", Test_extensions.suite);
       ("sim", Test_sim.suite);
+      ("kcluster", Test_kcluster.suite);
     ]

@@ -34,7 +34,7 @@ let test_res_mii_port_caps () =
   check_int "adder binds on P1L3" 7 (Mii.res_mii (Config.pxly ~parallelism:1 ~latency:3) g);
   let wide =
     Config.make ~name:"wide"
-      ~clusters:[| { Config.adders = 8; multipliers = 1; ls_units = 9 } |]
+      ~clusters:[| { Config.adders = 8; multipliers = 1; ls_units = 9; read_ports = None; write_ports = None } |]
       ~add_latency:3 ~mul_latency:3 ~load_ports:2 ~store_ports:1 ()
   in
   check_int "load ports bind" 4 (Mii.res_mii wide g)

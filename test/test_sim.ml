@@ -132,7 +132,12 @@ let test_dual_rejects_single_cluster () =
   try
     ignore (Executor.run_dual ~iterations:4 sched);
     Alcotest.fail "single-cluster dual execution accepted"
-  with Invalid_argument _ -> ()
+  with Ncdrf_error.Error.Error e ->
+    Alcotest.check
+      (Alcotest.testable
+         (fun ppf c -> Fmt.string ppf (Ncdrf_error.Error.category_name c))
+         ( = ))
+      "typed category" Ncdrf_error.Error.Invalid_graph e.Ncdrf_error.Error.category
 
 let test_executor_cycle_count () =
   let sched = Helpers.paper_schedule () in

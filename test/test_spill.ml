@@ -280,12 +280,29 @@ let same_outcome (o : Spiller.outcome) (r : Spiller_reference.outcome) =
   && o.Spiller.rounds = r.Spiller.rounds
   && o.Spiller.error = r.Spiller.error
 
+let same_spiller_outcome (o : Spiller.outcome) (r : Spiller.outcome) =
+  same_schedule o.Spiller.schedule r.Spiller.schedule
+  && same_schedule o.Spiller.raw_schedule r.Spiller.raw_schedule
+  && Ddg.digest o.Spiller.ddg = Ddg.digest r.Spiller.ddg
+  && o.Spiller.requirement = r.Spiller.requirement
+  && o.Spiller.fits = r.Spiller.fits
+  && o.Spiller.spilled = r.Spiller.spilled
+  && o.Spiller.added_memops = r.Spiller.added_memops
+  && o.Spiller.ii_bumps = r.Spiller.ii_bumps
+  && o.Spiller.rounds = r.Spiller.rounds
+  && o.Spiller.error = r.Spiller.error
+
 (* A sound lower bound for [unified_requirement]: MaxLive never exceeds
    the unified minimum capacity. *)
 let unified_lower_bound raw ~lifetimes =
   Ncdrf_regalloc.Lifetime.max_live ~ii:(Schedule.ii raw) (Lazy.force lifetimes)
 
 let victims = [| Spiller.Longest_lifetime; Spiller.Best_ratio; Spiller.Fewest_consumers |]
+
+(* The exact configuration the reference loop implements: no batching,
+   no incremental rescheduling, and no II floor.  The floor is
+   almost-identity but not identity — see the regression test below. *)
+let reference_policy = { Spiller.batch = 1; incremental = false; ii_floor = false }
 
 let spiller_eq_arb =
   QCheck.make
@@ -295,7 +312,7 @@ let spiller_eq_arb =
 
 let prop_spiller_matches_reference =
   QCheck.Test.make ~count:30
-    ~name:"default policy is byte-identical to Spiller_reference" spiller_eq_arb
+    ~name:"reference policy is byte-identical to Spiller_reference" spiller_eq_arb
     (fun (seed, capacity, heavy) ->
       let params =
         if heavy then Ncdrf_workloads.Generator.heavy else Ncdrf_workloads.Generator.default
@@ -303,11 +320,48 @@ let prop_spiller_matches_reference =
       let g = Ncdrf_workloads.Generator.generate params ~seed ~name:"spill-eq" in
       let config = Config.dual ~latency:3 in
       let victim = victims.(seed mod Array.length victims) in
-      let o = Spiller.run ~config ~requirement:unified_requirement ~capacity ~victim g in
+      let o =
+        Spiller.run ~config ~requirement:unified_requirement ~capacity ~victim
+          ~policy:reference_policy g
+      in
       let r =
         Spiller_reference.run ~config ~requirement:unified_requirement ~capacity ~victim g
       in
       same_outcome o r)
+
+(* The II floor (on in [default_policy]) is almost-identity: it only
+   matters when the heuristic scheduler achieves a *lower* II after
+   spill code restructured the graph — then the floored loop keeps the
+   higher II and may spill in a different order.  Generator seed 14923
+   at capacity 15 (heavy, best-ratio) is such a case: the floored and
+   reference loops converge to equally good outcomes (same II,
+   requirement, spill/bump/round counts) whose spill ops are inserted
+   in different orders.  Pin both facts so the divergence stays
+   understood rather than resurfacing as a flaky equivalence. *)
+let test_ii_floor_divergence_case () =
+  let g =
+    Ncdrf_workloads.Generator.generate Ncdrf_workloads.Generator.heavy ~seed:14923
+      ~name:"spill-eq"
+  in
+  let config = Config.dual ~latency:3 in
+  let victim = Spiller.Best_ratio in
+  let o =
+    Spiller.run ~config ~requirement:unified_requirement ~capacity:15 ~victim g
+  in
+  let r =
+    Spiller_reference.run ~config ~requirement:unified_requirement ~capacity:15 ~victim g
+  in
+  Alcotest.(check int) "same II" (Schedule.ii r.Spiller_reference.schedule)
+    (Schedule.ii o.Spiller.schedule);
+  Alcotest.(check int) "same requirement" r.Spiller_reference.requirement
+    o.Spiller.requirement;
+  Alcotest.(check bool) "same fits" r.Spiller_reference.fits o.Spiller.fits;
+  Alcotest.(check int) "same spilled" r.Spiller_reference.spilled o.Spiller.spilled;
+  Alcotest.(check int) "same II bumps" r.Spiller_reference.ii_bumps o.Spiller.ii_bumps;
+  Alcotest.(check int) "same rounds" r.Spiller_reference.rounds o.Spiller.rounds;
+  Alcotest.(check bool) "spill order differs (the floor engaged)" false
+    (o.Spiller.schedule.Schedule.placements
+    = r.Spiller_reference.schedule.Schedule.placements)
 
 let prop_lower_bound_preserves_outcomes =
   QCheck.Test.make ~count:30
@@ -322,8 +376,8 @@ let prop_lower_bound_preserves_outcomes =
         Spiller.run ~config ~requirement:unified_requirement ~capacity
           ~lower_bound:unified_lower_bound g
       in
-      let r = Spiller_reference.run ~config ~requirement:unified_requirement ~capacity g in
-      same_outcome o r)
+      let r = Spiller.run ~config ~requirement:unified_requirement ~capacity g in
+      same_spiller_outcome o r)
 
 (* The same equivalence on real (scheduled) kernels, at a spilling and a
    non-spilling capacity each. *)
@@ -440,7 +494,7 @@ let test_density_zero_bandwidth_is_infinite () =
      which is exactly why density must not report its traffic as free. *)
   let config =
     Config.make ~name:"no-bw"
-      ~clusters:[| { Config.adders = 1; multipliers = 1; ls_units = 1 } |]
+      ~clusters:[| { Config.adders = 1; multipliers = 1; ls_units = 1; read_ports = None; write_ports = None } |]
       ~add_latency:3 ~mul_latency:3 ~load_ports:0 ~store_ports:0 ()
   in
   let placements =
@@ -587,4 +641,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_fission_structural;
     QCheck_alcotest.to_alcotest prop_spiller_matches_reference;
     QCheck_alcotest.to_alcotest prop_lower_bound_preserves_outcomes;
+    Alcotest.test_case "II floor divergence case stays equally good" `Quick
+      test_ii_floor_divergence_case;
   ]

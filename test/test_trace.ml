@@ -304,6 +304,7 @@ let sample_record : Ledger.record =
     fp = "abc123def456";
     models = "unified+swapped";
     capacity = Some 32;
+    clusters = Some 2;
     mii = Some 4;
     ii = Some 5;
     rounds = Some 2;
