@@ -32,7 +32,10 @@
    error category — identity-sorted so --jobs N matches --jobs 1;
    inspect it with `ncdrf profile FILE`.
    --size N / --seed N pick the suite; the suite cache is keyed on
-   (size, seed) so mixed-size runs never see stale entries. *)
+   (size, seed) so mixed-size runs never see stale entries.
+   --timeout SECS gives every (loop, model) point a wall budget on the
+   monotonic clock; over-budget points fail with the typed
+   deadline_exceeded category and land in the failure manifest. *)
 
 open Ncdrf_ir
 open Ncdrf_machine
@@ -77,6 +80,11 @@ let the_pool : Pool.t option ref = ref None
 let current_jobs () = match !the_pool with Some p -> Pool.jobs p | None -> 1
 let pool () = !the_pool
 
+(* Per-point wall budget (--timeout); an over-budget point fails with
+   the typed deadline_exceeded category and is recorded like any other
+   failure. *)
+let point_timeout : float option ref = ref None
+
 (* Machine under test for every dual-machine experiment
    (--clusters / --read-ports / --write-ports).  The defaults build
    exactly [Config.dual], so committed figures are byte-identical
@@ -94,6 +102,9 @@ let machine ~latency =
    are classified, recorded in [the_failures] (in input order, so the
    manifest is deterministic) and dropped. *)
 let pool_map f loops =
+  let f l =
+    Ncdrf_error.Deadline.with_timeout ?timeout_s:!point_timeout (fun () -> f l)
+  in
   let outcomes =
     match !the_pool with
     | None ->
@@ -221,7 +232,7 @@ let run_table1 () =
   List.iter
     (fun cfg ->
       let ms =
-        Suite_stats.measure ?pool:(pool ()) ~failures:!the_failures ~config:cfg
+        Suite_stats.measure ?pool:(pool ()) ?timeout_s:!point_timeout ~failures:!the_failures ~config:cfg
           ~model:Model.Unified loops
       in
       let cell r =
@@ -235,7 +246,7 @@ let run_table1 () =
      :: List.concat_map
           (fun cfg ->
             let ms =
-              Suite_stats.measure ?pool:(pool ()) ~failures:!the_failures ~config:cfg
+              Suite_stats.measure ?pool:(pool ()) ?timeout_s:!point_timeout ~failures:!the_failures ~config:cfg
                 ~model:Model.Unified loops
             in
             List.map
@@ -268,7 +279,7 @@ let run_distribution ~dynamic () =
       (* One scheduling pass per loop; the three models read the same
          artifact (one Modulo.schedule per (config, loop)). *)
       let by_model =
-        Suite_stats.measure_all ?pool:(pool ()) ~failures:!the_failures ~config
+        Suite_stats.measure_all ?pool:(pool ()) ?timeout_s:!point_timeout ~failures:!the_failures ~config
           ~models:[ Model.Unified; Model.Partitioned; Model.Swapped ]
           loops
       in
@@ -306,7 +317,7 @@ let performance_grid () =
             List.map
               (fun model ->
                 let p =
-                  Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures
+                  Suite_stats.performance ?pool:(pool ()) ?timeout_s:!point_timeout ~failures:!the_failures
                     ~spill:(spill ()) ~config ~model ~capacity loops
                 in
                 (model, p))
@@ -541,11 +552,11 @@ let run_doubling () =
         (fun r ->
           let config = machine ~latency in
           let dual =
-            Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures
+            Suite_stats.performance ?pool:(pool ()) ?timeout_s:!point_timeout ~failures:!the_failures
               ~spill:(spill ()) ~config ~model:Model.Swapped ~capacity:r loops
           in
           let doubled =
-            Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures
+            Suite_stats.performance ?pool:(pool ()) ?timeout_s:!point_timeout ~failures:!the_failures
               ~spill:(spill ()) ~config ~model:Model.Unified ~capacity:(2 * r) loops
           in
           Printf.printf "L=%d,R=%-4d %22.3f %22.3f%s\n%!" latency r
@@ -782,12 +793,12 @@ let run_cluster_sweep () =
         | Some (r, w) -> Config.k_cluster ~read_ports:r ~write_ports:w ~k ~latency ()
       in
       let ms =
-        Suite_stats.measure ?pool:(pool ()) ~failures:!the_failures ~config
+        Suite_stats.measure ?pool:(pool ()) ?timeout_s:!point_timeout ~failures:!the_failures ~config
           ~model:Model.Swapped loops
       in
       let static, dynamic = Suite_stats.allocatable ms ~r:capacity in
       let perf =
-        Suite_stats.performance ?pool:(pool ()) ~failures:!the_failures ~spill:(spill ())
+        Suite_stats.performance ?pool:(pool ()) ?timeout_s:!point_timeout ~failures:!the_failures ~spill:(spill ())
           ~config ~model:Model.Swapped ~capacity loops
       in
       let ops = ref 0 and cycles = ref 0 and stalls = ref 0 in
@@ -1108,7 +1119,7 @@ let usage () =
     \       [--clusters K] [--read-ports N] [--write-ports N]\n\
     \       [--csv DIR] [--metrics FILE] [--trace FILE] [--ledger FILE] [--no-cache]\n\
     \       [--spill-batch K] [--spill-incremental]\n\
-    \       [--fail-fast] [--max-failures N] [--failures FILE]\n\
+    \       [--fail-fast] [--max-failures N] [--failures FILE] [--timeout SECS]\n\
     \       [--inject stage=NAME[,loop=REGEX][,every=N]]\n";
   exit 2
 
@@ -1119,6 +1130,13 @@ let () =
     | Some n -> n
     | None ->
       Printf.eprintf "%s: not an integer: %S\n" flag v;
+      usage ()
+  in
+  let float_arg flag v =
+    match float_of_string_opt v with
+    | Some f -> f
+    | None ->
+      Printf.eprintf "%s: not a number: %S\n" flag v;
       usage ()
   in
   let fail_fast = ref false in
@@ -1182,9 +1200,12 @@ let () =
     | "--write-ports" :: n :: rest ->
       rf_write_ports := Some (max 1 (int_arg "--write-ports" n));
       parse rest
+    | "--timeout" :: s :: rest ->
+      point_timeout := Some (Float.max 0.0 (float_arg "--timeout" s));
+      parse rest
     | ("--csv" | "--jobs" | "--metrics" | "--trace" | "--ledger" | "--seed" | "--size"
       | "--max-failures" | "--failures" | "--inject" | "--spill-batch" | "--clusters"
-      | "--read-ports" | "--write-ports")
+      | "--read-ports" | "--write-ports" | "--timeout")
       :: [] ->
       usage ()
     | a :: rest -> a :: parse rest

@@ -9,6 +9,8 @@
      profile   analyze a --ledger run: slowest loops, cache hits,
                duration histograms
      example   walk the paper's worked example
+     serve     run the compile daemon on a Unix-domain socket
+     client    talk to a running daemon (schedule, suite, health)
 
    See `ncdrf <cmd> --help` for options. *)
 
@@ -26,25 +28,18 @@ let model_conv =
   let parse s = Model.of_string s |> Result.map_error (fun e -> `Msg e) in
   Arg.conv (parse, fun ppf m -> Format.pp_print_string ppf (Model.to_string m))
 
+let spec_of ?read_ports ?write_ports ~clusters ~latency () =
+  {
+    Config.spec_latency = latency;
+    spec_clusters = clusters;
+    spec_read_ports = read_ports;
+    spec_write_ports = write_ports;
+  }
+
 let config_of ?read_ports ?write_ports ~clusters ~latency () =
-  match clusters with
-  | n when n < 1 ->
-    invalid_arg (Printf.sprintf "unsupported cluster count %d (must be >= 1)" n)
-  | 1 ->
-    (match read_ports, write_ports with
-     | None, None -> Config.dual_unified ~latency
-     | _ ->
-       (* The unified machine's resources with register-file port caps. *)
-       Config.make
-         ~name:(Printf.sprintf "unified-L%d" latency)
-         ~clusters:
-           [|
-             Config.symmetric_cluster ?read_ports ?write_ports ~adders:2
-               ~multipliers:2 ~ls_units:2 ();
-           |]
-         ~add_latency:latency ~mul_latency:latency ())
-  | 2 when read_ports = None && write_ports = None -> Config.dual ~latency
-  | k -> Config.k_cluster ?read_ports ?write_ports ~k ~latency ()
+  match Config.of_spec (spec_of ?read_ports ?write_ports ~clusters ~latency ()) with
+  | Ok config -> config
+  | Stdlib.Error msg -> invalid_arg msg
 
 let latency_arg =
   let doc = "Latency of the floating-point adders and multipliers (3 or 6 in the paper)." in
@@ -101,6 +96,9 @@ let load_loops file name_filter =
 module Error = Ncdrf_error.Error
 module Failures = Ncdrf_error.Failures
 module Fault = Ncdrf_fault.Fault
+module Protocol = Ncdrf_server.Protocol
+module Server = Ncdrf_server.Server
+module Client = Ncdrf_server.Client
 
 (* Uniform failure reporting for every subcommand: legacy front-end
    exceptions, classified pipeline errors, and policy aborts all exit 1
@@ -126,19 +124,6 @@ let handle_errors f =
 (* ------------------------------------------------------------------ *)
 (* schedule                                                            *)
 (* ------------------------------------------------------------------ *)
-
-let print_stats (stats : Pipeline.stats) =
-  Format.printf "  model %-12s II %d (MII %d), %d stages@." (Model.to_string stats.Pipeline.model)
-    stats.Pipeline.ii stats.Pipeline.mii stats.Pipeline.stages;
-  Format.printf "  registers required: %d%s@." stats.Pipeline.requirement
-    (match stats.Pipeline.capacity with
-     | Some c -> Printf.sprintf " (capacity %d, %s)" c (if stats.Pipeline.fits then "fits" else "DOES NOT FIT")
-     | None -> "");
-  if stats.Pipeline.spilled > 0 then
-    Format.printf "  spilled %d value(s), +%d memory ops@." stats.Pipeline.spilled
-      stats.Pipeline.added_memops;
-  Format.printf "  memory ops/iteration %d, traffic density %.3f@."
-    stats.Pipeline.memops_per_iter stats.Pipeline.density
 
 let spill_batch_arg =
   let doc =
@@ -166,13 +151,17 @@ let schedule_cmd =
     if loops = [] then (Printf.eprintf "no matching loops\n"; exit 1);
     let config = config_of ?read_ports ?write_ports ~clusters ~latency () in
     let spill = spill_policy ~batch:spill_batch ~incremental:spill_incremental in
-    Format.printf "machine: %a@." Config.pp config;
+    (* Printed through the protocol renderers, so `ncdrf client schedule`
+       against a daemon produces these exact bytes. *)
+    print_string (Protocol.render_machine_line (Format.asprintf "%a" Config.pp config));
     List.iter
       (fun ddg ->
-        Format.printf "@.== %a@." Ddg.pp_stats ddg;
         let stats = Pipeline.run ~config ~model ?capacity ~spill ddg in
-        print_stats stats;
-        if show_kernel then print_string (Kernel.render stats.Pipeline.schedule))
+        let header = Format.asprintf "%a" Ddg.pp_stats ddg in
+        let kernel =
+          if show_kernel then Some (Kernel.render stats.Pipeline.schedule) else None
+        in
+        print_string (Protocol.render_point (Protocol.point_of_stats ~header ?kernel stats)))
       loops;
     0
   in
@@ -205,27 +194,12 @@ let dot_cmd =
 (* suite                                                               *)
 (* ------------------------------------------------------------------ *)
 
-(* Shared by suite: print the per-category failure summary — only when
-   something failed, so a clean run's output is byte-identical to the
-   pre-taxonomy driver's. *)
-let print_failure_summary failures =
-  let n = Failures.count failures in
-  if n > 0 then begin
-    Format.printf "@.%d point(s) failed (excluded from the table above):@." n;
-    List.iter
-      (fun (category, count) -> Format.printf "  errors.%-20s %d@." category count)
-      (Failures.by_category failures);
-    List.iter
-      (fun (e : Error.t) -> Format.printf "  - %s@." (Error.to_string e))
-      (Failures.list failures)
-  end
-
 let write_failures_csv path failures =
   Ncdrf_report.Csv.write path (Failures.to_csv_rows failures);
   Format.printf "[failures: %s]@." path
 
 let suite_cmd =
-  let run latency clusters read_ports write_ports size registers jobs metrics
+  let run latency clusters read_ports write_ports size registers jobs timeout metrics
       fail_fast max_failures inject failures_csv no_cache trace ledger =
     let module Pool = Ncdrf_parallel.Pool in
     let module Telemetry = Ncdrf_telemetry.Telemetry in
@@ -258,21 +232,22 @@ let suite_cmd =
     let t0 = Telemetry.now () in
     Pool.with_pool ~jobs (fun pool ->
         let n_jobs = Pool.jobs pool in
-        Format.printf "suite of %d loops on %a (%d job%s)@.@." size Config.pp config
-          n_jobs
-          (if n_jobs = 1 then "" else "s");
-        Format.printf "%-12s | %22s@." "model"
-          (Printf.sprintf "allocatable in %d regs" registers);
+        (* Printed through the protocol renderers, so `ncdrf client
+           suite` against a daemon produces these exact bytes. *)
+        print_string
+          (Protocol.render_suite_header ~size
+             ~machine:(Format.asprintf "%a" Config.pp config)
+             ~jobs:n_jobs);
+        print_string (Protocol.render_suite_table_head ~registers);
         (* One scheduling pass per loop, shared by the three models. *)
         List.iter
           (fun (model, ms) ->
             let s, d = Suite_stats.allocatable ms ~r:registers in
-            Format.printf "%-12s | %5.1f%% loops %5.1f%% cycles@." (Model.to_string model)
-              s d)
-          (Suite_stats.measure_all ~pool ~failures ~config
+            print_string (Protocol.render_suite_row (model, s, d)))
+          (Suite_stats.measure_all ~pool ~failures ?timeout_s:timeout ~config
              ~models:[ Model.Unified; Model.Partitioned; Model.Swapped ]
              loops));
-    print_failure_summary failures;
+    print_string (Protocol.render_failure_summary (Failures.list failures));
     (match metrics with
      | None -> ()
      | Some path ->
@@ -328,6 +303,14 @@ let suite_cmd =
     Arg.(value & opt int (Ncdrf_parallel.Pool.default_jobs ())
          & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
+  let timeout_arg =
+    let doc =
+      "Per-point wall budget in seconds (monotonic clock): a (loop, model) point \
+       over budget fails with the typed deadline_exceeded category and is recorded \
+       in the failure manifest like any other failure."
+    in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
+  in
   let metrics_arg =
     let doc = "Write a JSON telemetry report (timers, counters, stage spans) to $(docv)." in
     Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
@@ -379,7 +362,7 @@ let suite_cmd =
   Cmd.v (Cmd.info "suite" ~doc)
     Term.(
       const run $ latency_arg $ clusters_arg $ read_ports_arg $ write_ports_arg
-      $ size_arg $ registers_arg $ jobs_arg $ metrics_arg $ fail_fast_arg
+      $ size_arg $ registers_arg $ jobs_arg $ timeout_arg $ metrics_arg $ fail_fast_arg
       $ max_failures_arg $ inject_arg $ failures_arg $ no_cache_arg $ trace_arg
       $ ledger_arg)
 
@@ -636,6 +619,279 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ ledger_file_arg $ top_arg $ stage_arg)
 
 (* ------------------------------------------------------------------ *)
+(* serve                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let socket_arg =
+  let doc = "Unix-domain socket path of the daemon." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let run verbose socket jobs queue timeout drain_grace metrics trace ledger inject =
+    setup_logs verbose;
+    (match inject with
+     | None -> ()
+     | Some spec ->
+       (match Fault.arm spec with
+        | Ok () -> ()
+        | Stdlib.Error msg ->
+          Printf.eprintf "bad --inject spec: %s\n" msg;
+          exit 2));
+    handle_errors @@ fun () ->
+    Fun.protect ~finally:Fault.disarm @@ fun () ->
+    Server.run
+      {
+        Server.socket_path = socket;
+        jobs;
+        queue_bound = queue;
+        default_timeout_s = timeout;
+        drain_grace_s = drain_grace;
+        metrics;
+        trace;
+        ledger;
+      }
+  in
+  let jobs_arg =
+    let doc = "Worker domains of the shared compile pool." in
+    Arg.(value & opt int (Ncdrf_parallel.Pool.default_jobs ())
+         & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+  in
+  let queue_arg =
+    let doc =
+      "Admission queue bound: requests beyond the executing one wait in at most \
+       $(docv) slots; further requests are shed with a typed overloaded response."
+    in
+    Arg.(value & opt int 8 & info [ "queue" ] ~docv:"N" ~doc)
+  in
+  let timeout_arg =
+    let doc = "Default per-request deadline in seconds (requests may carry their own)." in
+    Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
+  in
+  let drain_grace_arg =
+    let doc =
+      "On SIGTERM/SIGINT, let in-flight requests finish for $(docv) seconds before \
+       cancelling them."
+    in
+    Arg.(value & opt float 5.0 & info [ "drain-grace" ] ~docv:"SECS" ~doc)
+  in
+  let metrics_arg =
+    let doc = "Publish final serving metrics JSON to $(docv) on drain (atomic temp+rename)." in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"FILE" ~doc)
+  in
+  let trace_arg =
+    let doc = "Publish a Chrome trace of the serving session to $(docv) on drain." in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+  in
+  let ledger_arg =
+    let doc =
+      "Publish the run ledger to $(docv) on drain: one record per request plus one \
+       per compiled point."
+    in
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"FILE" ~doc)
+  in
+  let inject_arg =
+    let doc =
+      "Arm a deterministic fault, as in $(b,ncdrf suite): matching points raise a \
+       classified 'injected' failure, which the daemon must contain."
+    in
+    Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"SPEC" ~doc)
+  in
+  let doc = "Serve scheduling requests over a Unix-domain socket (JSONL protocol)." in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ verbose_arg $ socket_arg $ jobs_arg $ queue_arg $ timeout_arg
+      $ drain_grace_arg $ metrics_arg $ trace_arg $ ledger_arg $ inject_arg)
+
+(* ------------------------------------------------------------------ *)
+(* client                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let connect_timeout_arg =
+  let doc = "Seconds to keep polling for the daemon's socket before giving up." in
+  Arg.(value & opt float 5.0 & info [ "connect-timeout" ] ~docv:"SECS" ~doc)
+
+let retries_arg =
+  let doc =
+    "Retry an overloaded answer up to $(docv) times, honoring the daemon's \
+     retry-after hint with exponential backoff and jitter."
+  in
+  Arg.(value & opt int 5 & info [ "retries" ] ~docv:"N" ~doc)
+
+let request_timeout_arg =
+  let doc = "Per-request deadline in seconds, enforced by the daemon." in
+  Arg.(value & opt (some float) None & info [ "timeout" ] ~docv:"SECS" ~doc)
+
+let req_counter = ref 0
+
+let fresh_request_id () =
+  incr req_counter;
+  Printf.sprintf "cli-%d-%d" (Unix.getpid ()) !req_counter
+
+(* Issue one request and hand the successful body to [on_body]'s exit
+   code; every failure mode gets the uniform one-line diagnosis (exit 1)
+   except shedding that outlasted the retry budget, which exits 3 so
+   scripts can tell "daemon busy" from "request bad". *)
+let with_client ~socket ~connect_timeout ~retries ~kind ~timeout_s ~on_body () =
+  handle_errors @@ fun () ->
+  let client = Client.connect ~connect_timeout_s:connect_timeout socket in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  let req = { Protocol.id = fresh_request_id (); timeout_s; kind } in
+  match Client.request ~retries client req with
+  | Stdlib.Error e ->
+    Printf.eprintf "error: %s\n" (Error.to_string e);
+    1
+  | Ok resp -> (
+    match resp.Protocol.body with
+    | Protocol.Failed e ->
+      Printf.eprintf "error: %s\n" (Error.to_string e);
+      1
+    | Protocol.Overloaded { queue_depth; _ } ->
+      Printf.eprintf "overloaded: daemon queue full (depth %d), retries exhausted\n"
+        queue_depth;
+      3
+    | body -> on_body body)
+
+let print_health (h : Protocol.health) =
+  Printf.printf "status: %s\n" h.Protocol.status;
+  Printf.printf "uptime: %.1f s\n" h.Protocol.uptime_s;
+  Printf.printf "requests: %d served, %d shed, %d active, %d queued (queue bound %d, max inflight %d)\n"
+    h.Protocol.served h.Protocol.shed h.Protocol.active h.Protocol.queued
+    h.Protocol.queue_bound h.Protocol.max_inflight;
+  Printf.printf "pool: %d job(s)\n" h.Protocol.pool_jobs;
+  let lookups = h.Protocol.cache_hits + h.Protocol.cache_misses in
+  Printf.printf "cache: %d hit(s) / %d miss(es)%s, %d entr%s\n" h.Protocol.cache_hits
+    h.Protocol.cache_misses
+    (if lookups = 0 then ""
+     else
+       Printf.sprintf " (%.1f%% hit rate)"
+         (100.0 *. float_of_int h.Protocol.cache_hits /. float_of_int lookups))
+    h.Protocol.cache_entries
+    (if h.Protocol.cache_entries = 1 then "y" else "ies");
+  if h.Protocol.error_counts <> [] then begin
+    Printf.printf "errors:\n";
+    List.iter
+      (fun (category, count) -> Printf.printf "  errors.%-20s %d\n" category count)
+      h.Protocol.error_counts
+  end
+
+let client_health_cmd ~name ~kind =
+  let run socket connect_timeout =
+    with_client ~socket ~connect_timeout ~retries:0 ~kind ~timeout_s:None
+      ~on_body:(function
+        | Protocol.Health_report h ->
+          print_health h;
+          0
+        | _ ->
+          Printf.eprintf "error: unexpected response kind\n";
+          1)
+      ()
+  in
+  let doc = "Query the daemon's health/stats snapshot (bypasses admission)." in
+  Cmd.v (Cmd.info name ~doc) Term.(const run $ socket_arg $ connect_timeout_arg)
+
+let client_schedule_cmd =
+  let run socket connect_timeout retries timeout file name latency clusters read_ports
+      write_ports model capacity spill_batch spill_incremental show_kernel =
+    let source =
+      try In_channel.with_open_text file In_channel.input_all
+      with Sys_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        exit 1
+    in
+    let kind =
+      Protocol.Schedule
+        {
+          workload = Protocol.Source source;
+          only = name;
+          spec = spec_of ?read_ports ?write_ports ~clusters ~latency ();
+          model;
+          capacity;
+          spill_batch;
+          spill_incremental;
+          show_kernel;
+        }
+    in
+    with_client ~socket ~connect_timeout ~retries ~kind ~timeout_s:timeout
+      ~on_body:(function
+        | Protocol.Scheduled { points = []; _ } ->
+          Printf.eprintf "no matching loops\n";
+          1
+        | Protocol.Scheduled { machine; points } ->
+          print_string (Protocol.render_machine_line machine);
+          List.iter (fun p -> print_string (Protocol.render_point p)) points;
+          0
+        | _ ->
+          Printf.eprintf "error: unexpected response kind\n";
+          1)
+      ()
+  in
+  let kernel_arg =
+    let doc = "Also print the kernel (steady-state VLIW code)." in
+    Arg.(value & flag & info [ "k"; "kernel" ] ~doc)
+  in
+  let doc = "Compile a loop file on the daemon; output matches $(b,ncdrf schedule)." in
+  Cmd.v (Cmd.info "schedule" ~doc)
+    Term.(
+      const run $ socket_arg $ connect_timeout_arg $ retries_arg $ request_timeout_arg
+      $ file_arg $ loop_name_arg $ latency_arg $ clusters_arg $ read_ports_arg
+      $ write_ports_arg $ model_arg $ capacity_arg $ spill_batch_arg
+      $ spill_incremental_arg $ kernel_arg)
+
+let client_suite_cmd =
+  let run socket connect_timeout retries timeout latency clusters read_ports write_ports
+      size registers failures_csv =
+    let kind =
+      Protocol.Suite
+        { spec = spec_of ?read_ports ?write_ports ~clusters ~latency (); size; registers }
+    in
+    with_client ~socket ~connect_timeout ~retries ~kind ~timeout_s:timeout
+      ~on_body:(function
+        | Protocol.Suite_report { machine; size; jobs; registers; rows; failures } ->
+          print_string (Protocol.render_suite_header ~size ~machine ~jobs);
+          print_string (Protocol.render_suite_table_head ~registers);
+          List.iter (fun row -> print_string (Protocol.render_suite_row row)) rows;
+          print_string (Protocol.render_failure_summary failures);
+          (match failures_csv with
+           | None -> ()
+           | Some path ->
+             Ncdrf_report.Csv.write path (Failures.csv_rows_of_list failures);
+             Format.printf "[failures: %s]@." path);
+          0
+        | _ ->
+          Printf.eprintf "error: unexpected response kind\n";
+          1)
+      ()
+  in
+  let size_arg =
+    let doc = "Number of loops in the synthetic suite." in
+    Arg.(value & opt int 300 & info [ "size" ] ~docv:"N" ~doc)
+  in
+  let registers_arg =
+    let doc = "Register budget to test against." in
+    Arg.(value & opt int 32 & info [ "r"; "registers" ] ~docv:"N" ~doc)
+  in
+  let failures_arg =
+    let doc = "Write the failure manifest as CSV to $(docv) (atomic temp+rename)." in
+    Arg.(value & opt (some string) None & info [ "failures" ] ~docv:"FILE" ~doc)
+  in
+  let doc = "Run the suite summary on the daemon; output matches $(b,ncdrf suite)." in
+  Cmd.v (Cmd.info "suite" ~doc)
+    Term.(
+      const run $ socket_arg $ connect_timeout_arg $ retries_arg $ request_timeout_arg
+      $ latency_arg $ clusters_arg $ read_ports_arg $ write_ports_arg $ size_arg
+      $ registers_arg $ failures_arg)
+
+let client_cmd =
+  let doc = "Talk to a running $(b,ncdrf serve) daemon." in
+  Cmd.group (Cmd.info "client" ~doc)
+    [
+      client_schedule_cmd;
+      client_suite_cmd;
+      client_health_cmd ~name:"health" ~kind:Protocol.Health;
+      client_health_cmd ~name:"stats" ~kind:Protocol.Stats;
+    ]
+
+(* ------------------------------------------------------------------ *)
 (* example                                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -676,6 +932,8 @@ let usage =
       "  kernels         list built-in kernels with their register requirements";
       "  profile LEDGER  analyze a --ledger run: slowest loops, cache hits, histograms";
       "  example         walk the paper's worked example";
+      "  serve           run the compile daemon on a Unix-domain socket";
+      "  client CMD      schedule/suite/health against a running daemon";
       "";
       "suite options:";
       "  -l, --latency N    FP add/mul latency (default 3)";
@@ -685,6 +943,7 @@ let usage =
       "      --size N       loops in the synthetic suite (default 300)";
       "  -r, --registers N  register budget to test against (default 32)";
       "  -j, --jobs N       worker domains (results identical for any N)";
+      "      --timeout SECS per-point wall budget (typed deadline_exceeded failures)";
       "      --metrics FILE JSON telemetry: spans with p50/p90/p99, counters";
       "      --trace FILE   Chrome trace-event JSON (chrome://tracing, Perfetto)";
       "      --ledger FILE  JSONL run ledger, one record per (config, loop) point";
@@ -704,7 +963,7 @@ let () =
   let group =
     Cmd.group info
       [ schedule_cmd; dot_cmd; suite_cmd; sweep_cmd; simulate_cmd; kernels_cmd;
-        profile_cmd; example_cmd ]
+        profile_cmd; example_cmd; serve_cmd; client_cmd ]
   in
   match Cmd.eval_value group with
   | Ok (`Ok code) -> exit code

@@ -63,9 +63,15 @@ let base_key ~config ddg = Config.fingerprint config ^ "\x01" ^ Ddg.digest ddg
 
 (* Each stage runs inside an [Error.boundary], so whatever escapes a
    stage is a classified [Error.Error] carrying the loop name and config
-   fingerprint — never a raw exception. *)
+   fingerprint — never a raw exception.  Stage entry is also the
+   canonical deadline poll: an expired or canceled request dies here
+   with a typed error before the stage spends any work (a no-op unless
+   a deadline token is ambiently installed). *)
 let stage_boundary ~stage ~config ddg f =
-  Error.boundary ~stage ~loop:(Ddg.name ddg) ~config:(Config.fingerprint config) f
+  Error.boundary ~stage ~loop:(Ddg.name ddg) ~config:(Config.fingerprint config)
+    (fun () ->
+      Ncdrf_error.Deadline.check ~stage;
+      f ())
 
 let mii ~config ddg =
   stage_boundary ~stage:"mii" ~config ddg @@ fun () ->

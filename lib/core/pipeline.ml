@@ -76,15 +76,16 @@ let point_record ~models ~capacity ~t0 ~ok (p : Trace.point) =
     error = p.Trace.error;
   }
 
-let with_point ~config ~models ?capacity ddg f =
+(* The generic observed-unit wrapper: install an ambient trace context
+   under the given labels and harvest it into one ledger record on
+   return or raise.  [with_point] instantiates it for (config, loop)
+   compilation points; the serving daemon instantiates it per request
+   (loop = request id, config = "serve/<kind>"). *)
+let observe ~loop ~config ?(fp = "") ?(models = "") ?capacity f =
   if not (Trace.active ()) then f ()
   else begin
-    let models = String.concat "+" (List.map Model.to_string models) in
     let t0 = Telemetry.now_ns () in
-    Trace.with_context ~loop:(Ddg.name ddg) ~config:config.Config.name
-      ~fp:(short_fingerprint config)
-    @@ fun () ->
-    Trace.set_result ~clusters:(Config.num_clusters config) ();
+    Trace.with_context ~loop ~config ~fp @@ fun () ->
     let record ~ok =
       if Ledger.enabled () then
         Option.iter
@@ -102,6 +103,16 @@ let with_point ~config ~models ?capacity ddg f =
         Trace.set_error (Error.category_name (Error.category_of_exn e));
         record ~ok:false);
       raise e
+  end
+
+let with_point ~config ~models ?capacity ddg f =
+  if not (Trace.active ()) then f ()
+  else begin
+    let models = String.concat "+" (List.map Model.to_string models) in
+    observe ~loop:(Ddg.name ddg) ~config:config.Config.name
+      ~fp:(short_fingerprint config) ~models ?capacity (fun () ->
+        Trace.set_result ~clusters:(Config.num_clusters config) ();
+        f ())
   end
 
 (* Cheap, sound lower bound on a raw schedule's register requirement

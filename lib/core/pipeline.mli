@@ -66,6 +66,22 @@ val with_point :
   (unit -> 'a) ->
   'a
 
+(** The generic observed-unit wrapper {!with_point} is built on: an
+    ambient trace context under arbitrary labels, harvested into one
+    ledger record on return or raise.  The serving daemon wraps each
+    request in it ([loop] = request id, [config] = ["serve/<kind>"]),
+    so a ledger of a serving session carries one record per request
+    alongside the per-point records of the work it fanned out.  A
+    pass-through when neither tracing nor the ledger is armed. *)
+val observe :
+  loop:string ->
+  config:string ->
+  ?fp:string ->
+  ?models:string ->
+  ?capacity:int ->
+  (unit -> 'a) ->
+  'a
+
 (** The model's requirement function on a fixed schedule (uncached;
     alias of {!Artifact.apply_model}): returns the (possibly swapped)
     schedule and its register requirement.  [Ideal] reports the unified

@@ -25,8 +25,24 @@ module Failures = Ncdrf_error.Failures
    each failing loop is classified and recorded — in input order, after
    the whole map has settled, so the manifest is deterministic under
    any worker count — and dropped from the results.  The collector's
-   policy ([fail_fast] / [max_failures]) may abort during recording. *)
-let suite_map ?pool ?failures ~f loops =
+   policy ([fail_fast] / [max_failures]) may abort during recording.
+
+   [timeout_s] bounds each point with a fresh deadline token (the
+   [--timeout] flag); [deadline] installs one shared token around every
+   point — the serving daemon passes its per-request token here so
+   pool workers see the request's deadline and drain-cancellation even
+   though they run on other domains. *)
+let suite_map ?pool ?failures ?timeout_s ?deadline ~f loops =
+  let f =
+    match deadline with
+    | None -> f
+    | Some tok -> fun l -> Ncdrf_error.Deadline.with_token tok (fun () -> f l)
+  in
+  let f =
+    match timeout_s with
+    | None -> f
+    | Some _ -> fun l -> Ncdrf_error.Deadline.with_timeout ?timeout_s (fun () -> f l)
+  in
   match failures with
   | None ->
     (match pool with
@@ -47,7 +63,7 @@ let suite_map ?pool ?failures ~f loops =
           None)
       outcomes
 
-let measure_all ?pool ?failures ~config ~models loops =
+let measure_all ?pool ?failures ?timeout_s ?deadline ~config ~models loops =
   let one loop =
     (* Each loop is one observed point covering every model measured on
        it, so ledger-armed table runs get one record per (config, loop)
@@ -77,11 +93,11 @@ let measure_all ?pool ?failures ~config ~models loops =
      end);
     rows
   in
-  let per_loop = suite_map ?pool ?failures ~f:one loops in
+  let per_loop = suite_map ?pool ?failures ?timeout_s ?deadline ~f:one loops in
   List.mapi (fun i model -> (model, List.map (fun row -> List.nth row i) per_loop)) models
 
-let measure ?pool ?failures ~config ~model loops =
-  match measure_all ?pool ?failures ~config ~models:[ model ] loops with
+let measure ?pool ?failures ?timeout_s ?deadline ~config ~model loops =
+  match measure_all ?pool ?failures ?timeout_s ?deadline ~config ~models:[ model ] loops with
   | [ (_, ms) ] -> ms
   | _ -> assert false
 
@@ -137,7 +153,7 @@ type performance = {
   unfit : int;
 }
 
-let performance ?pool ?failures ?spill ~config ~model ~capacity loops =
+let performance ?pool ?failures ?timeout_s ?deadline ?spill ~config ~model ~capacity loops =
   let ideal_time = ref 0.0 in
   let achieved_time = ref 0.0 in
   let traffic_num = ref 0.0 in
@@ -150,7 +166,7 @@ let performance ?pool ?failures ?spill ~config ~model ~capacity loops =
      stays a serial fold in input order so the sums are bit-identical
      whatever the worker count. *)
   let compiled =
-    suite_map ?pool ?failures
+    suite_map ?pool ?failures ?timeout_s ?deadline
       ~f:(fun loop -> (loop, Pipeline.run ~config ~model ~capacity ?spill loop.ddg))
       loops
   in

@@ -37,10 +37,21 @@ type measurement = {
     ([fail_fast] / [max_failures]) may raise
     {!Ncdrf_error.Failures.Abort} during recording.  Without
     [failures], any loop failure propagates (via
-    [Ncdrf_parallel.Pool.Worker_failure] under a pool), as before. *)
+    [Ncdrf_parallel.Pool.Worker_failure] under a pool), as before.
+
+    [timeout_s] gives each point its own wall deadline (the [--timeout]
+    flag): an over-budget point raises the typed
+    [Error.Deadline_exceeded], which [failures] records like any other
+    category.  [deadline] instead installs one {e shared}
+    {!Ncdrf_error.Deadline.token} around every point — the serving
+    daemon passes its per-request token here so the request's deadline
+    and drain-cancellation reach pool workers on other domains.  The
+    two compose (whichever constraint fires first wins). *)
 val measure_all :
   ?pool:Ncdrf_parallel.Pool.t ->
   ?failures:Ncdrf_error.Failures.t ->
+  ?timeout_s:float ->
+  ?deadline:Ncdrf_error.Deadline.token ->
   config:Config.t ->
   models:Model.t list ->
   workload list ->
@@ -50,6 +61,8 @@ val measure_all :
 val measure :
   ?pool:Ncdrf_parallel.Pool.t ->
   ?failures:Ncdrf_error.Failures.t ->
+  ?timeout_s:float ->
+  ?deadline:Ncdrf_error.Deadline.token ->
   config:Config.t -> model:Model.t -> workload list -> measurement list
 
 (** Static cumulative distribution: fraction (in percent) of loops whose
@@ -88,10 +101,15 @@ type performance = {
     stays in the aggregates and is counted in [unfit], with the
     divergence detail on [Pipeline.stats.error].
 
+    [timeout_s] / [deadline] bound each point exactly as in
+    {!measure_all}.
+
     [spill] selects the spill-loop strategy passed through to
     {!Pipeline.run} (default: the reference-identical policy). *)
 val performance :
   ?pool:Ncdrf_parallel.Pool.t ->
   ?failures:Ncdrf_error.Failures.t ->
+  ?timeout_s:float ->
+  ?deadline:Ncdrf_error.Deadline.token ->
   ?spill:Ncdrf_spill.Spiller.policy ->
   config:Config.t -> model:Model.t -> capacity:int -> workload list -> performance

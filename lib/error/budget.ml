@@ -17,7 +17,9 @@ type meter = {
   mutable next_wall_check : int;  (** step count of the next clock sample *)
 }
 
-let now () = Unix.gettimeofday ()
+(* Monotonic, not wall time: a long-running daemon's budgets must not
+   fire (or fail to fire) because NTP stepped the system clock. *)
+let now () = Ncdrf_telemetry.Telemetry.now ()
 
 let start budget =
   {

@@ -40,3 +40,10 @@ val steps_used : meter -> int
 (** True if the budget has any limit at all — lets hot loops skip
     metering entirely under {!unlimited}. *)
 val limited : t -> bool
+
+(** The clock wall metering reads: the {e monotonic} clock
+    ([Telemetry.now], CLOCK_MONOTONIC), never [Unix.gettimeofday] — an
+    NTP step in a long-running daemon must not fire spurious
+    [Budget_exhausted].  Exposed so a regression test can pin the
+    source. *)
+val now : unit -> float

@@ -7,6 +7,9 @@ type category =
   | Budget_exhausted
   | Injected
   | Internal
+  | Overloaded
+  | Deadline_exceeded
+  | Canceled
 
 type t = {
   category : category;
@@ -29,10 +32,17 @@ let category_name = function
   | Budget_exhausted -> "budget_exhausted"
   | Injected -> "injected"
   | Internal -> "internal"
+  | Overloaded -> "overloaded"
+  | Deadline_exceeded -> "deadline_exceeded"
+  | Canceled -> "canceled"
 
 let all_categories =
   [ Parse; Invalid_graph; Schedule_infeasible; Alloc_infeasible; Spill_diverged;
-    Budget_exhausted; Injected; Internal ]
+    Budget_exhausted; Injected; Internal; Overloaded; Deadline_exceeded;
+    Canceled ]
+
+let category_of_name name =
+  List.find_opt (fun c -> category_name c = name) all_categories
 
 let to_string e =
   let buf = Buffer.create 64 in

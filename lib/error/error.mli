@@ -34,6 +34,15 @@ type category =
   | Budget_exhausted  (** a stage exceeded its step or wall-clock budget *)
   | Injected  (** a deterministic fault-injection point fired *)
   | Internal  (** everything else: a genuine bug surfaced and contained *)
+  | Overloaded
+      (** the serving daemon's admission queue was full and the request
+          was shed before execution *)
+  | Deadline_exceeded
+      (** a per-request (or per-point [--timeout]) deadline expired
+          while the work was queued or running *)
+  | Canceled
+      (** the request was canceled — typically by a draining daemon
+          revoking in-flight work on shutdown *)
 
 (** A classified failure with its structured context.  Optional fields
     are filled in as the error crosses stage boundaries: a stage that
@@ -53,10 +62,15 @@ exception Error of t
 (** Stable lower-snake-case name, the suffix of the [errors.*] counters:
     ["parse"], ["invalid_graph"], ["schedule_infeasible"],
     ["alloc_infeasible"], ["spill_diverged"], ["budget_exhausted"],
-    ["injected"], ["internal"]. *)
+    ["injected"], ["internal"], ["overloaded"], ["deadline_exceeded"],
+    ["canceled"]. *)
 val category_name : category -> string
 
 val all_categories : category list
+
+(** Inverse of {!category_name}; [None] on an unknown name.  The wire
+    protocol uses this to decode error payloads into the taxonomy. *)
+val category_of_name : string -> category option
 
 (** One-line rendering: category, context, message. *)
 val to_string : t -> string

@@ -48,15 +48,17 @@ let record t e =
 let count t = with_lock t (fun () -> t.n)
 let list t = with_lock t (fun () -> List.rev t.rev_failures)
 
-let by_category t =
+let count_by_category errors =
   let tbl = Hashtbl.create 8 in
   List.iter
     (fun e ->
       let name = Error.category_name e.Error.category in
       Hashtbl.replace tbl name (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name)))
-    (list t);
+    errors;
   Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let by_category t = count_by_category (list t)
 
 let to_json t =
   let open Telemetry.Json in
@@ -75,7 +77,7 @@ let to_json t =
            @ [ ("message", String e.Error.message) ]))
        (list t))
 
-let to_csv_rows t =
+let csv_rows_of_list errors =
   let cell_opt = function None -> "" | Some i -> string_of_int i in
   [ "loop"; "stage"; "category"; "ii"; "round"; "message" ]
   :: List.map
@@ -88,4 +90,6 @@ let to_csv_rows t =
            cell_opt e.Error.round;
            e.Error.message;
          ])
-       (list t)
+       errors
+
+let to_csv_rows t = csv_rows_of_list (list t)

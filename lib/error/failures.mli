@@ -39,6 +39,10 @@ val list : t -> Error.t list
 (** [(category_name, count)] pairs, sorted by name, only non-zero. *)
 val by_category : t -> (string * int) list
 
+(** {!by_category} over a bare error list — the serving client renders
+    failure summaries from wire-decoded errors without a collector. *)
+val count_by_category : Error.t list -> (string * int) list
+
 (** The failure manifest for the [--metrics] JSON: a list of objects
     with [loop], [stage], [category], [message] and, when present,
     [round] / [ii]. *)
@@ -48,3 +52,7 @@ val to_json : t -> Ncdrf_telemetry.Telemetry.Json.t
     followed by one row per failure — feed to [Ncdrf_report.Csv.write]
     for an atomic [failures.csv]. *)
 val to_csv_rows : t -> string list list
+
+(** {!to_csv_rows} over a bare error list (same header), for manifests
+    built from wire-decoded failures. *)
+val csv_rows_of_list : Error.t list -> string list list

@@ -151,3 +151,39 @@ let pp ppf t =
   in
   Format.fprintf ppf "%s [%s], lat add=%d mul=%d mem=%d%s" t.name clusters
     t.add_latency t.mul_latency t.mem_latency ports
+
+(* ------------------------------------------------------------------ *)
+(* CLI / wire specs                                                    *)
+(* ------------------------------------------------------------------ *)
+
+type spec = {
+  spec_latency : int;
+  spec_clusters : int;
+  spec_read_ports : int option;
+  spec_write_ports : int option;
+}
+
+let default_spec =
+  { spec_latency = 3; spec_clusters = 2; spec_read_ports = None; spec_write_ports = None }
+
+let of_spec { spec_latency = latency; spec_clusters = clusters;
+              spec_read_ports = read_ports; spec_write_ports = write_ports } =
+  match clusters with
+  | n when n < 1 ->
+    Error (Printf.sprintf "unsupported cluster count %d (must be >= 1)" n)
+  | 1 ->
+    Ok
+      (match read_ports, write_ports with
+       | None, None -> dual_unified ~latency
+       | _ ->
+         (* The unified machine's resources with register-file port caps. *)
+         make
+           ~name:(Printf.sprintf "unified-L%d" latency)
+           ~clusters:
+             [|
+               symmetric_cluster ?read_ports ?write_ports ~adders:2 ~multipliers:2
+                 ~ls_units:2 ();
+             |]
+           ~add_latency:latency ~mul_latency:latency ())
+  | 2 when read_ports = None && write_ports = None -> Ok (dual ~latency)
+  | k -> Ok (k_cluster ?read_ports ?write_ports ~k ~latency ())

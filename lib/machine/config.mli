@@ -112,3 +112,25 @@ val memory_bandwidth : t -> int
 val fingerprint : t -> string
 
 val pp : Format.formatter -> t -> unit
+
+(** A machine described by the driver flags ([--latency], [--clusters],
+    [--read-ports], [--write-ports]) — the shape both the CLI and the
+    serving protocol carry.  Field names are prefixed to keep the
+    record distinct from {!cluster}'s unprefixed ports. *)
+type spec = {
+  spec_latency : int;
+  spec_clusters : int;
+  spec_read_ports : int option;
+  spec_write_ports : int option;
+}
+
+(** Latency 3, two clusters, unconstrained ports — the paper's dual
+    machine. *)
+val default_spec : spec
+
+(** Build the machine a spec describes: 1 cluster is the unified
+    machine ({!dual_unified}, or its port-capped variant), 2 uncapped
+    clusters is {!dual}, anything else {!k_cluster}.  [Error] on a
+    cluster count < 1 — the wire protocol must reject bad specs as
+    typed errors, never exceptions. *)
+val of_spec : spec -> (t, string) result

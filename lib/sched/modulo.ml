@@ -360,6 +360,10 @@ let schedule_with_min_ii ?(budget = Budget.unlimited) ?(budget_ratio = 8)
      refill the account. *)
   let meter = if Budget.limited budget then Some (Budget.start budget) else None in
   let rec search ii =
+    (* Deadline poll once per II attempt: a request canceled or expired
+       mid-search dies with a typed error instead of grinding through
+       the remaining II slack.  No-op without an ambient token. *)
+    Ncdrf_error.Deadline.check ~stage:"schedule";
     if ii > mii + max_ii_slack then
       Error.errorf ~loop:(Ddg.name ddg) ~ii:(mii + max_ii_slack) ~stage:"schedule"
         Error.Schedule_infeasible "no schedule up to II=%d" (mii + max_ii_slack)

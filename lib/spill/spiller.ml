@@ -179,7 +179,7 @@ let containable (e : Error.t) =
   match e.category with
   | Error.Schedule_infeasible | Error.Budget_exhausted | Error.Alloc_infeasible -> true
   | Error.Parse | Error.Invalid_graph | Error.Spill_diverged | Error.Injected
-  | Error.Internal ->
+  | Error.Internal | Error.Overloaded | Error.Deadline_exceeded | Error.Canceled ->
     false
 
 let run ~config ~requirement ~capacity ?(victim = Longest_lifetime)
@@ -243,6 +243,10 @@ let run ~config ~requirement ~capacity ?(victim = Longest_lifetime)
      [base] is the previous round's raw schedule, the seed for
      incremental rescheduling. *)
   let rec iterate ddg ~min_ii ~spilled ~ii_bumps ~rounds ~last ~base ~next_slot ~counts =
+    (* Deadline poll once per spill round, outside the containable-error
+       region: an expired request must surface as Deadline_exceeded,
+       never degrade to Spill_diverged. *)
+    Ncdrf_error.Deadline.check ~stage:"spill";
     match
       (* Each round (reschedule + reallocate) is one trace span, nested
          inside the driver's enclosing "spill" span, so a trace shows

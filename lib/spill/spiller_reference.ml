@@ -141,7 +141,7 @@ let containable (e : Error.t) =
   match e.category with
   | Error.Schedule_infeasible | Error.Budget_exhausted | Error.Alloc_infeasible -> true
   | Error.Parse | Error.Invalid_graph | Error.Spill_diverged | Error.Injected
-  | Error.Internal ->
+  | Error.Internal | Error.Overloaded | Error.Deadline_exceeded | Error.Canceled ->
     false
 
 let run ~config ~requirement ~capacity ?(victim = Longest_lifetime)

@@ -278,9 +278,14 @@ let of_string s =
   | exception Fail (msg, p) -> Error (Printf.sprintf "%s at byte %d" msg p)
 
 (* Atomic publication: write to a temp file in the destination
-   directory, then rename.  The temp file is unlinked on every failure
-   path — a failed write or rename must not leak [prefix*.tmp] litter
-   next to the destination. *)
+   directory, fsync it, then rename (and fsync the directory).  The
+   temp file is unlinked on every failure path — a failed write or
+   rename must not leak [prefix*.tmp] litter next to the destination.
+   The fsyncs make the publish crash-safe, not just atomic: a daemon
+   killed mid-publish (or a power cut right after the rename) can
+   never leave a truncated or empty file under the destination name,
+   because the data hits disk before the name moves and the name move
+   hits disk before we report success. *)
 let write_file ?(prefix = ".ncdrf") ~path content =
   let dir = Filename.dirname path in
   let tmp =
@@ -294,10 +299,23 @@ let write_file ?(prefix = ".ncdrf") ~path content =
       if not !committed then try Sys.remove tmp with Sys_error _ -> ())
     (fun () ->
       let oc = open_out tmp in
-      (try output_string oc content
+      (try
+         output_string oc content;
+         flush oc;
+         Unix.fsync (Unix.descr_of_out_channel oc)
        with e ->
          close_out_noerr oc;
          raise e);
       close_out oc;
       Sys.rename tmp path;
+      (* Persist the rename itself.  Some filesystems cannot fsync a
+         directory fd (and O_RDONLY on a directory is all POSIX
+         guarantees); a failure here degrades durability, not
+         atomicity, so it is deliberately non-fatal. *)
+      (try
+         let dfd = Unix.openfile dir [ Unix.O_RDONLY ] 0 in
+         Fun.protect
+           ~finally:(fun () -> try Unix.close dfd with Unix.Unix_error _ -> ())
+           (fun () -> Unix.fsync dfd)
+       with Unix.Unix_error _ | Sys_error _ -> ());
       committed := true)

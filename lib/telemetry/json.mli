@@ -21,8 +21,11 @@ val to_compact : t -> string
     [Float].  [Error] carries a message with a byte offset. *)
 val of_string : string -> (t, string) result
 
-(** [write_file ~path content] publishes [content] atomically: it is
-    written to a fresh [prefix*.tmp] file in [path]'s directory and
-    renamed over [path].  The temp file is unlinked on any failure
-    (write, close or rename), so no litter survives an error. *)
+(** [write_file ~path content] publishes [content] atomically and
+    crash-safely: it is written to a fresh [prefix*.tmp] file in
+    [path]'s directory, [fsync]ed, renamed over [path], and the
+    directory is [fsync]ed so the rename itself is durable — a process
+    killed mid-publish can never leave a truncated file under [path].
+    The temp file is unlinked on any failure (write, close or rename),
+    so no litter survives an error. *)
 val write_file : ?prefix:string -> path:string -> string -> unit

@@ -162,4 +162,78 @@ dune exec bin/ncdrf.exe -- profile "$ledger" > "$profile_out"
 grep -q 'slowest points' "$profile_out" || {
   echo "check.sh: ncdrf profile printed no slowest-points section" >&2; exit 1; }
 
-echo "check.sh: OK (cache.misses=$misses, alloc.table_reuse=$reuse, spill.incremental_reschedules=$incs, errors.injected=$injected, cluster.subfiles=$subfiles, ports.capped_points=$capped, trace_events=$events)"
+# Serving soak: a clean daemon must serve a suite byte-identical to the
+# batch CLI and drain to exit 0 on SIGTERM; a faulted, queue-bounded
+# daemon under concurrent clients must shed overload with a typed
+# response (client exit 3), contain injected failures, keep answering
+# health, and still drain cleanly — publishing metrics that show both
+# error classes.
+NCDRF=./_build/default/bin/ncdrf.exe
+dune build bin/ncdrf.exe
+sock_a="/tmp/ncdrf-serve-a.$$.sock"
+sock_b="/tmp/ncdrf-serve-b.$$.sock"
+serve_metrics=$(mktemp /tmp/ncdrf-serve.XXXXXX.json)
+client_suite=$(mktemp /tmp/ncdrf-client-suite.XXXXXX.txt)
+batch_suite=$(mktemp /tmp/ncdrf-batch-suite.XXXXXX.txt)
+shed_dir=$(mktemp -d /tmp/ncdrf-shed.XXXXXX)
+deadline_metrics=$(mktemp /tmp/ncdrf-deadline.XXXXXX.json)
+trap 'rm -rf "$metrics" "$spill_metrics" "$inj_metrics" "$inj_out" "$k4_metrics" "$ports_metrics" "$trace" "$ledger" "$profile_out" "$serve_metrics" "$client_suite" "$batch_suite" "$shed_dir" "$deadline_metrics" "$sock_a" "$sock_b"' EXIT
+
+"$NCDRF" serve --socket "$sock_a" --jobs 1 > /dev/null 2>&1 &
+serv_a=$!
+"$NCDRF" client suite --socket "$sock_a" --size 60 > "$client_suite"
+"$NCDRF" suite --size 60 --jobs 1 > "$batch_suite"
+cmp -s "$client_suite" "$batch_suite" || {
+  echo "check.sh: client suite output differs from batch suite" >&2; exit 1; }
+kill -TERM "$serv_a"
+wait "$serv_a" || {
+  echo "check.sh: clean daemon did not exit 0 on SIGTERM" >&2; exit 1; }
+[ ! -e "$sock_a" ] || {
+  echo "check.sh: daemon left its socket behind after drain" >&2; exit 1; }
+
+"$NCDRF" serve --socket "$sock_b" --jobs 1 --queue 1 \
+  --inject stage=schedule,every=7 --metrics "$serve_metrics" > /dev/null 2>&1 &
+serv_b=$!
+client_pids=
+for i in 1 2 3 4 5 6; do
+  { c=0; "$NCDRF" client suite --socket "$sock_b" --size 3000 --retries 0 \
+      > "$shed_dir/out.$i" 2>&1 || c=$?; echo "$c" > "$shed_dir/code.$i"; } &
+  client_pids="$client_pids $!"
+done
+for p in $client_pids; do wait "$p" || true; done
+served_clients=0; shed_clients=0
+for i in 1 2 3 4 5 6; do
+  code=$(cat "$shed_dir/code.$i")
+  [ "$code" -eq 0 ] && served_clients=$((served_clients + 1))
+  [ "$code" -eq 3 ] && shed_clients=$((shed_clients + 1))
+done
+if [ "$served_clients" -lt 1 ] || [ "$shed_clients" -lt 1 ]; then
+  echo "check.sh: overload soak expected >=1 served and >=1 shed client, got served=$served_clients shed=$shed_clients" >&2
+  exit 1
+fi
+"$NCDRF" client health --socket "$sock_b" > /dev/null || {
+  echo "check.sh: daemon stopped answering health after overload + faults" >&2
+  exit 1
+}
+kill -TERM "$serv_b"
+wait "$serv_b" || {
+  echo "check.sh: faulted daemon did not exit 0 on SIGTERM" >&2; exit 1; }
+srv_injected=$(grep -o '"errors.injected": *[0-9]*' "$serve_metrics" | head -n1 | grep -o '[0-9]*$' || true)
+srv_overloaded=$(grep -o '"errors.overloaded": *[0-9]*' "$serve_metrics" | head -n1 | grep -o '[0-9]*$' || true)
+if [ -z "${srv_injected:-}" ] || [ "$srv_injected" -eq 0 ]; then
+  echo "check.sh: serve metrics missing errors.injected > 0" >&2; exit 1
+fi
+if [ -z "${srv_overloaded:-}" ] || [ "$srv_overloaded" -eq 0 ]; then
+  echo "check.sh: serve metrics missing errors.overloaded > 0" >&2; exit 1
+fi
+
+# Deadline smoke: a zero budget must fail every point with the typed
+# deadline category, reported in the metrics, without crashing the run.
+"$NCDRF" suite --size 10 --jobs 1 --timeout 0 --metrics "$deadline_metrics" > /dev/null
+dl=$(grep -o '"errors.deadline_exceeded": *[0-9]*' "$deadline_metrics" | head -n1 | grep -o '[0-9]*$' || true)
+if [ -z "${dl:-}" ] || [ "$dl" -eq 0 ]; then
+  echo "check.sh: --timeout 0 suite reported no deadline_exceeded errors" >&2
+  exit 1
+fi
+
+echo "check.sh: OK (cache.misses=$misses, alloc.table_reuse=$reuse, spill.incremental_reschedules=$incs, errors.injected=$injected, cluster.subfiles=$subfiles, ports.capped_points=$capped, trace_events=$events, serve: served=$served_clients shed=$shed_clients injected=$srv_injected overloaded=$srv_overloaded deadline=$dl)"

@@ -16,4 +16,5 @@ let () =
       ("extensions", Test_extensions.suite);
       ("sim", Test_sim.suite);
       ("kcluster", Test_kcluster.suite);
+      ("server", Test_server.suite);
     ]

@@ -28,8 +28,8 @@ let category : Error.category Alcotest.testable =
 
 let test_category_names () =
   let names = List.map Error.category_name Error.all_categories in
-  check_int "eight categories" 8 (List.length names);
-  check_int "names are distinct" 8 (List.length (List.sort_uniq compare names));
+  check_int "eleven categories" 11 (List.length names);
+  check_int "names are distinct" 11 (List.length (List.sort_uniq compare names));
   List.iter
     (fun n ->
       check_bool ("lower snake case: " ^ n) true

@@ -1,0 +1,574 @@
+(* The serving layer: total codec (qcheck round-trip plus malformed
+   frames that must come back as typed errors, never exceptions), the
+   shared renderers behind the batch/client byte-identity invariant,
+   deadline tokens and the monotonic budget clock, and an in-process
+   daemon exercised over a real Unix socket: health, scheduling,
+   fault containment, per-request deadlines, and a clean drain. *)
+
+open Ncdrf_machine
+open Ncdrf_core
+module Error = Ncdrf_error.Error
+module Budget = Ncdrf_error.Budget
+module Deadline = Ncdrf_error.Deadline
+module Failures = Ncdrf_error.Failures
+module Fault = Ncdrf_fault.Fault
+module Telemetry = Ncdrf_telemetry.Telemetry
+module Protocol = Ncdrf_server.Protocol
+module Server = Ncdrf_server.Server
+module Client = Ncdrf_server.Client
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_string = Alcotest.(check string)
+
+(* ------------------------------------------------------------------ *)
+(* Codec round-trip (qcheck).                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Floats on a 1/16 grid are exact in binary and short in decimal, so
+   they survive the codec's %.9g rendering bit-for-bit. *)
+let gen_grid_float = QCheck.Gen.(map (fun i -> float_of_int i /. 16.0) (int_bound 4096))
+
+let gen_string = QCheck.Gen.(string_size ~gen:printable (int_bound 12))
+
+let gen_spec =
+  let open QCheck.Gen in
+  int_range 1 8 >>= fun spec_latency ->
+  int_range 1 4 >>= fun spec_clusters ->
+  opt (int_range 1 6) >>= fun spec_read_ports ->
+  opt (int_range 1 6) >>= fun spec_write_ports ->
+  return { Config.spec_latency; spec_clusters; spec_read_ports; spec_write_ports }
+
+let gen_model = QCheck.Gen.oneofl Model.all
+
+let gen_workload =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun s -> Protocol.Source s) gen_string;
+        map (fun s -> Protocol.Named s) gen_string;
+      ])
+
+let gen_request_kind =
+  let open QCheck.Gen in
+  let schedule =
+    gen_workload >>= fun workload ->
+    opt gen_string >>= fun only ->
+    gen_spec >>= fun spec ->
+    gen_model >>= fun model ->
+    opt (int_range 1 64) >>= fun capacity ->
+    int_range 1 4 >>= fun spill_batch ->
+    bool >>= fun spill_incremental ->
+    bool >>= fun show_kernel ->
+    return
+      (Protocol.Schedule
+         {
+           workload;
+           only;
+           spec;
+           model;
+           capacity;
+           spill_batch;
+           spill_incremental;
+           show_kernel;
+         })
+  in
+  let suite =
+    gen_spec >>= fun spec ->
+    int_range 1 500 >>= fun size ->
+    int_range 1 128 >>= fun registers ->
+    return (Protocol.Suite { spec; size; registers })
+  in
+  oneof [ schedule; suite; return Protocol.Health; return Protocol.Stats ]
+
+let gen_request =
+  let open QCheck.Gen in
+  gen_string >>= fun id ->
+  opt gen_grid_float >>= fun timeout_s ->
+  gen_request_kind >>= fun kind ->
+  return { Protocol.id; timeout_s; kind }
+
+let gen_error =
+  let open QCheck.Gen in
+  oneofl Error.all_categories >>= fun category ->
+  gen_string >>= fun stage ->
+  opt gen_string >>= fun loop ->
+  opt gen_string >>= fun config ->
+  opt (int_range 0 9) >>= fun round ->
+  opt (int_range 1 40) >>= fun ii ->
+  gen_string >>= fun message ->
+  return (Error.make ?loop ?config ?round ?ii ~stage category message)
+
+let gen_point =
+  let open QCheck.Gen in
+  gen_string >>= fun loop ->
+  gen_string >>= fun header ->
+  gen_model >>= fun model ->
+  int_range 1 20 >>= fun mii ->
+  int_range 1 40 >>= fun ii ->
+  int_range 1 10 >>= fun stages ->
+  int_range 0 64 >>= fun requirement ->
+  opt (int_range 1 64) >>= fun capacity ->
+  bool >>= fun fits ->
+  int_range 0 9 >>= fun spilled ->
+  int_range 0 20 >>= fun added_memops ->
+  int_range 0 20 >>= fun memops_per_iter ->
+  gen_grid_float >>= fun density ->
+  opt gen_string >>= fun kernel ->
+  return
+    {
+      Protocol.loop;
+      header;
+      model;
+      mii;
+      ii;
+      stages;
+      requirement;
+      capacity;
+      fits;
+      spilled;
+      added_memops;
+      memops_per_iter;
+      density;
+      kernel;
+    }
+
+let gen_health =
+  let open QCheck.Gen in
+  oneofl [ "ok"; "draining" ] >>= fun status ->
+  gen_grid_float >>= fun uptime_s ->
+  int_range 0 99 >>= fun served ->
+  int_range 0 99 >>= fun shed ->
+  int_range 0 4 >>= fun active ->
+  int_range 0 9 >>= fun queued ->
+  int_range 1 16 >>= fun queue_bound ->
+  int_range 1 4 >>= fun max_inflight ->
+  int_range 1 8 >>= fun pool_jobs ->
+  int_range 0 999 >>= fun cache_hits ->
+  int_range 0 999 >>= fun cache_misses ->
+  int_range 0 999 >>= fun cache_entries ->
+  list_size (int_bound 4)
+    (pair (oneofl [ "injected"; "parse"; "overloaded"; "canceled" ]) (int_range 1 9))
+  >>= fun error_counts ->
+  return
+    {
+      Protocol.status;
+      uptime_s;
+      served;
+      shed;
+      active;
+      queued;
+      queue_bound;
+      max_inflight;
+      pool_jobs;
+      cache_hits;
+      cache_misses;
+      cache_entries;
+      error_counts;
+    }
+
+let gen_response =
+  let open QCheck.Gen in
+  let scheduled =
+    gen_string >>= fun machine ->
+    list_size (int_bound 3) gen_point >>= fun points ->
+    return (Protocol.Scheduled { machine; points })
+  in
+  let suite_report =
+    gen_string >>= fun machine ->
+    int_range 1 500 >>= fun size ->
+    int_range 1 8 >>= fun jobs ->
+    int_range 1 128 >>= fun registers ->
+    list_size (int_bound 4) (triple gen_model gen_grid_float gen_grid_float)
+    >>= fun rows ->
+    list_size (int_bound 3) gen_error >>= fun failures ->
+    return (Protocol.Suite_report { machine; size; jobs; registers; rows; failures })
+  in
+  let overloaded =
+    int_range 1 99 >>= fun queue_depth ->
+    gen_grid_float >>= fun retry_after_s ->
+    return (Protocol.Overloaded { queue_depth; retry_after_s })
+  in
+  gen_string >>= fun req_id ->
+  oneof
+    [
+      scheduled;
+      suite_report;
+      map (fun h -> Protocol.Health_report h) gen_health;
+      map (fun e -> Protocol.Failed e) gen_error;
+      overloaded;
+    ]
+  >>= fun body -> return { Protocol.req_id; body }
+
+let prop_request_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"render/parse request = id"
+    (QCheck.make ~print:Protocol.render_request gen_request) (fun r ->
+      match Protocol.parse_request (Protocol.render_request r) with
+      | Ok r' -> r' = r
+      | Stdlib.Error e -> QCheck.Test.fail_report (Error.to_string e))
+
+let prop_response_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"render/parse response = id"
+    (QCheck.make ~print:Protocol.render_response gen_response) (fun r ->
+      match Protocol.parse_response (Protocol.render_response r) with
+      | Ok r' -> r' = r
+      | Stdlib.Error e -> QCheck.Test.fail_report (Error.to_string e))
+
+(* Whatever bytes arrive, the parsers answer with a typed error — they
+   never raise.  (The qcheck pair above covers the happy path; this one
+   fuzzes raw frames.) *)
+let prop_parse_total =
+  QCheck.Test.make ~count:500 ~name:"parsers never raise on junk"
+    (QCheck.make ~print:(Printf.sprintf "%S")
+       QCheck.Gen.(string_size ~gen:(char_range '\x00' '\xff') (int_bound 64)))
+    (fun junk ->
+      (match Protocol.parse_request junk with Ok _ | Stdlib.Error _ -> true)
+      && (match Protocol.parse_response junk with Ok _ | Stdlib.Error _ -> true))
+
+(* ------------------------------------------------------------------ *)
+(* Malformed frames: typed errors, never exceptions.                   *)
+(* ------------------------------------------------------------------ *)
+
+let check_request_error name line =
+  match Protocol.parse_request line with
+  | Stdlib.Error e ->
+    check_string (name ^ ": category") "parse" (Error.category_name e.Error.category);
+    check_string (name ^ ": stage") "protocol" e.Error.stage
+  | Ok _ -> Alcotest.fail (name ^ ": expected a parse error")
+
+let test_malformed_frames () =
+  check_request_error "truncated JSON" {|{"id":"x","kind":"hea|};
+  check_request_error "oversized frame"
+    (String.make (Protocol.max_frame_bytes + 1) 'x');
+  check_request_error "unknown kind" {|{"id":"x","kind":"bogus"}|};
+  check_request_error "non-object" "42";
+  check_request_error "missing id" {|{"kind":"health"}|};
+  check_request_error "id of wrong type" {|{"id":5,"kind":"health"}|};
+  check_request_error "schedule missing fields" {|{"id":"x","kind":"schedule"}|};
+  check_request_error "bad model"
+    {|{"id":"x","kind":"schedule","workload":{"kernel":"daxpy"},"config":{"latency":3,"clusters":2},"model":"quantum","spill_batch":1,"spill_incremental":false,"show_kernel":false}|};
+  (match Protocol.parse_response {|{"id":"x","status":"weird"}|} with
+   | Stdlib.Error e ->
+     check_string "unknown status: category" "parse"
+       (Error.category_name e.Error.category)
+   | Ok _ -> Alcotest.fail "unknown status: expected a parse error");
+  (match
+     Protocol.parse_response
+       {|{"id":"x","status":"error","error":{"category":"nope","stage":"s","message":"m"}}|}
+   with
+   | Stdlib.Error _ -> ()
+   | Ok _ -> Alcotest.fail "unknown category: expected a parse error")
+
+let test_frame_id_recovery () =
+  Alcotest.(check (option string))
+    "id recovered from bad frame" (Some "abc")
+    (Protocol.frame_id {|{"id":"abc","kind":"bogus"}|});
+  Alcotest.(check (option string))
+    "no id in junk" None (Protocol.frame_id "42");
+  Alcotest.(check (option string))
+    "no id in garbage" None (Protocol.frame_id "{{{")
+
+(* ------------------------------------------------------------------ *)
+(* Renderers.                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let contains ~affix s =
+  let n = String.length affix and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = affix || go (i + 1)) in
+  go 0
+
+let test_renderers () =
+  check_string "clean failure summary is empty" ""
+    (Protocol.render_failure_summary []);
+  check_string "suite row" "unified      |  50.0% loops  25.0% cycles\n"
+    (Protocol.render_suite_row (Model.Unified, 50.0, 25.0));
+  check_string "table head" "model        | allocatable in 32 regs\n"
+    (Protocol.render_suite_table_head ~registers:32);
+  check_string "suite header" "suite of 60 loops on m (1 job)\n\n"
+    (Protocol.render_suite_header ~size:60 ~machine:"m" ~jobs:1);
+  check_string "machine line" "machine: m\n" (Protocol.render_machine_line "m");
+  let summary =
+    Protocol.render_failure_summary
+      [ Error.make ~loop:"fir" ~stage:"schedule" Error.Injected "boom" ]
+  in
+  check_bool "summary counts by category" true
+    (String.length summary > 0 && contains ~affix:"injected" summary)
+
+(* ------------------------------------------------------------------ *)
+(* Budget clock and deadline tokens.                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Pins the wall-metering clock source: Budget.now must be the
+   monotonic telemetry clock, never Unix.gettimeofday — a step of the
+   wall clock (NTP, DST) must not expire every in-flight deadline. *)
+let test_budget_clock_is_monotonic () =
+  let b = Budget.now () in
+  let t = Telemetry.now () in
+  check_bool "Budget.now ticks with Telemetry.now (monotonic)" true
+    (Float.abs (b -. t) < 0.5);
+  let wall = Unix.gettimeofday () in
+  check_bool "Budget.now is not the wall clock" true (Float.abs (b -. wall) > 1e6)
+
+let test_deadline_tokens () =
+  let tok = Deadline.make () in
+  check_bool "no deadline, not expired" false (Deadline.expired tok);
+  check_bool "time left is infinite" true (Deadline.time_left tok = infinity);
+  Deadline.with_token tok (fun () -> Deadline.check ~stage:"t");
+  Deadline.cancel ~reason:"stop it" tok;
+  check_bool "canceled" true (Deadline.canceled tok);
+  (match Deadline.with_token tok (fun () -> Deadline.check ~stage:"t") with
+   | () -> Alcotest.fail "canceled token must raise"
+   | exception Error.Error e ->
+     check_string "canceled category" "canceled" (Error.category_name e.Error.category);
+     check_string "cancel reason" "stop it" e.Error.message);
+  let expired = Deadline.make ~timeout_s:(-1.0) () in
+  check_bool "past deadline is expired" true (Deadline.expired expired);
+  (match Deadline.with_token expired (fun () -> Deadline.check ~stage:"t") with
+   | () -> Alcotest.fail "expired token must raise"
+   | exception Error.Error e ->
+     check_string "deadline category" "deadline_exceeded"
+       (Error.category_name e.Error.category));
+  (* Nesting: the inner scope must not shadow an outer violation. *)
+  let outer = Deadline.make () in
+  Deadline.cancel outer;
+  let inner = Deadline.make ~timeout_s:60.0 () in
+  (match
+     Deadline.with_token outer (fun () ->
+         Deadline.with_token inner (fun () -> Deadline.check ~stage:"t"))
+   with
+   | () -> Alcotest.fail "outer cancellation must fire inside inner scope"
+   | exception Error.Error e ->
+     check_string "outer wins" "canceled" (Error.category_name e.Error.category));
+  check_bool "no token after scopes" false (Deadline.active ())
+
+(* --timeout through the suite path: a zero budget fails every point
+   with the typed deadline category; nothing crashes, nothing leaks. *)
+let test_suite_timeout () =
+  let loops =
+    List.map
+      (fun (e : Ncdrf_workloads.Suite.entry) ->
+        { Suite_stats.ddg = e.Ncdrf_workloads.Suite.ddg;
+          weight = e.Ncdrf_workloads.Suite.iterations })
+      (Ncdrf_workloads.Suite.full ~size:8 ())
+  in
+  let failures = Failures.create () in
+  let ms =
+    Suite_stats.measure ~failures ~timeout_s:0.0 ~config:(Config.dual ~latency:3)
+      ~model:Model.Unified loops
+  in
+  check_int "no survivors at zero budget" 0 (List.length ms);
+  check_int "every loop recorded" (List.length loops) (Failures.count failures);
+  List.iter
+    (fun (e : Error.t) ->
+      check_string "typed deadline failure" "deadline_exceeded"
+        (Error.category_name e.Error.category))
+    (Failures.list failures)
+
+(* ------------------------------------------------------------------ *)
+(* In-process daemon over a real socket.                               *)
+(* ------------------------------------------------------------------ *)
+
+let with_daemon ?(configure = fun o -> o) f =
+  let path =
+    Printf.sprintf "/tmp/ncdrf-test-%d-%d.sock" (Unix.getpid ()) (Random.bits ())
+  in
+  (try Sys.remove path with Sys_error _ -> ());
+  let stop = Atomic.make false in
+  let opts = configure { (Server.default_opts ~socket_path:path) with jobs = 1 } in
+  let code = ref (-1) in
+  let srv = Thread.create (fun () -> code := Server.run ~stop ~handle_signals:false opts) () in
+  Fun.protect
+    ~finally:(fun () ->
+      Atomic.set stop true;
+      Thread.join srv;
+      check_int "daemon drains to exit 0" 0 !code;
+      check_bool "socket removed on drain" false (Sys.file_exists path))
+    (fun () -> f path)
+
+let default_schedule_kind ?(workload = Protocol.Named "daxpy")
+    ?(model = Model.Swapped) () =
+  Protocol.Schedule
+    {
+      workload;
+      only = None;
+      spec = Config.default_spec;
+      model;
+      capacity = None;
+      spill_batch = 1;
+      spill_incremental = false;
+      show_kernel = false;
+    }
+
+let roundtrip_ok client req =
+  match Client.roundtrip client req with
+  | Ok resp ->
+    check_string "response echoes request id" req.Protocol.id resp.Protocol.req_id;
+    resp.Protocol.body
+  | Stdlib.Error e -> Alcotest.fail ("transport/protocol error: " ^ Error.to_string e)
+
+let test_daemon_roundtrip () =
+  with_daemon @@ fun path ->
+  let client = Client.connect path in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  (* Health answers before any work. *)
+  (match roundtrip_ok client { Protocol.id = "h1"; timeout_s = None; kind = Protocol.Health } with
+   | Protocol.Health_report h ->
+     check_string "status ok" "ok" h.Protocol.status;
+     check_int "pool jobs" 1 h.Protocol.pool_jobs
+   | _ -> Alcotest.fail "expected a health report");
+  (* A named kernel schedules; the point matches a direct pipeline run. *)
+  (match
+     roundtrip_ok client
+       { Protocol.id = "s1"; timeout_s = None; kind = default_schedule_kind () }
+   with
+   | Protocol.Scheduled { points = [ p ]; machine } ->
+     check_string "machine text" (Format.asprintf "%a" Config.pp (Config.dual ~latency:3)) machine;
+     check_string "loop name" "daxpy" p.Protocol.loop;
+     let direct =
+       Pipeline.run ~config:(Config.dual ~latency:3) ~model:Model.Swapped
+         (Option.get (Ncdrf_workloads.Kernels.find "daxpy"))
+     in
+     check_int "II matches direct run" direct.Pipeline.ii p.Protocol.ii;
+     check_int "requirement matches direct run" direct.Pipeline.requirement
+       p.Protocol.requirement
+   | _ -> Alcotest.fail "expected one scheduled point");
+  (* Unknown kernels are a typed parse failure, not a dead daemon. *)
+  (match
+     roundtrip_ok client
+       {
+         Protocol.id = "s2";
+         timeout_s = None;
+         kind = default_schedule_kind ~workload:(Protocol.Named "no-such-kernel") ();
+       }
+   with
+   | Protocol.Failed e ->
+     check_string "typed parse error" "parse" (Error.category_name e.Error.category)
+   | _ -> Alcotest.fail "expected a typed failure");
+  (* Poisoned source is contained the same way. *)
+  (match
+     roundtrip_ok client
+       {
+         Protocol.id = "s3";
+         timeout_s = None;
+         kind = default_schedule_kind ~workload:(Protocol.Source "loop broken {") ();
+       }
+   with
+   | Protocol.Failed e ->
+     check_string "typed source error" "parse" (Error.category_name e.Error.category)
+   | _ -> Alcotest.fail "expected a typed failure");
+  (* An already-expired deadline is refused with the typed category. *)
+  (match
+     roundtrip_ok client
+       { Protocol.id = "s4"; timeout_s = Some 0.0; kind = default_schedule_kind () }
+   with
+   | Protocol.Failed e ->
+     check_string "typed deadline error" "deadline_exceeded"
+       (Error.category_name e.Error.category)
+   | _ -> Alcotest.fail "expected a deadline failure");
+  (* The daemon survived all of the above. *)
+  match roundtrip_ok client { Protocol.id = "h2"; timeout_s = None; kind = Protocol.Stats } with
+  | Protocol.Health_report h ->
+    check_bool "served counted" true (h.Protocol.served >= 2);
+    check_bool "error counters populated" true
+      (List.mem_assoc "parse" h.Protocol.error_counts
+      && List.mem_assoc "deadline_exceeded" h.Protocol.error_counts)
+  | _ -> Alcotest.fail "expected a stats report"
+
+(* An armed fault inside the pipeline becomes a typed injected failure
+   response; the daemon keeps serving. *)
+let test_daemon_contains_injected_fault () =
+  with_daemon @@ fun path ->
+  let client = Client.connect path in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  (match Fault.arm "stage=schedule,every=1" with
+   | Ok () -> ()
+   | Stdlib.Error msg -> Alcotest.fail msg);
+  Fun.protect ~finally:Fault.disarm @@ fun () ->
+  (* A (kernel, model) pair no other test schedules: the shared artifact
+     cache is process-wide, and a warm hit would skip the schedule stage
+     the fault is armed on. *)
+  (match
+     roundtrip_ok client
+       {
+         Protocol.id = "f1";
+         timeout_s = None;
+         kind =
+           default_schedule_kind ~workload:(Protocol.Named "ll5-tridiag")
+             ~model:Model.Partitioned ();
+       }
+   with
+   | Protocol.Failed e ->
+     check_string "typed injected error" "injected" (Error.category_name e.Error.category)
+   | _ -> Alcotest.fail "expected an injected failure");
+  Fault.disarm ();
+  match roundtrip_ok client { Protocol.id = "h1"; timeout_s = None; kind = Protocol.Health } with
+  | Protocol.Health_report h -> check_string "daemon alive" "ok" h.Protocol.status
+  | _ -> Alcotest.fail "daemon died after injected fault"
+
+(* The suite served over the wire carries exactly the rows a local run
+   computes, and the rendered report is byte-identical to the batch
+   driver's (both print through the shared renderers). *)
+let test_daemon_suite_identity () =
+  with_daemon @@ fun path ->
+  let client = Client.connect path in
+  Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+  let size = 12 and registers = 32 in
+  let body =
+    roundtrip_ok client
+      {
+        Protocol.id = "u1";
+        timeout_s = None;
+        kind = Protocol.Suite { spec = Config.default_spec; size; registers };
+      }
+  in
+  match body with
+  | Protocol.Suite_report { machine; jobs; rows; failures; _ } ->
+    check_int "serial pool" 1 jobs;
+    check_int "clean run" 0 (List.length failures);
+    let config = Config.dual ~latency:3 in
+    let loops =
+      List.map
+        (fun (e : Ncdrf_workloads.Suite.entry) ->
+          { Suite_stats.ddg = e.Ncdrf_workloads.Suite.ddg;
+            weight = e.Ncdrf_workloads.Suite.iterations })
+        (Ncdrf_workloads.Suite.full ~size ())
+    in
+    let local_rows =
+      List.map
+        (fun (m, ms) ->
+          let s, d = Suite_stats.allocatable ms ~r:registers in
+          (m, s, d))
+        (Suite_stats.measure_all ~config
+           ~models:[ Model.Unified; Model.Partitioned; Model.Swapped ]
+           loops)
+    in
+    (* Structural float equality would be too strict: values cross the
+       wire through %.9g rendering.  The invariant that matters is the
+       one the CLI exposes — the rendered report is byte-identical. *)
+    check_bool "same models in order" true
+      (List.map (fun (m, _, _) -> m) rows
+      = List.map (fun (m, _, _) -> m) local_rows);
+    let render rows =
+      Protocol.render_suite_header ~size ~machine ~jobs
+      ^ Protocol.render_suite_table_head ~registers
+      ^ String.concat "" (List.map Protocol.render_suite_row rows)
+    in
+    check_string "rendered report byte-identical" (render local_rows) (render rows)
+  | _ -> Alcotest.fail "expected a suite report"
+
+let suite =
+  [
+    Alcotest.test_case "malformed frames are typed errors" `Quick test_malformed_frames;
+    Alcotest.test_case "frame id recovery" `Quick test_frame_id_recovery;
+    Alcotest.test_case "shared renderers" `Quick test_renderers;
+    Alcotest.test_case "budget clock is monotonic" `Quick test_budget_clock_is_monotonic;
+    Alcotest.test_case "deadline tokens" `Quick test_deadline_tokens;
+    Alcotest.test_case "suite --timeout" `Quick test_suite_timeout;
+    Alcotest.test_case "daemon roundtrip + containment" `Quick test_daemon_roundtrip;
+    Alcotest.test_case "daemon contains injected faults" `Quick
+      test_daemon_contains_injected_fault;
+    Alcotest.test_case "daemon suite identity" `Quick test_daemon_suite_identity;
+    QCheck_alcotest.to_alcotest prop_request_roundtrip;
+    QCheck_alcotest.to_alcotest prop_response_roundtrip;
+    QCheck_alcotest.to_alcotest prop_parse_total;
+  ]
