@@ -9,7 +9,7 @@
 
    Experiment ids: example table1 fig6 fig7 fig8 fig9 ablation spill-victims
    cluster-policy mve doubling fission cost sacks lifetime-postpass
-   cluster-sweep bechamel.
+   cluster-sweep store bechamel.
    --csv DIR mirrors the figure series to CSV files.
    --clusters K / --read-ports N / --write-ports N swap the machine
    under test for a K-cluster NCDRF with per-subfile port budgets; the
@@ -33,6 +33,14 @@
    inspect it with `ncdrf profile FILE`.
    --size N / --seed N pick the suite; the suite cache is keyed on
    (size, seed) so mixed-size runs never see stale entries.
+   --cache-dir DIR opens the persistent on-disk artifact store there
+   (--cache-max-mb N bounds it; 0 = unbounded): a second process over
+   the same suite replays its compiles from disk instead of
+   recomputing, with byte-identical output.
+   --shard I/N keeps only the loops assigned to shard I of N — a
+   deterministic, jobs-invariant partition by loop content digest — so
+   N cooperating processes can split a suite and `ncdrf merge` their
+   --metrics/--ledger outputs back into one run.
    --timeout SECS gives every (loop, model) point a wall budget on the
    monotonic clock; over-budget points fail with the typed
    deadline_exceeded category and land in the failure manifest. *)
@@ -50,6 +58,7 @@ module Json = Telemetry.Json
 module Error = Ncdrf_error.Error
 module Failures = Ncdrf_error.Failures
 module Fault = Ncdrf_fault.Fault
+module Store = Ncdrf_cache.Store
 
 let suite_size = ref 795
 let suite_seed = ref 42
@@ -92,6 +101,12 @@ let point_timeout : float option ref = ref None
 let cluster_count = ref 2
 let rf_read_ports : int option ref = ref None
 let rf_write_ports : int option ref = ref None
+
+(* Persistent store (--cache-dir / --cache-max-mb) and suite shard
+   (--shard I/N); both fixed at startup. *)
+let cache_dir : string option ref = ref None
+let cache_max_mb = ref 0
+let shard_spec : (int * int) option ref = ref None
 
 let machine ~latency =
   Config.k_cluster ?read_ports:!rf_read_ports ?write_ports:!rf_write_ports
@@ -151,6 +166,11 @@ let workloads () =
             weight = e.Ncdrf_workloads.Suite.iterations;
           })
         entries
+    in
+    let w =
+      match !shard_spec with
+      | None -> w
+      | Some (index, count) -> Suite_stats.shard ~index ~count w
     in
     suite_cache := Some (key, w);
     w
@@ -914,6 +934,81 @@ let run_bechamel () =
         (bechamel_tests ()))
 
 (* ------------------------------------------------------------------ *)
+(* Persistent-store wall clock: the capacity sweep run with no store,
+   against an empty store (cold), replayed from disk (warm — the
+   in-memory cache is cleared between passes, so each pass models a
+   fresh process over a shared --cache-dir), and split in two shards
+   against a second empty store (the cooperating-process partition;
+   the slower shard is the critical path of a 2-process run).         *)
+(* ------------------------------------------------------------------ *)
+
+let rec rm_rf path =
+  match Unix.lstat path with
+  | { Unix.st_kind = Unix.S_DIR; _ } ->
+    Array.iter (fun e -> rm_rf (Filename.concat path e)) (Sys.readdir path);
+    (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> ( try Unix.unlink path with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ -> ()
+
+let run_store () =
+  banner "Persistent store: cold vs disk-warm vs sharded wall clock";
+  let all = workloads () in
+  let config = machine ~latency:6 in
+  let capacities = [ 16; 32 ] in
+  let sweep loops =
+    (* A fresh in-memory cache per pass: only the disk store persists
+       across passes, exactly as it would across processes. *)
+    Artifact.clear_cache ();
+    let t0 = Telemetry.now () in
+    List.iter
+      (fun capacity ->
+        ignore
+          (Suite_stats.performance ?pool:(pool ()) ?timeout_s:!point_timeout
+             ~failures:!the_failures ~spill:(spill ()) ~config
+             ~model:Model.Swapped ~capacity loops))
+      capacities;
+    Telemetry.now () -. t0
+  in
+  let saved = Store.ambient () in
+  let root =
+    Filename.concat (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ncdrf-store-bench.%d" (Unix.getpid ()))
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Store.set_ambient saved;
+      Artifact.clear_cache ();
+      rm_rf root)
+    (fun () ->
+      Store.set_ambient None;
+      let no_store = sweep all in
+      let full = Store.open_store ~dir:(Filename.concat root "full") () in
+      Store.set_ambient (Some full);
+      let cold = sweep all in
+      let warm = sweep all in
+      let st = Store.stats full in
+      Store.set_ambient
+        (Some (Store.open_store ~dir:(Filename.concat root "sharded") ()));
+      let shard_walls =
+        List.init 2 (fun i -> sweep (Suite_stats.shard ~index:i ~count:2 all))
+      in
+      Printf.printf "  %-24s %8.3f s\n" "no store" no_store;
+      Printf.printf "  %-24s %8.3f s\n" "cold (empty store)" cold;
+      Printf.printf "  %-24s %8.3f s  (%.2fx vs cold)\n" "disk-warm" warm
+        (if warm > 0.0 then cold /. warm else 0.0);
+      List.iteri
+        (fun i w ->
+          Printf.printf "  %-24s %8.3f s\n" (Printf.sprintf "shard %d/2 (cold)" i) w)
+        shard_walls;
+      let critical = List.fold_left Float.max 0.0 shard_walls in
+      Printf.printf "  %-24s %8.3f s  (%.2fx vs cold)\n" "2-process critical path"
+        critical
+        (if critical > 0.0 then cold /. critical else 0.0);
+      Printf.printf
+        "  full store: %d hit(s), %d miss(es), %d write(s), %d byte(s)\n%!"
+        st.Store.hits st.Store.misses st.Store.writes st.Store.bytes)
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -935,6 +1030,7 @@ let experiments =
     ("sacks", run_sacks);
     ("lifetime-postpass", run_lifetime_postpass);
     ("cluster-sweep", run_cluster_sweep);
+    ("store", run_store);
     ("bechamel", run_bechamel);
   ]
 
@@ -1118,6 +1214,7 @@ let usage () =
     "usage: main.exe [EXPERIMENT...] [--quick] [--size N] [--seed N] [--jobs N]\n\
     \       [--clusters K] [--read-ports N] [--write-ports N]\n\
     \       [--csv DIR] [--metrics FILE] [--trace FILE] [--ledger FILE] [--no-cache]\n\
+    \       [--cache-dir DIR] [--cache-max-mb N] [--shard I/N]\n\
     \       [--spill-batch K] [--spill-incremental]\n\
     \       [--fail-fast] [--max-failures N] [--failures FILE] [--timeout SECS]\n\
     \       [--inject stage=NAME[,loop=REGEX][,every=N]]\n";
@@ -1203,15 +1300,48 @@ let () =
     | "--timeout" :: s :: rest ->
       point_timeout := Some (Float.max 0.0 (float_arg "--timeout" s));
       parse rest
+    | "--cache-dir" :: dir :: rest ->
+      cache_dir := Some dir;
+      parse rest
+    | "--cache-max-mb" :: n :: rest ->
+      cache_max_mb := max 0 (int_arg "--cache-max-mb" n);
+      parse rest
+    | "--shard" :: spec :: rest ->
+      (match String.index_opt spec '/' with
+       | Some slash ->
+         let index = int_of_string_opt (String.sub spec 0 slash) in
+         let count =
+           int_of_string_opt
+             (String.sub spec (slash + 1) (String.length spec - slash - 1))
+         in
+         (match (index, count) with
+          | Some i, Some n when n >= 1 && i >= 0 && i < n -> shard_spec := Some (i, n)
+          | _ ->
+            Printf.eprintf "--shard: expected I/N with 0 <= I < N, got %S\n" spec;
+            usage ())
+       | None ->
+         Printf.eprintf "--shard: expected I/N, got %S\n" spec;
+         usage ());
+      parse rest
     | ("--csv" | "--jobs" | "--metrics" | "--trace" | "--ledger" | "--seed" | "--size"
       | "--max-failures" | "--failures" | "--inject" | "--spill-batch" | "--clusters"
-      | "--read-ports" | "--write-ports" | "--timeout")
+      | "--read-ports" | "--write-ports" | "--timeout" | "--cache-dir" | "--cache-max-mb"
+      | "--shard")
       :: [] ->
       usage ()
     | a :: rest -> a :: parse rest
     | [] -> []
   in
   let selected = parse args in
+  (match !cache_dir with
+  | None -> ()
+  | Some dir -> (
+    try
+      Store.set_ambient
+        (Some (Store.open_store ~max_bytes:(!cache_max_mb * 1024 * 1024) ~dir ()))
+    with Sys_error msg ->
+      Printf.eprintf "--cache-dir: %s\n" msg;
+      exit 2));
   the_failures := Failures.create ~fail_fast:!fail_fast ?max_failures:!max_failures ();
   let to_run =
     match selected with

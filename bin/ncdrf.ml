@@ -99,6 +99,62 @@ module Fault = Ncdrf_fault.Fault
 module Protocol = Ncdrf_server.Protocol
 module Server = Ncdrf_server.Server
 module Client = Ncdrf_server.Client
+module Store = Ncdrf_cache.Store
+
+(* ------------------------------------------------------------------ *)
+(* Persistent store + sharding options shared by suite and serve.       *)
+(* ------------------------------------------------------------------ *)
+
+let shard_conv =
+  let parse s =
+    match String.split_on_char '/' s with
+    | [ i; n ] -> (
+      match (int_of_string_opt i, int_of_string_opt n) with
+      | Some i, Some n when n >= 1 && i >= 0 && i < n -> Ok (i, n)
+      | _ -> Stdlib.Error (`Msg "expected I/N with 0 <= I < N"))
+    | _ -> Stdlib.Error (`Msg "expected I/N, e.g. 0/2")
+  in
+  Arg.conv (parse, fun ppf (i, n) -> Format.fprintf ppf "%d/%d" i n)
+
+let shard_arg =
+  let doc =
+    "Compile only shard $(docv) (as I/N) of the point set.  Loops partition \
+     deterministically by content digest — the identity the ledger sorts on — so N \
+     shard processes cover the suite exactly once, and their $(b,--metrics) / \
+     $(b,--ledger) outputs union back into the unsharded run with $(b,ncdrf merge)."
+  in
+  Arg.(value & opt (some shard_conv) None & info [ "shard" ] ~docv:"I/N" ~doc)
+
+let cache_dir_arg =
+  let doc =
+    "Persist compile artifacts in a content-addressed on-disk store under $(docv), \
+     shared safely between concurrent processes; a later run over the same store \
+     warm-starts from disk instead of recomputing."
+  in
+  Arg.(value & opt (some string) None & info [ "cache-dir" ] ~docv:"DIR" ~doc)
+
+let cache_max_mb_arg =
+  let doc =
+    "Evict least-recently-used store entries once the $(b,--cache-dir) store \
+     exceeds $(docv) megabytes (0 = no size budget)."
+  in
+  Arg.(value & opt int 0 & info [ "cache-max-mb" ] ~docv:"MB" ~doc)
+
+let open_ambient_store ~cache_dir ~cache_max_mb =
+  match cache_dir with
+  | None -> ()
+  | Some dir -> (
+    try
+      Store.set_ambient
+        (Some (Store.open_store ~max_bytes:(cache_max_mb * 1024 * 1024) ~dir ()))
+    with Sys_error msg ->
+      Printf.eprintf "cannot open --cache-dir: %s\n" msg;
+      exit 2)
+
+let apply_shard shard loops =
+  match shard with
+  | None -> loops
+  | Some (index, count) -> Suite_stats.shard ~index ~count loops
 
 (* Uniform failure reporting for every subcommand: legacy front-end
    exceptions, classified pipeline errors, and policy aborts all exit 1
@@ -200,7 +256,8 @@ let write_failures_csv path failures =
 
 let suite_cmd =
   let run latency clusters read_ports write_ports size registers jobs timeout metrics
-      fail_fast max_failures inject failures_csv no_cache trace ledger =
+      fail_fast max_failures inject failures_csv no_cache trace ledger cache_dir
+      cache_max_mb shard =
     let module Pool = Ncdrf_parallel.Pool in
     let module Telemetry = Ncdrf_telemetry.Telemetry in
     let module Trace = Ncdrf_telemetry.Trace in
@@ -217,12 +274,14 @@ let suite_cmd =
     handle_errors @@ fun () ->
     Fun.protect ~finally:Fault.disarm @@ fun () ->
     let config = config_of ?read_ports ?write_ports ~clusters ~latency () in
+    open_ambient_store ~cache_dir ~cache_max_mb;
     let loops =
-      List.map
-        (fun e ->
-          { Suite_stats.ddg = e.Ncdrf_workloads.Suite.ddg;
-            weight = e.Ncdrf_workloads.Suite.iterations })
-        (Ncdrf_workloads.Suite.full ~size ())
+      apply_shard shard
+        (List.map
+           (fun e ->
+             { Suite_stats.ddg = e.Ncdrf_workloads.Suite.ddg;
+               weight = e.Ncdrf_workloads.Suite.iterations })
+           (Ncdrf_workloads.Suite.full ~size ()))
     in
     Telemetry.enable (metrics <> None);
     Trace.enable (trace <> None);
@@ -364,7 +423,7 @@ let suite_cmd =
       const run $ latency_arg $ clusters_arg $ read_ports_arg $ write_ports_arg
       $ size_arg $ registers_arg $ jobs_arg $ timeout_arg $ metrics_arg $ fail_fast_arg
       $ max_failures_arg $ inject_arg $ failures_arg $ no_cache_arg $ trace_arg
-      $ ledger_arg)
+      $ ledger_arg $ cache_dir_arg $ cache_max_mb_arg $ shard_arg)
 
 (* ------------------------------------------------------------------ *)
 (* sweep                                                               *)
@@ -500,6 +559,13 @@ let print_profile ~top ?stage:stage_filter records =
   let hits = sum (fun r -> r.Ledger.cache_hits)
   and misses = sum (fun r -> r.Ledger.cache_misses) in
   Format.printf "cache: %d hit(s) / %d miss(es)%s@." hits misses (hit_rate hits misses);
+  let dhits = sum (fun r -> r.Ledger.disk_hits)
+  and dmisses = sum (fun r -> r.Ledger.disk_misses) in
+  (* Runs without a --cache-dir store have all-zero disk counters; stay
+     silent so pre-store ledgers profile byte-identically. *)
+  if dhits + dmisses > 0 then
+    Format.printf "disk:  %d hit(s) / %d miss(es)%s@." dhits dmisses
+      (hit_rate dhits dmisses);
   if List.length labels > 1 then
     List.iter
       (fun label ->
@@ -587,22 +653,45 @@ let print_profile ~top ?stage:stage_filter records =
     stages
 
 let profile_cmd =
-  let run file top stage =
+  let run files top stage =
     handle_errors @@ fun () ->
-    match Ledger.load ~path:file with
-    | Stdlib.Error msg ->
-      Printf.eprintf "profile: %s: %s\n" file msg;
+    let loaded =
+      List.map
+        (fun file ->
+          match Ledger.load ~path:file with
+          | Stdlib.Error msg ->
+            Printf.eprintf "profile: %s: %s\n" file msg;
+            exit 1
+          | Ok records -> (file, records))
+        files
+    in
+    (* Shard ledgers merge like `ncdrf merge`: concatenate and re-sort
+       by record identity, so the analysis below sees one run. *)
+    let records =
+      Ncdrf_telemetry.Merge.merge_ledgers (List.map snd loaded)
+    in
+    match records with
+    | [] ->
+      Printf.eprintf "profile: empty ledger\n";
       1
-    | Ok [] ->
-      Printf.eprintf "profile: %s: empty ledger\n" file;
-      1
-    | Ok records ->
+    | records ->
+      if List.length loaded > 1 then begin
+        Format.printf "shards:@.";
+        List.iter
+          (fun (file, rs) ->
+            Format.printf "  %-32s %d point(s)@." file (List.length rs))
+          loaded
+      end;
       print_profile ~top ?stage records;
       0
   in
   let ledger_file_arg =
-    let doc = "Run ledger (JSONL) produced by a $(b,--ledger) run." in
-    Arg.(required & pos 0 (some file) None & info [] ~docv:"LEDGER" ~doc)
+    let doc =
+      "Run ledgers (JSONL) produced by $(b,--ledger) runs.  Several files — e.g. \
+       the per-shard ledgers of a $(b,--shard) run — are merged by record \
+       identity and analyzed as one run, with per-shard point counts reported."
+    in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"LEDGER" ~doc)
   in
   let top_arg =
     let doc = "Show the $(docv) slowest entries per ranking." in
@@ -619,6 +708,107 @@ let profile_cmd =
   Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ ledger_file_arg $ top_arg $ stage_arg)
 
 (* ------------------------------------------------------------------ *)
+(* merge                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Merge = Ncdrf_telemetry.Merge
+module Json = Ncdrf_telemetry.Json
+
+let merge_cmd =
+  let run files metrics_out ledger_out strip =
+    handle_errors @@ fun () ->
+    (* Inputs self-identify: a JSON document with a "schema" field is a
+       metrics file, anything else must load as a JSONL ledger. *)
+    let classify file =
+      let content =
+        try In_channel.with_open_text file In_channel.input_all
+        with Sys_error msg ->
+          Printf.eprintf "merge: %s\n" msg;
+          exit 1
+      in
+      match Json.of_string content with
+      | Ok (Json.Obj fields as json) when List.mem_assoc "schema" fields ->
+        `Metrics json
+      | _ -> (
+        match Ledger.load ~path:file with
+        | Ok records -> `Ledger records
+        | Stdlib.Error msg ->
+          Printf.eprintf "merge: %s: neither a metrics JSON nor a ledger: %s\n" file
+            msg;
+          exit 1)
+    in
+    let inputs = List.map classify files in
+    let metrics_in = List.filter_map (function `Metrics j -> Some j | _ -> None) inputs in
+    let ledgers_in = List.filter_map (function `Ledger r -> Some r | _ -> None) inputs in
+    (match (metrics_in, metrics_out) with
+    | [], None -> ()
+    | [], Some _ ->
+      Printf.eprintf "merge: --metrics given but no metrics inputs\n";
+      exit 1
+    | _ :: _, None ->
+      Printf.eprintf "merge: metrics inputs given but no --metrics OUT\n";
+      exit 1
+    | docs, Some path -> (
+      match Merge.merge_metrics docs with
+      | Stdlib.Error msg ->
+        Printf.eprintf "merge: %s\n" msg;
+        exit 1
+      | Ok merged ->
+        let merged = if strip then Merge.strip_timing merged else merged in
+        Ncdrf_telemetry.Telemetry.write_json ~path merged;
+        Format.printf "[metrics: %s]@." path));
+    (match (ledgers_in, ledger_out) with
+    | [], None -> ()
+    | [], Some _ ->
+      Printf.eprintf "merge: --ledger given but no ledger inputs\n";
+      exit 1
+    | _ :: _, None ->
+      Printf.eprintf "merge: ledger inputs given but no --ledger OUT\n";
+      exit 1
+    | shards, Some path ->
+      let records = Merge.merge_ledgers shards in
+      let records =
+        if strip then List.map Merge.strip_record_timing records else records
+      in
+      Json.write_file ~prefix:".ledger" ~path (Ledger.to_jsonl records);
+      Format.printf "[ledger: %s]@." path);
+    0
+  in
+  let files_arg =
+    let doc =
+      "Shard outputs to merge: $(b,--metrics) JSONs and/or $(b,--ledger) JSONL \
+       files, classified by content.  A single input is re-rendered through the \
+       same merge, which normalizes an unsharded file for comparison."
+    in
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc)
+  in
+  let metrics_out_arg =
+    let doc =
+      "Write the merged metrics JSON to $(docv): counters and span counts sum, \
+       span maxima take the max, percentiles merge count-weighted."
+    in
+    Arg.(value & opt (some string) None & info [ "metrics" ] ~docv:"OUT" ~doc)
+  in
+  let ledger_out_arg =
+    let doc =
+      "Write the merged ledger to $(docv): shard records concatenated and \
+       re-sorted by record identity, the order an unsharded run writes."
+    in
+    Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"OUT" ~doc)
+  in
+  let strip_arg =
+    let doc =
+      "Null every timing field (wall clocks, span durations, percentiles, rates) \
+       in the outputs, so a merged sharded run can be compared byte-for-byte \
+       against a normalized unsharded run."
+    in
+    Arg.(value & flag & info [ "strip-timing" ] ~doc)
+  in
+  let doc = "Merge sharded --metrics / --ledger outputs into one run." in
+  Cmd.v (Cmd.info "merge" ~doc)
+    Term.(const run $ files_arg $ metrics_out_arg $ ledger_out_arg $ strip_arg)
+
+(* ------------------------------------------------------------------ *)
 (* serve                                                               *)
 (* ------------------------------------------------------------------ *)
 
@@ -627,7 +817,8 @@ let socket_arg =
   Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
 
 let serve_cmd =
-  let run verbose socket jobs queue timeout drain_grace metrics trace ledger inject =
+  let run verbose socket jobs queue timeout drain_grace metrics trace ledger inject
+      cache_dir cache_max_mb =
     setup_logs verbose;
     (match inject with
      | None -> ()
@@ -649,6 +840,8 @@ let serve_cmd =
         metrics;
         trace;
         ledger;
+        cache_dir;
+        cache_max_mb;
       }
   in
   let jobs_arg =
@@ -700,7 +893,8 @@ let serve_cmd =
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
       const run $ verbose_arg $ socket_arg $ jobs_arg $ queue_arg $ timeout_arg
-      $ drain_grace_arg $ metrics_arg $ trace_arg $ ledger_arg $ inject_arg)
+      $ drain_grace_arg $ metrics_arg $ trace_arg $ ledger_arg $ inject_arg
+      $ cache_dir_arg $ cache_max_mb_arg)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)
@@ -930,7 +1124,9 @@ let usage =
       "  sweep FILE      requirement of each loop across FP latencies and models";
       "  simulate FILE   execute loops on the simulated machine vs the reference";
       "  kernels         list built-in kernels with their register requirements";
-      "  profile LEDGER  analyze a --ledger run: slowest loops, cache hits, histograms";
+      "  profile LEDGER...  analyze --ledger runs (shard ledgers merge): slowest loops,";
+      "                  cache hits, histograms, per-shard point counts";
+      "  merge FILE...   union sharded --metrics/--ledger outputs into one run";
       "  example         walk the paper's worked example";
       "  serve           run the compile daemon on a Unix-domain socket";
       "  client CMD      schedule/suite/health against a running daemon";
@@ -948,6 +1144,9 @@ let usage =
       "      --trace FILE   Chrome trace-event JSON (chrome://tracing, Perfetto)";
       "      --ledger FILE  JSONL run ledger, one record per (config, loop) point";
       "      --no-cache     disable the compile cache";
+      "      --cache-dir DIR   persistent artifact store shared across processes";
+      "      --cache-max-mb N  LRU-evict the store beyond N megabytes (0 = unlimited)";
+      "      --shard I/N    compile only shard I of N (merge outputs with ncdrf merge)";
       "      --inject SPEC  arm a fault: stage=NAME[,loop=REGEX][,every=N]";
       "      --fail-fast    abort on the first failed point";
       "      --max-failures N  abort once more than N points have failed";
@@ -963,7 +1162,7 @@ let () =
   let group =
     Cmd.group info
       [ schedule_cmd; dot_cmd; suite_cmd; sweep_cmd; simulate_cmd; kernels_cmd;
-        profile_cmd; example_cmd; serve_cmd; client_cmd ]
+        profile_cmd; merge_cmd; example_cmd; serve_cmd; client_cmd ]
   in
   match Cmd.eval_value group with
   | Ok (`Ok code) -> exit code

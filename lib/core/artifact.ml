@@ -2,6 +2,7 @@ open Ncdrf_ir
 open Ncdrf_machine
 open Ncdrf_sched
 module Cache = Ncdrf_cache.Cache
+module Store = Ncdrf_cache.Store
 module Telemetry = Ncdrf_telemetry.Telemetry
 module Error = Ncdrf_error.Error
 module Fault = Ncdrf_fault.Fault
@@ -49,12 +50,115 @@ let cache_stats () = Cache.stats !cache
 (* The fault point sits in front of the lookup (memo keys do not carry
    the loop name), so an armed "cache" fault fires on hits and misses
    alike.  Exceptions from [compute] propagate uncached — the cache
-   never memoizes a failure. *)
-let memo ~loop key compute =
+   never memoizes a failure.
+
+   When an ambient disk store is open, a memory miss consults it before
+   computing: a disk hit decodes the stored artifact (skipping the
+   compute and its stage spans), a disk miss computes and then publishes
+   the encoding.  Decoding is total — any malformed payload is [None],
+   i.e. a miss — so a corrupt store entry can only cost a recompute. *)
+let memo ~loop ?disk key compute =
   Fault.point ~stage:"cache" ~key:loop;
+  let compute =
+    match disk with
+    | None -> compute
+    | Some (encode, decode) -> (
+      fun () ->
+        match Store.ambient () with
+        | None -> compute ()
+        | Some store -> (
+          match Store.load store ~key ~decode with
+          | Some v -> v
+          | None ->
+            let v = compute () in
+            Store.save store ~key (encode v);
+            v))
+  in
   if Atomic.get enabled then Cache.find_or_add !cache ~key compute else compute ()
 
 let wrong_stage () = invalid_arg "Artifact: cache key collided across stages"
+
+(* ------------------------------------------------------------------ *)
+(* Disk payload codecs.  Payloads carry only integers — an II plus
+   (cycle, cluster) placement pairs — and schedules are rebuilt through
+   [Schedule.make] against the config and graph the caller already
+   holds, so nothing structural is trusted from disk.  [Schedule.make]'s
+   validation rejecting a payload (graph changed shape under the same
+   digest is impossible, but a colliding or hand-edited entry is not)
+   reads as a miss. *)
+
+let encode_schedule s =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf (string_of_int s.Schedule.ii);
+  Array.iter
+    (fun p ->
+      Buffer.add_char buf '|';
+      Buffer.add_string buf (string_of_int p.Schedule.cycle);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int p.Schedule.cluster))
+    s.Schedule.placements;
+  Buffer.contents buf
+
+let decode_schedule ~config ddg str =
+  match String.split_on_char '|' str with
+  | [] -> None
+  | ii_s :: cells ->
+    (match int_of_string_opt ii_s with
+    | None -> None
+    | Some ii ->
+      if List.length cells <> Ddg.num_nodes ddg then None
+      else begin
+        let ok = ref true in
+        let placements =
+          Array.of_list
+            (List.map
+               (fun cell ->
+                 match String.split_on_char ',' cell with
+                 | [ c; k ] -> (
+                   match (int_of_string_opt c, int_of_string_opt k) with
+                   | Some cycle, Some cluster -> { Schedule.cycle; cluster }
+                   | _ ->
+                     ok := false;
+                     { Schedule.cycle = 0; cluster = 0 })
+                 | _ ->
+                   ok := false;
+                   { Schedule.cycle = 0; cluster = 0 })
+               cells)
+        in
+        if not !ok then None
+        else
+          match Schedule.make ~config ~ii ~placements ddg with
+          | s -> Some s
+          | exception Invalid_argument _ -> None
+      end)
+
+let mii_codec =
+  ( (function Mii_of m -> string_of_int m | _ -> wrong_stage ()),
+    fun str -> Option.map (fun m -> Mii_of m) (int_of_string_opt str) )
+
+let raw_codec ~config ddg =
+  ( (function Raw_of s -> encode_schedule s | _ -> wrong_stage ()),
+    fun str -> Option.map (fun s -> Raw_of s) (decode_schedule ~config ddg str) )
+
+let spill_codec ~config ddg =
+  ( (function Spill_of s -> encode_schedule s | _ -> wrong_stage ()),
+    fun str -> Option.map (fun s -> Spill_of s) (decode_schedule ~config ddg str) )
+
+let view_codec ~config ddg =
+  ( (function
+    | View_of v ->
+      Printf.sprintf "%d!%d!%s" v.requirement v.swaps (encode_schedule v.sched)
+    | _ -> wrong_stage ()),
+    fun str ->
+      match String.split_on_char '!' str with
+      | [ req_s; swaps_s; sched_s ] -> (
+        match (int_of_string_opt req_s, int_of_string_opt swaps_s) with
+        | Some requirement, Some swaps ->
+          Option.map
+            (fun sched -> View_of { sched; requirement; swaps })
+            (decode_schedule ~config ddg sched_s)
+        | _ -> None)
+      | _ -> None )
 
 (* Key layout: config fingerprint + '\x01' + ddg digest + '#stage'.
    Fingerprint and digest are both injective serializations, so equal
@@ -79,7 +183,7 @@ let mii ~config ddg =
     Fault.point ~stage:"mii" ~key:(Ddg.name ddg);
     Mii_of (Telemetry.time "mii" (fun () -> Mii.mii config ddg))
   in
-  match memo ~loop:(Ddg.name ddg) (base_key ~config ddg ^ "#mii") compute with
+  match memo ~loop:(Ddg.name ddg) ~disk:mii_codec (base_key ~config ddg ^ "#mii") compute with
   | Mii_of m ->
     (* Stamped on the ambient point here, after the memo, so the ledger
        sees the MII on cache hits too. *)
@@ -93,7 +197,10 @@ let raw_schedule ~config ddg =
     Fault.point ~stage:"schedule" ~key:(Ddg.name ddg);
     Raw_of (Telemetry.time "schedule" (fun () -> Modulo.schedule config ddg))
   in
-  match memo ~loop:(Ddg.name ddg) (base_key ~config ddg ^ "#raw") compute with
+  match
+    memo ~loop:(Ddg.name ddg) ~disk:(raw_codec ~config ddg) (base_key ~config ddg ^ "#raw")
+      compute
+  with
   | Raw_of s ->
     Trace.set_ii (Schedule.ii s);
     s
@@ -175,7 +282,12 @@ let view_of_schedule ~model sched =
     let transformed, requirement = apply_model model sched in
     View_of { sched = transformed; requirement; swaps = count_swaps model sched transformed }
   in
-  match memo ~loop:(Ddg.name ddg) (schedule_key sched ^ ":" ^ view_tag model) compute with
+  match
+    memo ~loop:(Ddg.name ddg)
+      ~disk:(view_codec ~config:sched.Schedule.config ddg)
+      (schedule_key sched ^ ":" ^ view_tag model)
+      compute
+  with
   | View_of v -> v
   | Mii_of _ | Raw_of _ | Spill_of _ -> wrong_stage ()
 
@@ -209,7 +321,8 @@ let spill_schedule ~config ~min_ii ddg =
       Spill_of (Adjust.push_late raw ~eligible:is_spill_load)
     in
     match
-      memo ~loop:(Ddg.name ddg) (base_key ~config ddg ^ "#spill:" ^ string_of_int min_ii)
+      memo ~loop:(Ddg.name ddg) ~disk:(spill_codec ~config ddg)
+        (base_key ~config ddg ^ "#spill:" ^ string_of_int min_ii)
         compute
     with
     | Spill_of s -> s

@@ -20,6 +20,14 @@
     experiments (Figure 6 then Figure 7, the CSV re-emission of
     Table 1, ...) hit instead of recomputing.
 
+    When an ambient {!Ncdrf_cache.Store} is open, the same keys address
+    a second, on-disk tier: a memory miss consults the store before
+    computing, and a computed artifact is published back, so results
+    survive the process and are shared across concurrent processes.
+    Disk payloads carry only integers (IIs and placements); schedules
+    are rebuilt through [Schedule.make], and any malformed entry
+    degrades to a miss.
+
     {b Determinism rule:} every compute function is a pure function of
     its key — the scheduler, allocator and swap pass are deterministic —
     so a cached run is byte-for-byte identical to a cold or

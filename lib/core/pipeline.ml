@@ -70,6 +70,8 @@ let point_record ~models ~capacity ~t0 ~ok (p : Trace.point) =
     spill_incremental = opt p.Trace.spill_incremental;
     cache_hits = p.Trace.cache_hits;
     cache_misses = p.Trace.cache_misses;
+    disk_hits = p.Trace.disk_hits;
+    disk_misses = p.Trace.disk_misses;
     stages;
     total_ns = Int64.to_int (Int64.sub (Telemetry.now_ns ()) t0);
     ok;

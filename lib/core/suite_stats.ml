@@ -17,6 +17,22 @@ module Pool = Ncdrf_parallel.Pool
 module Error = Ncdrf_error.Error
 module Failures = Ncdrf_error.Failures
 
+(* Shard assignment hashes the loop's content digest (the same identity
+   the ledger sorts on), not its list position, so the partition is
+   deterministic, independent of suite order, worker count, and the
+   process that computes it — shard i of N always compiles the same
+   loops on every machine.  MD5 is stable across OCaml versions, unlike
+   [Hashtbl.hash]. *)
+let shard_of ~count ddg =
+  let hex = Digest.to_hex (Digest.string (Ddg.digest ddg)) in
+  int_of_string ("0x" ^ String.sub hex 0 8) mod count
+
+let shard ~index ~count loops =
+  if count < 1 then invalid_arg "Suite_stats.shard: count < 1";
+  if index < 0 || index >= count then invalid_arg "Suite_stats.shard: index out of range";
+  if count = 1 then loops
+  else List.filter (fun l -> shard_of ~count l.ddg = index) loops
+
 (* Parallel map over the suite, deterministic: the pool returns results
    in input order, so serial and parallel runs are observably
    identical.  Failures surface with the loop's name attached.

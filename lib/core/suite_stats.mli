@@ -19,6 +19,15 @@ type measurement = {
   ii : int;  (** spill-free II: execution time is [weight * ii] *)
 }
 
+(** [shard ~index ~count loops] keeps the loops assigned to shard
+    [index] of [count], partitioning by a hash of each loop's content
+    digest — the same identity the ledger sorts on — so the partition is
+    deterministic, jobs-invariant, and identical on every machine: the
+    shards are disjoint and their union is the input.  [count = 1]
+    returns the input unchanged.  Raises [Invalid_argument] unless
+    [0 <= index < count]. *)
+val shard : index:int -> count:int -> workload list -> workload list
+
 (** Requirement of every loop under each of [models] with unlimited
     registers (Figures 6 and 7 input), from {b one} scheduling pass per
     loop: the raw schedule is an {!Artifact} every model's view reuses,

@@ -27,6 +27,8 @@ type opts = {
   metrics : string option;
   trace : string option;
   ledger : string option;
+  cache_dir : string option;
+  cache_max_mb : int;
 }
 
 let default_opts ~socket_path =
@@ -39,6 +41,8 @@ let default_opts ~socket_path =
     metrics = None;
     trace = None;
     ledger = None;
+    cache_dir = None;
+    cache_max_mb = 0;
   }
 
 (* The daemon executes one request at a time: trace context and span
@@ -428,6 +432,17 @@ let run ?stop ?(handle_signals = true) opts =
   Trace.enable (opts.trace <> None);
   Ledger.enable (opts.ledger <> None);
   Ledger.set_label "serve";
+  (* Open the persistent artifact store before accepting: the daemon's
+     cold start is then warm for anything a previous process (batch or
+     daemon) already compiled, and everything it compiles outlives it. *)
+  (match opts.cache_dir with
+  | None -> ()
+  | Some dir ->
+    Ncdrf_cache.Store.set_ambient
+      (Some
+         (Ncdrf_cache.Store.open_store
+            ~max_bytes:(opts.cache_max_mb * 1024 * 1024)
+            ~dir ())));
   let listen_fd = bind_socket opts.socket_path in
   let pool = Pool.create ~jobs:opts.jobs () in
   let st =

@@ -28,10 +28,14 @@ type opts = {
   metrics : string option;  (** publish final metrics JSON here *)
   trace : string option;  (** publish a Chrome trace here *)
   ledger : string option;  (** publish the run ledger here *)
+  cache_dir : string option;
+      (** open the persistent artifact store here at startup, so the
+          daemon cold-starts warm from prior processes' work *)
+  cache_max_mb : int;  (** store size budget in MB; 0 = unlimited *)
 }
 
 (** Defaults: pool-default jobs, queue bound 8, no default deadline,
-    5 s drain grace, no observability outputs. *)
+    5 s drain grace, no observability outputs, no persistent store. *)
 val default_opts : socket_path:string -> opts
 
 (** [run opts] serves until stopped, then drains and returns the

@@ -16,6 +16,8 @@ type record = {
   spill_incremental : int option;
   cache_hits : int;
   cache_misses : int;
+  disk_hits : int;
+  disk_misses : int;
   stages : (string * int) list;
   total_ns : int;
   ok : bool;
@@ -95,7 +97,12 @@ let to_json r =
       ("spill_incremental", opt_int r.spill_incremental);
       ( "cache",
         Json.Obj
-          [ ("hits", Json.Int r.cache_hits); ("misses", Json.Int r.cache_misses) ] );
+          [
+            ("hits", Json.Int r.cache_hits);
+            ("misses", Json.Int r.cache_misses);
+            ("disk_hits", Json.Int r.disk_hits);
+            ("disk_misses", Json.Int r.disk_misses);
+          ] );
       ("stages", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) r.stages));
       ("total_ns", Json.Int r.total_ns);
       ("ok", Json.Bool r.ok);
@@ -139,11 +146,19 @@ let of_json json =
     let* maxlive = int_opt "maxlive" in
     let* spill_full = int_opt "spill_full" in
     let* spill_incremental = int_opt "spill_incremental" in
-    let* cache_hits, cache_misses =
+    let* cache_hits, cache_misses, disk_hits, disk_misses =
       match field "cache" fields with
       | Some (Json.Obj cf) -> (
-        match (field "hits" cf, field "misses" cf) with
-        | Some (Json.Int h), Some (Json.Int m) -> Ok (h, m)
+        (* Disk counters default to 0 so ledgers written before the disk
+           tier existed still parse. *)
+        let disk name =
+          match field name cf with
+          | Some (Json.Int i) -> Some i
+          | None -> Some 0
+          | _ -> None
+        in
+        match (field "hits" cf, field "misses" cf, disk "disk_hits", disk "disk_misses") with
+        | Some (Json.Int h), Some (Json.Int m), Some dh, Some dm -> Ok (h, m, dh, dm)
         | _ -> Error "ledger record: bad \"cache\" object")
       | _ -> Error "ledger record: missing \"cache\" object"
     in
@@ -191,6 +206,8 @@ let of_json json =
         spill_incremental;
         cache_hits;
         cache_misses;
+        disk_hits;
+        disk_misses;
         stages;
         total_ns;
         ok;

@@ -26,6 +26,8 @@ type record = {
       (** spill rounds that reused the previous kernel incrementally *)
   cache_hits : int;
   cache_misses : int;
+  disk_hits : int;  (** on-disk store lookups that decoded (0 pre-disk-tier) *)
+  disk_misses : int;
   stages : (string * int) list;  (** stage name -> nanoseconds, name-sorted *)
   total_ns : int;  (** wall time of the whole point *)
   ok : bool;
@@ -61,6 +63,10 @@ val to_json : record -> Json.t
 
 (** Parse one JSONL line back into a record. *)
 val parse_line : string -> (record, string) result
+
+(** Render records as JSONL in the given order (one compact line per
+    record, no sorting). *)
+val to_jsonl : record list -> string
 
 (** Write every record as identity-sorted JSONL, atomically. *)
 val write : path:string -> unit

@@ -1,0 +1,40 @@
+(** Merging shard outputs back into one run.
+
+    A sharded suite ([--shard i/N]) produces per-shard metrics JSONs and
+    per-shard ledgers.  This module unions them: counters and span
+    counts sum, span maxima take the max, percentiles merge by
+    count-weighted average (an approximation — the raw samples are not
+    in the files — but percentiles are timing fields and excluded from
+    byte-comparability anyway), ledgers concatenate and re-sort by
+    record identity.
+
+    Because per-point work is self-contained (loop digests are unique,
+    so no artifact is shared across loops), every non-timing field of a
+    merged N-shard run equals the unsharded run's.  {!strip_timing} /
+    {!strip_record_timing} null the timing fields so the two can be
+    compared byte-for-byte; merging a {e single} input is the identity
+    modulo re-rendering, which normalizes an unsharded file for exactly
+    that comparison. *)
+
+(** [merge_metrics jsons] unions metrics documents that share a
+    ["schema"] field — suite ([ncdrf-suite-metrics/1]), bench
+    ([ncdrf-bench-metrics/1], experiments merged by name), or serve
+    ([ncdrf-serve-metrics/1]).  Errors on an empty list, mixed or
+    unknown schemas. *)
+val merge_metrics : Json.t list -> (Json.t, string) result
+
+(** Replace every timing value (wall clocks, span durations/percentiles,
+    rates, uptimes) with [null], recursively, along with the few
+    partition-dependent counters ([alloc.pairs], [alloc.table_reuse] —
+    the conflict-table memo shares tables across loops whose lifetime
+    sets coincide, so its hit counts depend on which loops cohabit a
+    process).  All other counts and counters are untouched. *)
+val strip_timing : Json.t -> Json.t
+
+(** Concatenate shard ledgers and re-sort by record identity, yielding
+    the same record order an unsharded run writes. *)
+val merge_ledgers : Ledger.record list list -> Ledger.record list
+
+(** Zero a record's duration fields ([total_ns], per-stage
+    nanoseconds); identity and every count survive. *)
+val strip_record_timing : Ledger.record -> Ledger.record

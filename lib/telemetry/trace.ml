@@ -25,6 +25,8 @@ type point = {
   mutable spill_incremental : int;
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable disk_hits : int;
+  mutable disk_misses : int;
   mutable stages : (string * float) list;
   mutable error : string option;
 }
@@ -139,6 +141,8 @@ let with_context ~loop ~config ~fp f =
           spill_incremental = -1;
           cache_hits = 0;
           cache_misses = 0;
+          disk_hits = 0;
+          disk_misses = 0;
           stages = [];
           error = None;
         };
@@ -175,6 +179,11 @@ let note_cache ~hit =
   with_point (fun p ->
       if hit then p.cache_hits <- p.cache_hits + 1
       else p.cache_misses <- p.cache_misses + 1)
+
+let note_disk ~hit =
+  with_point (fun p ->
+      if hit then p.disk_hits <- p.disk_hits + 1
+      else p.disk_misses <- p.disk_misses + 1)
 
 let shard_events s =
   let len = Array.length s.ring in

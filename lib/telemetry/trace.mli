@@ -62,6 +62,8 @@ type point = {
           -1 = no spill pass *)
   mutable cache_hits : int;
   mutable cache_misses : int;
+  mutable disk_hits : int;  (** on-disk store lookups that decoded *)
+  mutable disk_misses : int;
   mutable stages : (string * float) list;  (** seconds, latest first *)
   mutable error : string option;  (** error category name *)
 }
@@ -97,6 +99,9 @@ val note_stage : string -> float -> unit
 
 (** Attribute one compile-cache lookup to the current point. *)
 val note_cache : hit:bool -> unit
+
+(** Attribute one on-disk store lookup to the current point. *)
+val note_disk : hit:bool -> unit
 
 (** {1 Events} *)
 

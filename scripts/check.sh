@@ -236,4 +236,71 @@ if [ -z "${dl:-}" ] || [ "$dl" -eq 0 ]; then
   exit 1
 fi
 
-echo "check.sh: OK (cache.misses=$misses, alloc.table_reuse=$reuse, spill.incremental_reschedules=$incs, errors.injected=$injected, cluster.subfiles=$subfiles, ports.capped_points=$capped, trace_events=$events, serve: served=$served_clients shed=$shed_clients injected=$srv_injected overloaded=$srv_overloaded deadline=$dl)"
+# Persistent-store gate: a second process over the same --cache-dir must
+# replay the whole fig8-quick sweep from disk (disk_hits > 0), print a
+# byte-identical table, and cut the wall clock at least in half —
+# anything less means the disk tier is disconnected or not trusted.
+store_dir=$(mktemp -d /tmp/ncdrf-store.XXXXXX)
+cold_m=$(mktemp /tmp/ncdrf-cold.XXXXXX.json)
+warm_m=$(mktemp /tmp/ncdrf-warm.XXXXXX.json)
+cold_out=$(mktemp /tmp/ncdrf-cold.XXXXXX.txt)
+warm_out=$(mktemp /tmp/ncdrf-warm.XXXXXX.txt)
+trap 'rm -rf "$metrics" "$spill_metrics" "$inj_metrics" "$inj_out" "$k4_metrics" "$ports_metrics" "$trace" "$ledger" "$profile_out" "$serve_metrics" "$client_suite" "$batch_suite" "$shed_dir" "$deadline_metrics" "$sock_a" "$sock_b" "$store_dir" "$cold_m" "$warm_m" "$cold_out" "$warm_out"' EXIT
+dune exec bench/main.exe -- fig8 --quick --jobs 1 \
+  --cache-dir "$store_dir" --metrics "$cold_m" > "$cold_out"
+dune exec bench/main.exe -- fig8 --quick --jobs 1 \
+  --cache-dir "$store_dir" --metrics "$warm_m" > "$warm_out"
+disk_hits=$(grep -o '"cache.disk_hits": *[0-9]*' "$warm_m" | head -n1 | grep -o '[0-9]*$' || true)
+if [ -z "${disk_hits:-}" ] || [ "$disk_hits" -eq 0 ]; then
+  echo "check.sh: disk-warm rerun reported no cache.disk_hits" >&2
+  exit 1
+fi
+# The [metrics: <path>] footer names a different temp file per run; the
+# table above it is the contract.
+if ! { grep -v '^\[metrics' "$cold_out" > "$cold_out.f"; \
+       grep -v '^\[metrics' "$warm_out" > "$warm_out.f"; \
+       cmp -s "$cold_out.f" "$warm_out.f"; }; then
+  rm -f "$cold_out.f" "$warm_out.f"
+  echo "check.sh: disk-warm rerun output differs from the cold run" >&2
+  exit 1
+fi
+rm -f "$cold_out.f" "$warm_out.f"
+cold_wall=$(grep -o '"total_wall_s": *[0-9.]*' "$cold_m" | head -n1 | grep -o '[0-9.]*$' || true)
+warm_wall=$(grep -o '"total_wall_s": *[0-9.]*' "$warm_m" | head -n1 | grep -o '[0-9.]*$' || true)
+if ! awk -v c="${cold_wall:-0}" -v w="${warm_wall:-1}" 'BEGIN { exit !(w * 2 <= c) }'; then
+  echo "check.sh: disk-warm rerun not 2x faster (cold=${cold_wall}s warm=${warm_wall}s)" >&2
+  exit 1
+fi
+
+# Shard-merge gate: two half-suite shards merged with `ncdrf merge` must
+# equal the unsharded run byte-for-byte once timing fields are
+# normalized — both for the metrics JSON and the ledger.  The unsharded
+# files go through a single-input merge, which is the identity modulo
+# the same normalization.
+shard_dir=$(mktemp -d /tmp/ncdrf-shards.XXXXXX)
+trap 'rm -rf "$metrics" "$spill_metrics" "$inj_metrics" "$inj_out" "$k4_metrics" "$ports_metrics" "$trace" "$ledger" "$profile_out" "$serve_metrics" "$client_suite" "$batch_suite" "$shed_dir" "$deadline_metrics" "$sock_a" "$sock_b" "$store_dir" "$cold_m" "$warm_m" "$cold_out" "$warm_out" "$shard_dir"' EXIT
+"$NCDRF" suite --size 60 --jobs 1 \
+  --metrics "$shard_dir/m0.json" --ledger "$shard_dir/l0.jsonl" > /dev/null
+"$NCDRF" suite --size 60 --jobs 1 --shard 0/2 \
+  --metrics "$shard_dir/m1.json" --ledger "$shard_dir/l1.jsonl" > /dev/null
+"$NCDRF" suite --size 60 --jobs 1 --shard 1/2 \
+  --metrics "$shard_dir/m2.json" --ledger "$shard_dir/l2.jsonl" > /dev/null
+"$NCDRF" merge --strip-timing --metrics "$shard_dir/merged.json" \
+  --ledger "$shard_dir/merged.jsonl" \
+  "$shard_dir/m1.json" "$shard_dir/m2.json" \
+  "$shard_dir/l1.jsonl" "$shard_dir/l2.jsonl" > /dev/null
+"$NCDRF" merge --strip-timing --metrics "$shard_dir/whole.json" \
+  --ledger "$shard_dir/whole.jsonl" \
+  "$shard_dir/m0.json" "$shard_dir/l0.jsonl" > /dev/null
+cmp -s "$shard_dir/merged.json" "$shard_dir/whole.json" || {
+  echo "check.sh: merged 2-shard metrics differ from the unsharded run" >&2; exit 1; }
+cmp -s "$shard_dir/merged.jsonl" "$shard_dir/whole.jsonl" || {
+  echo "check.sh: merged 2-shard ledger differs from the unsharded run" >&2; exit 1; }
+shard_points=$("$NCDRF" profile "$shard_dir/l1.jsonl" "$shard_dir/l2.jsonl" \
+  | grep -c 'point(s)' || true)
+if [ "${shard_points:-0}" -lt 2 ]; then
+  echo "check.sh: ncdrf profile did not report per-shard point counts" >&2
+  exit 1
+fi
+
+echo "check.sh: OK (cache.misses=$misses, alloc.table_reuse=$reuse, spill.incremental_reschedules=$incs, errors.injected=$injected, cluster.subfiles=$subfiles, ports.capped_points=$capped, trace_events=$events, serve: served=$served_clients shed=$shed_clients injected=$srv_injected overloaded=$srv_overloaded deadline=$dl, store: disk_hits=$disk_hits cold=${cold_wall}s warm=${warm_wall}s, shard merge OK)"

@@ -9,6 +9,7 @@ let () =
       ("spill", Test_spill.suite);
       ("core", Test_core.suite);
       ("cache", Test_cache.suite);
+      ("store", Test_store.suite);
       ("workloads", Test_workloads.suite);
       ("parallel", Test_parallel.suite);
       ("trace", Test_trace.suite);

@@ -315,6 +315,8 @@ let sample_record : Ledger.record =
     spill_incremental = Some 1;
     cache_hits = 2;
     cache_misses = 4;
+    disk_hits = 1;
+    disk_misses = 3;
     stages = [ ("alloc", 123456); ("schedule", 99) ];
     total_ns = 424242;
     ok = true;
