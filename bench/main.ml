@@ -9,7 +9,7 @@
 
    Experiment ids: example table1 fig6 fig7 fig8 fig9 ablation spill-victims
    cluster-policy mve doubling fission cost sacks lifetime-postpass
-   cluster-sweep store bechamel.
+   cluster-sweep store serve-concurrency bechamel.
    --csv DIR mirrors the figure series to CSV files.
    --clusters K / --read-ports N / --write-ports N swap the machine
    under test for a K-cluster NCDRF with per-subfile port budgets; the
@@ -1009,6 +1009,103 @@ let run_store () =
         st.Store.hits st.Store.misses st.Store.writes st.Store.bytes)
 
 (* ------------------------------------------------------------------ *)
+(* Serve concurrency: requests/s and client-observed latency of an
+   in-process daemon at 1/2/4 concurrent clients, max_inflight 1 vs 4.
+   The artifact cache is disabled so every request performs identical
+   work; on a single-core box the inflight-4 gain is bounded by the
+   overlap of protocol/socket time with compute, not by parallel
+   compute, so ratios near 1.0 are expected there.                     *)
+(* ------------------------------------------------------------------ *)
+
+module Server = Ncdrf_server.Server
+module Client = Ncdrf_server.Client
+module Protocol = Ncdrf_server.Protocol
+
+let run_serve_concurrency () =
+  banner "Serve concurrency: requests/s vs max_inflight and client count";
+  let size = 12 and registers = 32 and per_client = 4 in
+  let was_cached = Artifact.cache_enabled () in
+  Artifact.set_cache_enabled false;
+  Fun.protect
+    ~finally:(fun () ->
+      Artifact.set_cache_enabled was_cached;
+      Artifact.clear_cache ())
+  @@ fun () ->
+  let run_config ~max_inflight ~clients =
+    Artifact.clear_cache ();
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "ncdrf-bench-serve.%d.%d.%d.sock" (Unix.getpid ())
+           max_inflight clients)
+    in
+    (try Sys.remove path with Sys_error _ -> ());
+    let stop = Atomic.make false in
+    let opts =
+      { (Server.default_opts ~socket_path:path) with jobs = 1; max_inflight }
+    in
+    let code = ref (-1) in
+    let daemon =
+      Thread.create
+        (fun () -> code := Server.run ~stop ~handle_signals:false opts)
+        ()
+    in
+    let latencies = ref [] in
+    let lat_lock = Mutex.create () in
+    let client_thread ci =
+      (* Client.connect polls for the socket, so no explicit daemon
+         startup handshake is needed. *)
+      let client = Client.connect path in
+      Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+      for r = 0 to per_client - 1 do
+        let req =
+          {
+            Protocol.id = Printf.sprintf "bench-%d-%d" ci r;
+            timeout_s = None;
+            kind = Protocol.Suite { spec = Config.default_spec; size; registers };
+          }
+        in
+        let t0 = Telemetry.now () in
+        (match Client.request client req with
+         | Ok { Protocol.body = Protocol.Suite_report _; _ } -> ()
+         | Ok _ -> failwith "serve bench: unexpected response body"
+         | Stdlib.Error e -> failwith ("serve bench: " ^ Error.to_string e));
+        let dt = Telemetry.now () -. t0 in
+        Mutex.lock lat_lock;
+        latencies := dt :: !latencies;
+        Mutex.unlock lat_lock
+      done
+    in
+    let t0 = Telemetry.now () in
+    let threads = List.init clients (fun ci -> Thread.create client_thread ci) in
+    List.iter Thread.join threads;
+    let wall = Telemetry.now () -. t0 in
+    Atomic.set stop true;
+    Thread.join daemon;
+    if !code <> 0 then failwith "serve bench: daemon did not drain to exit 0";
+    let lats = !latencies in
+    let pct p = match lats with [] -> 0.0 | l -> Ncdrf_report.Stats.percentile p l in
+    (wall, float_of_int (clients * per_client) /. wall, pct 50.0, pct 90.0,
+     pct 99.0)
+  in
+  Printf.printf "  %-9s %-8s %9s %9s %9s %9s %9s\n" "inflight" "clients"
+    "wall s" "req/s" "p50 s" "p90 s" "p99 s";
+  List.iter
+    (fun clients ->
+      let baseline = ref 0.0 in
+      List.iter
+        (fun max_inflight ->
+          let wall, rps, p50, p90, p99 = run_config ~max_inflight ~clients in
+          if max_inflight = 1 then baseline := rps;
+          let note =
+            if max_inflight = 1 || !baseline <= 0.0 then ""
+            else Printf.sprintf "  (%.2fx vs inflight 1)" (rps /. !baseline)
+          in
+          Printf.printf "  %-9d %-8d %9.3f %9.2f %9.4f %9.4f %9.4f%s\n%!"
+            max_inflight clients wall rps p50 p90 p99 note)
+        [ 1; 4 ])
+    [ 1; 2; 4 ]
+
+(* ------------------------------------------------------------------ *)
 
 let experiments =
   [
@@ -1031,6 +1128,7 @@ let experiments =
     ("lifetime-postpass", run_lifetime_postpass);
     ("cluster-sweep", run_cluster_sweep);
     ("store", run_store);
+    ("serve-concurrency", run_serve_concurrency);
     ("bechamel", run_bechamel);
   ]
 

@@ -652,8 +652,130 @@ let print_profile ~top ?stage:stage_filter records =
            (Stats.auto_histogram (List.map (fun (ns, _) -> ms ns) entries))))
     stages
 
+(* The same analysis as machine-readable JSON ("ncdrf-profile/1"), so
+   CI can gate on ledger-derived stats without scraping the ASCII
+   tables.  Durations are milliseconds, like the ASCII output. *)
+let profile_json ~top ?stage:stage_filter records =
+  let module Json = Ncdrf_telemetry.Json in
+  let ms ns = float_of_int ns /. 1e6 in
+  let sum f = List.fold_left (fun acc r -> acc + f r) 0 records in
+  let labels =
+    List.sort_uniq String.compare (List.map (fun r -> r.Ledger.label) records)
+  in
+  let failed = List.filter (fun r -> not r.Ledger.ok) records in
+  let by_label =
+    List.map
+      (fun label ->
+        let mine = List.filter (fun r -> r.Ledger.label = label) records in
+        let lsum f = List.fold_left (fun acc r -> acc + f r) 0 mine in
+        ( label,
+          Json.Obj
+            [
+              ("records", Json.Int (List.length mine));
+              ("cache_hits", Json.Int (lsum (fun r -> r.Ledger.cache_hits)));
+              ("cache_misses", Json.Int (lsum (fun r -> r.Ledger.cache_misses)));
+            ] ))
+      labels
+  in
+  let errors =
+    List.sort_uniq String.compare (List.filter_map (fun r -> r.Ledger.error) failed)
+    |> List.map (fun cat ->
+           ( cat,
+             Json.Int
+               (List.length (List.filter (fun r -> r.Ledger.error = Some cat) failed))
+           ))
+  in
+  let requests =
+    List.sort_uniq String.compare
+      (List.filter_map
+         (fun r -> if r.Ledger.request = "" then None else Some r.Ledger.request)
+         records)
+    |> List.map (fun id ->
+           ( id,
+             Json.Int
+               (List.length (List.filter (fun r -> r.Ledger.request = id) records))
+           ))
+  in
+  let point_obj extra r =
+    Json.Obj
+      ([
+         ("loop", Json.String r.Ledger.loop);
+         ("config", Json.String r.Ledger.config);
+         ("label", Json.String r.Ledger.label);
+       ]
+      @ extra r)
+  in
+  let take n l = List.filteri (fun i _ -> i < n) l in
+  let slowest =
+    List.stable_sort
+      (fun a b ->
+        match compare b.Ledger.total_ns a.Ledger.total_ns with
+        | 0 -> Ledger.compare_records a b
+        | c -> c)
+      records
+    |> take top
+    |> List.map
+         (point_obj (fun r -> [ ("total_ms", Json.Float (ms r.Ledger.total_ns)) ]))
+  in
+  let stages =
+    List.sort_uniq String.compare
+      (List.concat_map (fun r -> List.map fst r.Ledger.stages) records)
+  in
+  let stages =
+    match stage_filter with
+    | None -> stages
+    | Some s -> List.filter (String.equal s) stages
+  in
+  let stage_obj stage =
+    let entries =
+      List.filter_map
+        (fun r -> Option.map (fun ns -> (ns, r)) (List.assoc_opt stage r.Ledger.stages))
+        records
+      |> List.stable_sort (fun (na, a) (nb, b) ->
+             match compare nb na with
+             | 0 -> Ledger.compare_records a b
+             | c -> c)
+    in
+    let durations = List.map (fun (ns, _) -> ms ns) entries in
+    let pct p = match durations with [] -> 0.0 | l -> Stats.percentile p l in
+    ( stage,
+      Json.Obj
+        [
+          ("count", Json.Int (List.length entries));
+          ("total_ms", Json.Float (List.fold_left ( +. ) 0.0 durations));
+          ("p50_ms", Json.Float (pct 50.0));
+          ("p90_ms", Json.Float (pct 90.0));
+          ("p99_ms", Json.Float (pct 99.0));
+          ( "top",
+            Json.List
+              (take top entries
+              |> List.map (fun (ns, r) ->
+                     point_obj (fun _ -> [ ("ms", Json.Float (ms ns)) ]) r)) );
+        ] )
+  in
+  Json.Obj
+    ([
+       ("schema", Json.String "ncdrf-profile/1");
+       ("records", Json.Int (List.length records));
+       ("labels", Json.Int (List.length labels));
+       ("failed", Json.Int (List.length failed));
+       ( "cache",
+         Json.Obj
+           [
+             ("hits", Json.Int (sum (fun r -> r.Ledger.cache_hits)));
+             ("misses", Json.Int (sum (fun r -> r.Ledger.cache_misses)));
+             ("disk_hits", Json.Int (sum (fun r -> r.Ledger.disk_hits)));
+             ("disk_misses", Json.Int (sum (fun r -> r.Ledger.disk_misses)));
+           ] );
+       ("by_label", Json.Obj by_label);
+       ("errors", Json.Obj errors);
+     ]
+    @ (if requests = [] then [] else [ ("by_request", Json.Obj requests) ])
+    @ [ ("slowest", Json.List slowest); ("stages", Json.Obj (List.map stage_obj stages)) ]
+    )
+
 let profile_cmd =
-  let run files top stage =
+  let run files top stage format =
     handle_errors @@ fun () ->
     let loaded =
       List.map
@@ -674,16 +796,23 @@ let profile_cmd =
     | [] ->
       Printf.eprintf "profile: empty ledger\n";
       1
-    | records ->
-      if List.length loaded > 1 then begin
-        Format.printf "shards:@.";
-        List.iter
-          (fun (file, rs) ->
-            Format.printf "  %-32s %d point(s)@." file (List.length rs))
-          loaded
-      end;
-      print_profile ~top ?stage records;
-      0
+    | records -> (
+      match format with
+      | `Json ->
+        print_string
+          (Ncdrf_telemetry.Json.to_string (profile_json ~top ?stage records));
+        print_newline ();
+        0
+      | `Ascii ->
+        if List.length loaded > 1 then begin
+          Format.printf "shards:@.";
+          List.iter
+            (fun (file, rs) ->
+              Format.printf "  %-32s %d point(s)@." file (List.length rs))
+            loaded
+        end;
+        print_profile ~top ?stage records;
+        0)
   in
   let ledger_file_arg =
     let doc =
@@ -701,11 +830,22 @@ let profile_cmd =
     let doc = "Only analyze stage $(docv) (e.g. schedule, alloc, spill)." in
     Arg.(value & opt (some string) None & info [ "stage" ] ~docv:"NAME" ~doc)
   in
+  let format_arg =
+    let doc =
+      "Output format: $(b,ascii) tables and histograms (default), or $(b,json) — \
+       the same analysis as one machine-readable ncdrf-profile/1 document."
+    in
+    Arg.(
+      value
+      & opt (enum [ ("ascii", `Ascii); ("json", `Json) ]) `Ascii
+      & info [ "format" ] ~docv:"FMT" ~doc)
+  in
   let doc =
     "Analyze a run ledger: slowest points per stage, cache-hit breakdowns and \
-     ASCII duration histograms."
+     ASCII duration histograms (or the same tables as JSON)."
   in
-  Cmd.v (Cmd.info "profile" ~doc) Term.(const run $ ledger_file_arg $ top_arg $ stage_arg)
+  Cmd.v (Cmd.info "profile" ~doc)
+    Term.(const run $ ledger_file_arg $ top_arg $ stage_arg $ format_arg)
 
 (* ------------------------------------------------------------------ *)
 (* merge                                                               *)
@@ -715,10 +855,11 @@ module Merge = Ncdrf_telemetry.Merge
 module Json = Ncdrf_telemetry.Json
 
 let merge_cmd =
-  let run files metrics_out ledger_out strip =
+  let run files metrics_out ledger_out trace_out strip =
     handle_errors @@ fun () ->
     (* Inputs self-identify: a JSON document with a "schema" field is a
-       metrics file, anything else must load as a JSONL ledger. *)
+       metrics file, one with a "traceEvents" list is a Chrome trace,
+       anything else must load as a JSONL ledger. *)
     let classify file =
       let content =
         try In_channel.with_open_text file In_channel.input_all
@@ -729,17 +870,20 @@ let merge_cmd =
       match Json.of_string content with
       | Ok (Json.Obj fields as json) when List.mem_assoc "schema" fields ->
         `Metrics json
+      | Ok (Json.Obj fields as json) when List.mem_assoc "traceEvents" fields ->
+        `Trace json
       | _ -> (
         match Ledger.load ~path:file with
         | Ok records -> `Ledger records
         | Stdlib.Error msg ->
-          Printf.eprintf "merge: %s: neither a metrics JSON nor a ledger: %s\n" file
-            msg;
+          Printf.eprintf
+            "merge: %s: neither a metrics JSON, a trace, nor a ledger: %s\n" file msg;
           exit 1)
     in
     let inputs = List.map classify files in
     let metrics_in = List.filter_map (function `Metrics j -> Some j | _ -> None) inputs in
     let ledgers_in = List.filter_map (function `Ledger r -> Some r | _ -> None) inputs in
+    let traces_in = List.filter_map (function `Trace j -> Some j | _ -> None) inputs in
     (match (metrics_in, metrics_out) with
     | [], None -> ()
     | [], Some _ ->
@@ -772,6 +916,22 @@ let merge_cmd =
       in
       Json.write_file ~prefix:".ledger" ~path (Ledger.to_jsonl records);
       Format.printf "[ledger: %s]@." path);
+    (match (traces_in, trace_out) with
+    | [], None -> ()
+    | [], Some _ ->
+      Printf.eprintf "merge: --trace given but no trace inputs\n";
+      exit 1
+    | _ :: _, None ->
+      Printf.eprintf "merge: trace inputs given but no --trace OUT\n";
+      exit 1
+    | docs, Some path -> (
+      match Merge.merge_traces docs with
+      | Stdlib.Error msg ->
+        Printf.eprintf "merge: %s\n" msg;
+        exit 1
+      | Ok merged ->
+        Json.write_file ~prefix:".trace" ~path (Json.to_string merged ^ "\n");
+        Format.printf "[trace: %s]@." path));
     0
   in
   let files_arg =
@@ -796,6 +956,14 @@ let merge_cmd =
     in
     Arg.(value & opt (some string) None & info [ "ledger" ] ~docv:"OUT" ~doc)
   in
+  let trace_out_arg =
+    let doc =
+      "Write the merged Chrome trace to $(docv): each input trace re-namespaced \
+       onto its own pid, thread-name metadata first, timed events stable-sorted \
+       by timestamp; per-event request ids pass through."
+    in
+    Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"OUT" ~doc)
+  in
   let strip_arg =
     let doc =
       "Null every timing field (wall clocks, span durations, percentiles, rates) \
@@ -804,9 +972,11 @@ let merge_cmd =
     in
     Arg.(value & flag & info [ "strip-timing" ] ~doc)
   in
-  let doc = "Merge sharded --metrics / --ledger outputs into one run." in
+  let doc = "Merge sharded --metrics / --ledger / --trace outputs into one run." in
   Cmd.v (Cmd.info "merge" ~doc)
-    Term.(const run $ files_arg $ metrics_out_arg $ ledger_out_arg $ strip_arg)
+    Term.(
+      const run $ files_arg $ metrics_out_arg $ ledger_out_arg $ trace_out_arg
+      $ strip_arg)
 
 (* ------------------------------------------------------------------ *)
 (* serve                                                               *)
@@ -817,8 +987,8 @@ let socket_arg =
   Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
 
 let serve_cmd =
-  let run verbose socket jobs queue timeout drain_grace metrics trace ledger inject
-      cache_dir cache_max_mb =
+  let run verbose socket jobs max_inflight queue timeout drain_grace metrics trace
+      ledger inject cache_dir cache_max_mb =
     setup_logs verbose;
     (match inject with
      | None -> ()
@@ -834,6 +1004,7 @@ let serve_cmd =
       {
         Server.socket_path = socket;
         jobs;
+        max_inflight;
         queue_bound = queue;
         default_timeout_s = timeout;
         drain_grace_s = drain_grace;
@@ -849,9 +1020,17 @@ let serve_cmd =
     Arg.(value & opt int (Ncdrf_parallel.Pool.default_jobs ())
          & info [ "j"; "jobs" ] ~docv:"N" ~doc)
   in
+  let max_inflight_arg =
+    let doc =
+      "Concurrent request execution slots: up to $(docv) admitted requests execute \
+       at once on their connection threads (per-request observability is isolated \
+       by (domain, thread)-keyed shards and request-id stamping)."
+    in
+    Arg.(value & opt int 4 & info [ "max-inflight" ] ~docv:"N" ~doc)
+  in
   let queue_arg =
     let doc =
-      "Admission queue bound: requests beyond the executing one wait in at most \
+      "Admission queue bound: requests beyond the executing ones wait in at most \
        $(docv) slots; further requests are shed with a typed overloaded response."
     in
     Arg.(value & opt int 8 & info [ "queue" ] ~docv:"N" ~doc)
@@ -892,9 +1071,9 @@ let serve_cmd =
   let doc = "Serve scheduling requests over a Unix-domain socket (JSONL protocol)." in
   Cmd.v (Cmd.info "serve" ~doc)
     Term.(
-      const run $ verbose_arg $ socket_arg $ jobs_arg $ queue_arg $ timeout_arg
-      $ drain_grace_arg $ metrics_arg $ trace_arg $ ledger_arg $ inject_arg
-      $ cache_dir_arg $ cache_max_mb_arg)
+      const run $ verbose_arg $ socket_arg $ jobs_arg $ max_inflight_arg
+      $ queue_arg $ timeout_arg $ drain_grace_arg $ metrics_arg $ trace_arg
+      $ ledger_arg $ inject_arg $ cache_dir_arg $ cache_max_mb_arg)
 
 (* ------------------------------------------------------------------ *)
 (* client                                                              *)
@@ -961,6 +1140,15 @@ let print_health (h : Protocol.health) =
          (100.0 *. float_of_int h.Protocol.cache_hits /. float_of_int lookups))
     h.Protocol.cache_entries
     (if h.Protocol.cache_entries = 1 then "y" else "ies");
+  if h.Protocol.kind_counts <> [] then begin
+    Printf.printf "requests by kind:\n";
+    List.iter
+      (fun (kind, count) -> Printf.printf "  %-12s %d\n" kind count)
+      h.Protocol.kind_counts
+  end;
+  if h.Protocol.latency_p50_s > 0.0 then
+    Printf.printf "latency: p50 %.3f s, p90 %.3f s, p99 %.3f s\n"
+      h.Protocol.latency_p50_s h.Protocol.latency_p90_s h.Protocol.latency_p99_s;
   if h.Protocol.error_counts <> [] then begin
     Printf.printf "errors:\n";
     List.iter
@@ -1125,10 +1313,11 @@ let usage =
       "  simulate FILE   execute loops on the simulated machine vs the reference";
       "  kernels         list built-in kernels with their register requirements";
       "  profile LEDGER...  analyze --ledger runs (shard ledgers merge): slowest loops,";
-      "                  cache hits, histograms, per-shard point counts";
-      "  merge FILE...   union sharded --metrics/--ledger outputs into one run";
+      "                  cache hits, histograms; --format json for machine-readable";
+      "  merge FILE...   union sharded --metrics/--ledger/--trace outputs into one run";
       "  example         walk the paper's worked example";
       "  serve           run the compile daemon on a Unix-domain socket";
+      "                  (--max-inflight N concurrent requests, default 4)";
       "  client CMD      schedule/suite/health against a running daemon";
       "";
       "suite options:";

@@ -54,6 +54,7 @@ let point_record ~models ~capacity ~t0 ~ok (p : Trace.point) =
   in
   {
     Ledger.label = Ledger.label ();
+    request = Trace.current_request ();
     loop = p.Trace.loop;
     config = p.Trace.config;
     fp = p.Trace.fp;

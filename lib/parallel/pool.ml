@@ -66,7 +66,7 @@ let create ?jobs () =
                  executor 0): raw Domain.uid values differ run to run
                  and pool to pool, which would scatter identical runs
                  across different trace tracks. *)
-              Ncdrf_telemetry.Trace.set_domain_id (i + 1);
+              Ncdrf_telemetry.Trace.set_track (i + 1);
               worker_loop t));
   t
 
@@ -95,11 +95,16 @@ let generic_map t outcome xs =
   if n = 0 then []
   else if is_serial t then List.map outcome (Array.to_list arr)
   else begin
+    (* Capture the submitting thread's ambient request id so work
+       stolen by pool workers (different threads, so a different
+       observability shard) is still attributed to the daemon request
+       that submitted it.  Identity outside any request. *)
+    let wrap = Ncdrf_telemetry.Trace.inherit_request () in
     let results = Array.make n None in
     let remaining = ref n in
     let all_done = Condition.create () in
     let job i () =
-      let r = outcome arr.(i) in
+      let r = wrap (fun () -> outcome arr.(i)) in
       Mutex.lock t.lock;
       results.(i) <- Some r;
       decr remaining;

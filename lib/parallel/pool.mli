@@ -28,8 +28,8 @@ val default_jobs : unit -> int
     the calling domain, which also executes items during {!map}).
     [jobs <= 1] creates a serial pool.  Each worker registers its pool
     slot (1-based; the calling domain is slot 0) as its trace track via
-    [Ncdrf_telemetry.Trace.set_domain_id], so event traces get one
-    stable track per executor instead of one per spawned domain. *)
+    [Ncdrf_telemetry.Trace.set_track], so event traces get one stable
+    track per executor instead of one per spawned domain. *)
 val create : ?jobs:int -> unit -> t
 
 val jobs : t -> int
@@ -48,7 +48,13 @@ exception
 (** [map t ~label f xs] applies [f] to every element, in parallel on
     the pool's domains, and returns the results in input order.
     Raises {!Worker_failure} if any item raised; [label] (default a
-    positional ["item %d"]) names the culprits. *)
+    positional ["item %d"]) names the culprits.
+
+    The submitting thread's ambient request id
+    ([Ncdrf_telemetry.Trace.with_request]) is captured at submission
+    and re-installed around every job, so trace events, span samples
+    and ledger records produced by pool workers stay attributed to the
+    daemon request that submitted the map. *)
 val map : t -> ?label:('a -> string) -> ('a -> 'b) -> 'a list -> 'b list
 
 (** Like {!map} but returns per-item outcomes instead of raising:

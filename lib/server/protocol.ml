@@ -87,6 +87,11 @@ type health = {
   cache_misses : int;
   cache_entries : int;
   error_counts : (string * int) list;  (** per-category, sorted by name *)
+  kind_counts : (string * int) list;
+      (** requests seen per kind ("schedule", "suite", ...), sorted *)
+  latency_p50_s : float;  (** percentiles over completed work requests *)
+  latency_p90_s : float;  (** (admission wait + execution); 0.0 before *)
+  latency_p99_s : float;  (** the first completion *)
 }
 
 type response_body =
@@ -214,6 +219,11 @@ let health_to_json h =
       ("cache_entries", Json.Int h.cache_entries);
       ( "errors",
         Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) h.error_counts) );
+      ( "kinds",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) h.kind_counts) );
+      ("latency_p50_s", Json.Float h.latency_p50_s);
+      ("latency_p90_s", Json.Float h.latency_p90_s);
+      ("latency_p99_s", Json.Float h.latency_p99_s);
     ]
 
 let response_to_json r =
@@ -370,6 +380,17 @@ let health_of_json v =
       List.map
         (fun (k, v) -> (k, int_of k v))
         (obj (field "errors" kvs));
+    (* absent in frames from pre-concurrency daemons: default empty/0 *)
+    kind_counts =
+      (match field_opt "kinds" kvs with
+      | Some v -> List.map (fun (k, v) -> (k, int_of k v)) (obj v)
+      | None -> []);
+    latency_p50_s =
+      (match field_opt "latency_p50_s" kvs with Some v -> num "latency_p50_s" v | None -> 0.0);
+    latency_p90_s =
+      (match field_opt "latency_p90_s" kvs with Some v -> num "latency_p90_s" v | None -> 0.0);
+    latency_p99_s =
+      (match field_opt "latency_p99_s" kvs with Some v -> num "latency_p99_s" v | None -> 0.0);
   }
 
 (* The shared frame plumbing: size cap, JSON parse, object check —

@@ -83,6 +83,17 @@ type health = {
   cache_misses : int;
   cache_entries : int;
   error_counts : (string * int) list;  (** per category, sorted by name *)
+  kind_counts : (string * int) list;
+      (** requests seen per kind ("schedule", "suite", "health",
+          "stats"), sorted by name; empty in frames from daemons that
+          predate the field *)
+  latency_p50_s : float;
+      (** percentiles over completed work requests, measured from
+          admission-queue entry to response body completion; 0.0 until
+          the first work request completes or when absent from the
+          frame *)
+  latency_p90_s : float;
+  latency_p99_s : float;
 }
 
 type response_body =

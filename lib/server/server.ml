@@ -17,10 +17,12 @@ module Kernel = Ncdrf_sched.Kernel
 module Spiller = Ncdrf_spill.Spiller
 module Kernels = Ncdrf_workloads.Kernels
 module Suite = Ncdrf_workloads.Suite
+module Stats = Ncdrf_report.Stats
 
 type opts = {
   socket_path : string;
   jobs : int;
+  max_inflight : int;  (* concurrent request execution slots *)
   queue_bound : int;
   default_timeout_s : float option;
   drain_grace_s : float;
@@ -35,6 +37,7 @@ let default_opts ~socket_path =
   {
     socket_path;
     jobs = Pool.default_jobs ();
+    max_inflight = 4;
     queue_bound = 8;
     default_timeout_s = None;
     drain_grace_s = 5.0;
@@ -45,16 +48,13 @@ let default_opts ~socket_path =
     cache_max_mb = 0;
   }
 
-(* The daemon executes one request at a time: trace context and span
-   accumulation are sharded per *domain*, and the per-connection reader
-   threads are all systhreads on domain 0, so two interleaved request
-   executions would clobber each other's ambient observability state.
-   Request-level throughput instead comes from each request fanning its
-   loops across the shared worker pool; admission control in front of
-   the single execution slot is what gives overload a typed answer
+(* Requests execute concurrently up to [opts.max_inflight]: trace
+   context, span accumulation and deadline tokens are all sharded per
+   (domain, thread), so interleaved request executions on connection
+   systhreads keep their observability state apart, and every record is
+   stamped with the request id via [Trace.with_request].  Admission
+   control in front of the slots is what gives overload a typed answer
    instead of an unbounded queue. *)
-let max_inflight = 1
-
 type state = {
   opts : opts;
   pool : Pool.t;
@@ -66,7 +66,10 @@ type state = {
   mutable shed : int;
   mutable draining : bool;
   mutable active_tokens : Deadline.token list;
+  mutable latencies : float list;
+      (* completed work-request wall times (admission + execution) *)
   err_counts : (string, int) Hashtbl.t;
+  kind_counts : (string, int) Hashtbl.t;
   started : float;
 }
 
@@ -77,7 +80,7 @@ let admit st tok =
   let rec go () =
     if st.draining then Draining
     else if Deadline.expired tok then Expired_in_queue
-    else if st.running < max_inflight then begin
+    else if st.running < st.opts.max_inflight then begin
       st.running <- st.running + 1;
       st.active_tokens <- tok :: st.active_tokens;
       Admitted
@@ -105,10 +108,17 @@ let release st tok =
   Condition.broadcast st.slot_free;
   Mutex.unlock st.lock
 
+let bump tbl name =
+  Hashtbl.replace tbl name (1 + Option.value ~default:0 (Hashtbl.find_opt tbl name))
+
 let note_category st name =
   Mutex.lock st.lock;
-  Hashtbl.replace st.err_counts name
-    (1 + Option.value ~default:0 (Hashtbl.find_opt st.err_counts name));
+  bump st.err_counts name;
+  Mutex.unlock st.lock
+
+let note_latency st dt =
+  Mutex.lock st.lock;
+  st.latencies <- dt :: st.latencies;
   Mutex.unlock st.lock
 
 (* Suite failures already bumped errors.* telemetry when the collector
@@ -193,6 +203,9 @@ let execute_suite st ~deadline ~spec ~size ~registers =
 let health_snapshot st =
   let cache = Artifact.cache_stats () in
   Mutex.lock st.lock;
+  let pct p =
+    match st.latencies with [] -> 0.0 | l -> Stats.percentile p l
+  in
   let snapshot =
     {
       Protocol.status = (if st.draining then "draining" else "ok");
@@ -202,7 +215,7 @@ let health_snapshot st =
       active = st.running;
       queued = st.waiting;
       queue_bound = st.opts.queue_bound;
-      max_inflight;
+      max_inflight = st.opts.max_inflight;
       pool_jobs = Pool.jobs st.pool;
       cache_hits = cache.Ncdrf_cache.Cache.hits;
       cache_misses = cache.Ncdrf_cache.Cache.misses;
@@ -210,6 +223,12 @@ let health_snapshot st =
       error_counts =
         Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.err_counts []
         |> List.sort compare;
+      kind_counts =
+        Hashtbl.fold (fun k v acc -> (k, v) :: acc) st.kind_counts []
+        |> List.sort compare;
+      latency_p50_s = pct 50.0;
+      latency_p90_s = pct 90.0;
+      latency_p99_s = pct 99.0;
     }
   in
   Mutex.unlock st.lock;
@@ -228,6 +247,10 @@ let kind_name = function
    [Failed] response; the daemon itself never dies with a request. *)
 let execute st (req : Protocol.request) tok =
   let result =
+    (* Every trace event, span sample and ledger record below — on this
+       thread and on pool workers it submits to — carries the request
+       id. *)
+    Trace.with_request ~id:req.Protocol.id @@ fun () ->
     Error.protect ~stage:"request" ~loop:req.Protocol.id (fun () ->
         Pipeline.observe ~loop:req.Protocol.id
           ~config:("serve/" ^ kind_name req.Protocol.kind) (fun () ->
@@ -260,11 +283,15 @@ let execute st (req : Protocol.request) tok =
     Protocol.Failed e
 
 let respond_for st (req : Protocol.request) =
+  Mutex.lock st.lock;
+  bump st.kind_counts (kind_name req.Protocol.kind);
+  Mutex.unlock st.lock;
   match req.Protocol.kind with
   (* Health probes bypass admission: they must answer even when the
      daemon is saturated or draining — that is their whole point. *)
   | Protocol.Health | Protocol.Stats -> Protocol.Health_report (health_snapshot st)
   | Protocol.Schedule _ | Protocol.Suite _ -> (
+    let t0 = Telemetry.now () in
     let timeout_s =
       match req.Protocol.timeout_s with
       | Some _ as t -> t
@@ -291,7 +318,11 @@ let respond_for st (req : Protocol.request) =
       record_error st e;
       Protocol.Failed e
     | Admitted ->
-      Fun.protect ~finally:(fun () -> release st tok) (fun () -> execute st req tok))
+      Fun.protect
+        ~finally:(fun () ->
+          release st tok;
+          note_latency st (Telemetry.now () -. t0))
+        (fun () -> execute st req tok))
 
 (* One reader thread per connection.  Frames are newline-delimited; a
    line that never terminates within the frame bound is answered with a
@@ -401,14 +432,33 @@ let publish st =
         Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) st.err_counts []
         |> List.sort compare
       in
+      let kinds =
+        Hashtbl.fold (fun k v acc -> (k, Json.Int v) :: acc) st.kind_counts []
+        |> List.sort compare
+      in
+      let pct p =
+        match st.latencies with [] -> 0.0 | l -> Stats.percentile p l
+      in
       Telemetry.write_json ~path
         (Json.Obj
            [
              ("schema", Json.String "ncdrf-serve-metrics/1");
              ("jobs", Json.Int (Pool.jobs st.pool));
+             ("max_inflight", Json.Int st.opts.max_inflight);
              ("uptime_s", Json.Float (Telemetry.now () -. st.started));
              ("requests.served", Json.Int st.served);
              ("requests.shed", Json.Int st.shed);
+             ("requests.inflight", Json.Int st.running);
+             ("requests.queued", Json.Int st.waiting);
+             ("requests.by_kind", Json.Obj kinds);
+             ( "latency",
+               Json.Obj
+                 [
+                   ("count", Json.Int (List.length st.latencies));
+                   ("p50_s", Json.Float (pct 50.0));
+                   ("p90_s", Json.Float (pct 90.0));
+                   ("p99_s", Json.Float (pct 99.0));
+                 ] );
              ("errors", Json.Obj errors);
              ("telemetry", Telemetry.to_json ());
            ]))
@@ -457,7 +507,9 @@ let run ?stop ?(handle_signals = true) opts =
       shed = 0;
       draining = false;
       active_tokens = [];
+      latencies = [];
       err_counts = Hashtbl.create 16;
+      kind_counts = Hashtbl.create 16;
       started = Telemetry.now ();
     }
   in

@@ -2,11 +2,12 @@
     Unix-domain socket.
 
     One JSONL request per line (see {!Protocol}); scheduling and suite
-    requests are admitted through a bounded queue in front of a single
-    execution slot — request throughput comes from each request fanning
-    its loops over the shared worker pool and hitting the shared warm
-    compile cache, while the single slot keeps the per-domain trace and
-    span shards coherent under the daemon's systhreads.  Overload is
+    requests are admitted through a bounded queue in front of
+    [max_inflight] concurrent execution slots — safe because trace,
+    span and deadline state is sharded per (domain, thread) and every
+    record a request produces (on its connection systhread or on pool
+    workers it submits to) is stamped with the request id via
+    [Ncdrf_telemetry.Trace.with_request].  Overload is
     answered with a typed [Overloaded] response carrying a retry hint,
     never an unbounded queue; per-request deadlines and drain
     cancellation flow through {!Ncdrf_error.Deadline} tokens into pool
@@ -20,6 +21,7 @@
 type opts = {
   socket_path : string;
   jobs : int;  (** worker-pool size shared by all requests *)
+  max_inflight : int;  (** concurrent request execution slots *)
   queue_bound : int;  (** admission queue slots; beyond this, shed *)
   default_timeout_s : float option;
       (** deadline for requests that do not carry their own *)
@@ -34,8 +36,9 @@ type opts = {
   cache_max_mb : int;  (** store size budget in MB; 0 = unlimited *)
 }
 
-(** Defaults: pool-default jobs, queue bound 8, no default deadline,
-    5 s drain grace, no observability outputs, no persistent store. *)
+(** Defaults: pool-default jobs, 4 inflight slots, queue bound 8, no
+    default deadline, 5 s drain grace, no observability outputs, no
+    persistent store. *)
 val default_opts : socket_path:string -> opts
 
 (** [run opts] serves until stopped, then drains and returns the

@@ -1,5 +1,6 @@
 type record = {
   label : string;
+  request : string;  (* daemon request id; "" in batch runs *)
   loop : string;
   config : string;
   fp : string;
@@ -71,7 +72,7 @@ let reset () =
    the written ledger independent of completion order, so --jobs N and
    --jobs 1 runs produce the same record sequence. *)
 let identity r =
-  (r.label, r.config, r.models, r.capacity, r.loop, r.fp, r.ok, r.error)
+  (r.label, r.request, r.config, r.models, r.capacity, r.loop, r.fp, r.ok, r.error)
 
 let compare_records a b = compare (identity a) (identity b)
 
@@ -79,8 +80,11 @@ let opt_int = function None -> Json.Null | Some v -> Json.Int v
 
 let to_json r =
   Json.Obj
-    [
-      ("label", Json.String r.label);
+    ([ ("label", Json.String r.label) ]
+    (* emitted only when set, so batch ledgers keep their pre-request
+       byte layout (the shard-merge byte gate depends on it) *)
+    @ (if r.request = "" then [] else [ ("request", Json.String r.request) ])
+    @ [
       ("loop", Json.String r.loop);
       ("config", Json.String r.config);
       ("fp", Json.String r.fp);
@@ -107,7 +111,7 @@ let to_json r =
       ("total_ns", Json.Int r.total_ns);
       ("ok", Json.Bool r.ok);
       ("error", match r.error with None -> Json.Null | Some e -> Json.String e);
-    ]
+    ])
 
 let field name fields = List.assoc_opt name fields
 
@@ -132,6 +136,9 @@ let of_json json =
       | _ -> Error (Printf.sprintf "ledger record: bad optional int field %S" name)
     in
     let* label = str "label" in
+    let request =
+      match field "request" fields with Some (Json.String s) -> s | _ -> ""
+    in
     let* loop = str "loop" in
     let* config = str "config" in
     let* fp = str "fp" in
@@ -190,6 +197,7 @@ let of_json json =
     Ok
       {
         label;
+        request;
         loop;
         config;
         fp;

@@ -7,6 +7,10 @@
 
 type record = {
   label : string;  (** experiment name ("fig8", "suite", ...) *)
+  request : string;
+      (** daemon request id that produced the point ([""] in batch
+          runs; rendered in JSON only when non-empty, so batch ledgers
+          keep their pre-request byte layout) *)
   loop : string;
   config : string;  (** config display name *)
   fp : string;  (** short hex digest of the config fingerprint *)
@@ -55,8 +59,8 @@ val records : unit -> record list
 (** Drop all records (the armed flag and label are untouched). *)
 val reset : unit -> unit
 
-(** Sorted by identity (label, config, models, capacity, loop, ...);
-    durations and insertion order do not affect it. *)
+(** Sorted by identity (label, request, config, models, capacity,
+    loop, ...); durations and insertion order do not affect it. *)
 val compare_records : record -> record -> int
 
 val to_json : record -> Json.t

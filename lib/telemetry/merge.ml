@@ -205,13 +205,45 @@ let merge_bench objs =
 
 let merge_serve objs =
   let telemetry = List.filter_map (fun o -> field "telemetry" (fields_of o)) objs in
+  (* Latency percentiles merge count-weighted, like span percentiles:
+     the documents carry no raw samples. *)
+  let latency =
+    let parts = List.filter_map (fun o -> field "latency" (fields_of o)) objs in
+    let count = sum_ints "count" parts in
+    let weighted name =
+      let wsum, csum =
+        List.fold_left
+          (fun (ws, cs) o ->
+            let f = fields_of o in
+            match (num (field name f), int_field "count" f) with
+            | Some p, Some c when c > 0 -> (ws +. (p *. float_of_int c), cs + c)
+            | _ -> (ws, cs))
+          (0.0, 0) parts
+      in
+      if csum > 0 then wsum /. float_of_int csum else 0.0
+    in
+    Json.Obj
+      [
+        ("count", Json.Int count);
+        ("p50_s", Json.Float (weighted "p50_s"));
+        ("p90_s", Json.Float (weighted "p90_s"));
+        ("p99_s", Json.Float (weighted "p99_s"));
+      ]
+  in
   Json.Obj
     [
       ("schema", Json.String "ncdrf-serve-metrics/1");
       ("jobs", Json.Int (max_int_field "jobs" objs));
+      ("max_inflight", Json.Int (max_int_field "max_inflight" objs));
       ("uptime_s", Json.Float (sum_floats "uptime_s" objs));
       ("requests.served", Json.Int (sum_ints "requests.served" objs));
       ("requests.shed", Json.Int (sum_ints "requests.shed" objs));
+      ("requests.inflight", Json.Int (sum_ints "requests.inflight" objs));
+      ("requests.queued", Json.Int (sum_ints "requests.queued" objs));
+      ( "requests.by_kind",
+        merge_counter_objs
+          (List.filter_map (fun o -> field "requests.by_kind" (fields_of o)) objs) );
+      ("latency", latency);
       ( "errors",
         merge_counter_objs (List.filter_map (fun o -> field "errors" (fields_of o)) objs) );
       ("telemetry", merge_telemetry telemetry);
@@ -277,6 +309,56 @@ let rec strip_timing = function
          fields)
   | Json.List items -> Json.List (List.map strip_timing items)
   | other -> other
+
+(* ------------------------------------------------------------------ *)
+(* Traces *)
+
+(* Merge Chrome trace-event documents ({!Trace.to_chrome} output, or
+   anything with a "traceEvents" list).  Track ids collide across
+   independent processes (every daemon numbers domain-0 as tid 0 and
+   connection threads from 1000), so each input is re-namespaced onto
+   its own pid (input order, 1-based) — viewers render one process lane
+   per merged file, and (pid, tid) stays collision-free without
+   rewriting tids.  Metadata records (ph "M", thread names) come first
+   in input order; timed events follow, stable-sorted by "ts" so
+   equal-timestamp events keep input order.  Request-id args pass
+   through untouched — they are how cross-file per-request grouping
+   survives the merge. *)
+let merge_traces jsons =
+  match jsons with
+  | [] -> Error "no trace documents to merge"
+  | _ ->
+    let* all =
+      List.fold_left
+        (fun acc j ->
+          let* acc = acc in
+          match field "traceEvents" (fields_of j) with
+          | Some (Json.List evs) -> Ok (evs :: acc)
+          | _ -> Error "trace document has no \"traceEvents\" list")
+        (Ok []) jsons
+      |> Result.map List.rev
+    in
+    let renamespace pid ev =
+      match ev with
+      | Json.Obj fields ->
+        Json.Obj
+          (List.map (fun (k, v) -> if k = "pid" then (k, Json.Int pid) else (k, v)) fields)
+      | other -> other
+    in
+    let all = List.mapi (fun i evs -> List.map (renamespace (i + 1)) evs) all in
+    let is_meta ev =
+      match field "ph" (fields_of ev) with Some (Json.String "M") -> true | _ -> false
+    in
+    let meta = List.concat_map (List.filter is_meta) all in
+    let timed = List.concat_map (List.filter (fun e -> not (is_meta e))) all in
+    let ts ev = Option.value ~default:0.0 (num (field "ts" (fields_of ev))) in
+    let timed = List.stable_sort (fun a b -> Float.compare (ts a) (ts b)) timed in
+    Ok
+      (Json.Obj
+         [
+           ("traceEvents", Json.List (meta @ timed));
+           ("displayTimeUnit", Json.String "ms");
+         ])
 
 (* ------------------------------------------------------------------ *)
 (* Ledgers *)

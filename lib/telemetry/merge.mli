@@ -23,6 +23,16 @@
     unknown schemas. *)
 val merge_metrics : Json.t list -> (Json.t, string) result
 
+(** [merge_traces jsons] merges Chrome trace-event documents
+    ({!Trace.to_chrome} output): each input's events are re-namespaced
+    onto their own [pid] (input order, 1-based) so track ids from
+    independent processes cannot collide, metadata records (thread
+    names) come first in input order, and timed events follow in one
+    stream stable-sorted by timestamp.  Per-event request-id args pass
+    through unchanged.  Errors on an empty list or an input without a
+    ["traceEvents"] list. *)
+val merge_traces : Json.t list -> (Json.t, string) result
+
 (** Replace every timing value (wall clocks, span durations/percentiles,
     rates, uptimes) with [null], recursively, along with the few
     partition-dependent counters ([alloc.pairs], [alloc.table_reuse] —

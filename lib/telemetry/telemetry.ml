@@ -20,11 +20,17 @@ type distribution = {
 (* Counters are Atomic cells in one global table, created under the
    lock (creation is rare, increments are lock-free).
 
-   Span accumulation is sharded per domain: each domain owns a table of
-   accumulators (sums plus the raw samples, for percentiles) reachable
-   through domain-local storage, so recording never takes a lock.
-   [spans]/[distributions] merge the shards at read time; like the
-   trace rings, readers must run after worker domains have quiesced. *)
+   Span accumulation is sharded per (domain, thread), the same
+   composite key the trace shards and Deadline tokens use: each thread
+   owns a table of accumulators (sums plus the raw samples, for
+   percentiles) keyed by (request id, span name), so concurrent
+   connection-handler systhreads on domain 0 never mutate one
+   accumulator concurrently, and samples stay attributable to the
+   request that produced them.  Recording takes the lock only for the
+   shard lookup (not for the accumulator update); [spans] and
+   [distributions] merge the shards — across requests — at read time.
+   Like the trace rings, readers must run after worker domains and
+   handler threads have quiesced. *)
 let on = Atomic.make false
 let lock = Mutex.create ()
 let counter_tbl : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 16
@@ -37,17 +43,26 @@ type acc = {
   mutable n_samples : int;
 }
 
-type span_shard = { accs : (string, acc) Hashtbl.t }
+(* accs keyed by (request id, span name); "" = outside any request *)
+type span_shard = { accs : (string * string, acc) Hashtbl.t }
 
+let span_table : (int * int, span_shard) Hashtbl.t = Hashtbl.create 16
 let span_shards : span_shard list ref = ref []
 
-let span_key : span_shard Domain.DLS.key =
-  Domain.DLS.new_key (fun () ->
+let my_span_shard () =
+  let k = ((Domain.self () :> int), Thread.id (Thread.self ())) in
+  Mutex.lock lock;
+  let s =
+    match Hashtbl.find_opt span_table k with
+    | Some s -> s
+    | None ->
       let s = { accs = Hashtbl.create 16 } in
-      Mutex.lock lock;
+      Hashtbl.add span_table k s;
       span_shards := s :: !span_shards;
-      Mutex.unlock lock;
-      s)
+      s
+  in
+  Mutex.unlock lock;
+  s
 
 let enable b = Atomic.set on b
 let enabled () = Atomic.get on
@@ -78,15 +93,16 @@ let counter name =
 
 let record_span name seconds =
   if Atomic.get on then begin
-    let shard = Domain.DLS.get span_key in
+    let shard = my_span_shard () in
+    let key = (Trace.current_request (), name) in
     let a =
-      match Hashtbl.find_opt shard.accs name with
+      match Hashtbl.find_opt shard.accs key with
       | Some a -> a
       | None ->
         let a =
           { total_s = 0.0; count = 0; max_s = 0.0; samples = Array.make 16 0.0; n_samples = 0 }
         in
-        Hashtbl.add shard.accs name a;
+        Hashtbl.add shard.accs key a;
         a
     in
     a.total_s <- a.total_s +. seconds;
@@ -122,21 +138,25 @@ let time name f =
 let all_span_shards () =
   with_lock (fun () -> !span_shards)
 
-let merged_accs () =
-  let tbl : (string, span * float list) Hashtbl.t = Hashtbl.create 16 in
+(* Merge shard accumulators under a caller-chosen key projection:
+   [fst] of the (request, name) acc key for per-request views, [snd]
+   for the classic per-name views (requests collapsed). *)
+let merged_accs_by key_of =
+  let tbl = Hashtbl.create 16 in
   List.iter
     (fun shard ->
       Hashtbl.iter
-        (fun name a ->
+        (fun key a ->
+          let key = key_of key in
           let prev_span, prev_samples =
             Option.value
-              (Hashtbl.find_opt tbl name)
+              (Hashtbl.find_opt tbl key)
               ~default:({ total_s = 0.0; count = 0; max_s = 0.0 }, [])
           in
           let samples =
             List.init a.n_samples (fun i -> a.samples.(i)) @ prev_samples
           in
-          Hashtbl.replace tbl name
+          Hashtbl.replace tbl key
             ( {
                 total_s = prev_span.total_s +. a.total_s;
                 count = prev_span.count + a.count;
@@ -146,6 +166,12 @@ let merged_accs () =
         shard.accs)
     (all_span_shards ());
   tbl
+
+let merged_accs () = merged_accs_by snd
+
+let request_spans () =
+  Hashtbl.fold (fun k (s, _) acc -> (k, s) :: acc) (merged_accs_by Fun.id) []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
 
 let sorted_bindings tbl value =
   Hashtbl.fold (fun k v acc -> (k, value v) :: acc) tbl []

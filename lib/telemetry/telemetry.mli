@@ -2,11 +2,17 @@
     counters, per-stage spans and a JSON metrics emitter.
 
     Counters live in one global, domain-safe registry (atomic cells);
-    span accumulation is sharded per worker domain and merged at read
-    time, so recording never serializes the pool on a lock.  Readers
-    ({!spans}, {!to_json}, ...) must run after worker domains have
-    quiesced.  Recording is gated on {!enable} (default off) so the hot
-    pipeline pays one atomic load per stage when telemetry is unused.
+    span accumulation is sharded per (domain, thread) — like the
+    {!Trace} rings and [Ncdrf_error.Deadline] tokens — and merged at
+    read time, so neither pool workers nor the daemon's concurrent
+    connection-handler systhreads serialize or trample each other.
+    Within a shard, samples are keyed by (ambient request id, span
+    name); the classic per-name views ({!spans}, {!distributions},
+    {!to_json}) collapse requests, while {!request_spans} keeps them
+    apart.  Readers must run after worker domains and handler threads
+    have quiesced.  Recording is gated on {!enable} (default off) so
+    the hot pipeline pays one atomic load per stage when telemetry is
+    unused.
 
     {!time} also feeds the event trace and the per-point run ledger
     when those are armed — see {!Trace} and {!Ledger}. *)
@@ -56,8 +62,14 @@ val time : string -> (unit -> 'a) -> 'a
 (** [record_span name seconds] adds one measurement directly. *)
 val record_span : string -> float -> unit
 
-(** All spans, sorted by name, merged across domains. *)
+(** All spans, sorted by name, merged across shards and requests. *)
 val spans : unit -> (string * span) list
+
+(** Per-(request id, span name) span statistics, sorted; the request
+    id is [""] for samples recorded outside any {!Trace.with_request}.
+    Lets tests and analyzers check that concurrent requests kept their
+    samples apart. *)
+val request_spans : unit -> ((string * string) * span) list
 
 (** Number of records of one span; 0 if never recorded.  The compile
     cache's effectiveness criterion — one ["schedule"] record per

@@ -4,7 +4,8 @@ type event = {
   name : string;
   phase : char;
   ts_ns : int64;
-  domain : int;
+  track : int;
+  request : string;
   loop : string;
   config : string;
   ii : int;
@@ -31,45 +32,83 @@ type point = {
   mutable error : string option;
 }
 
-(* One shard per domain.  The ring is lazily grown up to the capacity,
-   then wraps (oldest events overwritten); [emitted] is the lifetime
-   event count, so [emitted - Array.length ring] events have been
-   dropped once the ring is saturated.  A shard is only ever written by
-   its owning domain; readers run after the pool has quiesced. *)
+(* One shard per (domain, thread).  The ring is lazily grown up to the
+   capacity, then wraps (oldest events overwritten); [emitted] is the
+   lifetime event count, so [emitted - Array.length ring] events have
+   been dropped once the ring is saturated.  A shard is only ever
+   written by its owning thread; readers run after workers and
+   connection handlers have quiesced. *)
 type shard = {
-  mutable id : int;
+  mutable track : int;
   mutable ring : event array;
   mutable emitted : int;
   mutable ctx : point option;
+  mutable request : string;
 }
 
 let events_on = Atomic.make false
 let context_demanded = Atomic.make false
 let ring_capacity = Atomic.make 65536
 
+(* The registry is keyed by (domain id, thread id), the same composite
+   key Ncdrf_error.Deadline uses: connection-handler systhreads in the
+   serving daemon all run on domain 0 and would trample a Domain.DLS
+   slot, while pool workers are separate domains — the composite key
+   isolates both.  Keys are never reused (domain and thread ids are
+   monotonic), so a shard, once registered, is owned by exactly one
+   thread forever. *)
 let registry_lock = Mutex.create ()
+let table : (int * int, shard) Hashtbl.t = Hashtbl.create 16
 let shards : shard list ref = ref []
 
+(* Track assignment: the first thread of a domain gets the domain id
+   (so batch runs keep their historical domain-numbered tracks, and
+   pool workers overwrite theirs with the slot id via [set_track]);
+   additional systhreads on an already-tracked domain — the daemon's
+   connection handlers — get tracks from [aux_track_base] up, in
+   registration order. *)
+let aux_track_base = 1000
+let domain_tracked : (int, unit) Hashtbl.t = Hashtbl.create 16
+let next_aux_track = ref aux_track_base
+
+let key () = ((Domain.self () :> int), Thread.id (Thread.self ()))
+
 let dummy_event =
-  { name = ""; phase = '?'; ts_ns = 0L; domain = 0; loop = ""; config = ""; ii = -1 }
+  { name = ""; phase = '?'; ts_ns = 0L; track = 0; request = ""; loop = ""; config = "";
+    ii = -1 }
 
-let key : shard Domain.DLS.key =
-  Domain.DLS.new_key (fun () ->
-      let s =
-        { id = (Domain.self () :> int); ring = [||]; emitted = 0; ctx = None }
+let my () =
+  let (dom, _) as k = key () in
+  Mutex.lock registry_lock;
+  let s =
+    match Hashtbl.find_opt table k with
+    | Some s -> s
+    | None ->
+      let track =
+        if Hashtbl.mem domain_tracked dom then begin
+          let t = !next_aux_track in
+          incr next_aux_track;
+          t
+        end
+        else begin
+          Hashtbl.add domain_tracked dom ();
+          dom
+        end
       in
-      Mutex.lock registry_lock;
+      let s = { track; ring = [||]; emitted = 0; ctx = None; request = "" } in
+      Hashtbl.add table k s;
       shards := s :: !shards;
-      Mutex.unlock registry_lock;
-      s)
-
-let my () = Domain.DLS.get key
+      s
+  in
+  Mutex.unlock registry_lock;
+  s
 
 let enable b = Atomic.set events_on b
 let enabled () = Atomic.get events_on
 let require_context b = Atomic.set context_demanded b
 let active () = Atomic.get events_on || Atomic.get context_demanded
-let set_domain_id id = (my ()).id <- id
+let set_track id = (my ()).track <- id
+let set_domain_id = set_track
 let set_ring_capacity n = Atomic.set ring_capacity (max 1 n)
 
 let all_shards () =
@@ -77,6 +116,41 @@ let all_shards () =
   let l = !shards in
   Mutex.unlock registry_lock;
   l
+
+(* ------------------------------------------------------------------ *)
+(* Request scope                                                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The ambient request id is installed unconditionally (not gated on
+   [active]): it costs one registry lookup at scope entry, is only
+   entered by the serving daemon, and the id must be visible to the
+   span recorder even when the event trace itself is off. *)
+let with_request ~id f =
+  let s = my () in
+  let saved = s.request in
+  s.request <- id;
+  Fun.protect ~finally:(fun () -> s.request <- saved) f
+
+(* Read-only: never registers a shard, so probes from layers that are
+   armed independently of the trace (span accumulation, the ledger)
+   do not grow the registry. *)
+let current_request () =
+  let k = key () in
+  Mutex.lock registry_lock;
+  let r =
+    match Hashtbl.find_opt table k with Some s -> s.request | None -> ""
+  in
+  Mutex.unlock registry_lock;
+  r
+
+let inherit_request () =
+  match current_request () with
+  | "" -> fun f -> f ()
+  | id -> fun f -> with_request ~id f
+
+(* ------------------------------------------------------------------ *)
+(* Events                                                              *)
+(* ------------------------------------------------------------------ *)
 
 let emit s ev =
   let cap = Atomic.get ring_capacity in
@@ -99,7 +173,8 @@ let event_of s ~name ~phase =
     | Some p -> (p.loop, p.config, p.ii)
     | None -> ("", "", -1)
   in
-  { name; phase; ts_ns = now_ns (); domain = s.id; loop; config; ii }
+  { name; phase; ts_ns = now_ns (); track = s.track; request = s.request; loop;
+    config; ii }
 
 let begin_span name =
   if Atomic.get events_on then begin
@@ -194,16 +269,16 @@ let shard_events s =
     List.init n (fun i -> s.ring.((first + i) mod len))
   end
 
-(* Shards sort by (domain id, first timestamp): ids repeat across pool
-   generations (every pool numbers its workers 1..n-1), and a stable
-   chronological order within one id keeps per-track event streams
-   monotonic for trace viewers. *)
+(* Shards sort by (track id, first timestamp): track ids repeat across
+   pool generations (every pool numbers its workers 1..n-1), and a
+   stable chronological order within one track keeps per-track event
+   streams monotonic for trace viewers. *)
 let events () =
   all_shards ()
   |> List.map (fun s -> (s, shard_events s))
   |> List.filter (fun (_, evs) -> evs <> [])
   |> List.sort (fun (a, ae) (b, be) ->
-         match compare a.id b.id with
+         match compare a.track b.track with
          | 0 -> Int64.compare (List.hd ae).ts_ns (List.hd be).ts_ns
          | c -> c)
   |> List.concat_map snd
@@ -229,7 +304,11 @@ let to_chrome () =
       evs
   in
   let tids =
-    List.sort_uniq compare (List.map (fun e -> e.domain) evs)
+    List.sort_uniq compare (List.map (fun (e : event) -> e.track) evs)
+  in
+  let track_name tid =
+    if tid >= aux_track_base then Printf.sprintf "conn-%d" (tid - aux_track_base)
+    else Printf.sprintf "domain-%d" tid
   in
   let thread_meta tid =
     Json.Obj
@@ -238,12 +317,13 @@ let to_chrome () =
         ("ph", Json.String "M");
         ("pid", Json.Int 1);
         ("tid", Json.Int tid);
-        ("args", Json.Obj [ ("name", Json.String (Printf.sprintf "domain-%d" tid)) ]);
+        ("args", Json.Obj [ ("name", Json.String (track_name tid)) ]);
       ]
   in
   let event_json (e : event) =
     let args =
-      (if e.loop = "" then [] else [ ("loop", Json.String e.loop) ])
+      (if e.request = "" then [] else [ ("request", Json.String e.request) ])
+      @ (if e.loop = "" then [] else [ ("loop", Json.String e.loop) ])
       @ (if e.config = "" then [] else [ ("config", Json.String e.config) ])
       @ if e.ii < 0 then [] else [ ("ii", Json.Int e.ii) ]
     in
@@ -253,7 +333,7 @@ let to_chrome () =
          ("cat", Json.String "stage");
          ("ph", Json.String (String.make 1 e.phase));
          ("pid", Json.Int 1);
-         ("tid", Json.Int e.domain);
+         ("tid", Json.Int e.track);
          ("ts", Json.Float (Int64.to_float (Int64.sub e.ts_ns t0) /. 1000.0));
        ]
       @ if args = [] then [] else [ ("args", Json.Obj args) ])

@@ -1,6 +1,6 @@
-(** Event-level tracing: per-domain ring buffers of timestamped
-    begin/end events plus an ambient per-point context, exported as
-    Chrome trace-event JSON (chrome://tracing, Perfetto).
+(** Event-level tracing: per-(domain, thread) ring buffers of
+    timestamped begin/end events plus an ambient per-point context,
+    exported as Chrome trace-event JSON (chrome://tracing, Perfetto).
 
     Two independent demands switch the layer on:
     {ul
@@ -11,11 +11,34 @@
     With both off every probe is one atomic load, and driver outputs
     are byte-identical to a build without the probes.
 
-    Each domain owns one shard (ring buffer + context slot), created on
-    first use and never handed to another domain, so recording is
-    lock-free.  Readers ({!events}, {!write_chrome}) must run after
-    worker domains have quiesced — in the drivers, after the pool is
-    done. *)
+    Each (domain, thread) pair owns one shard (ring buffer + context
+    slot + ambient request id), created on first use and registered
+    under the composite key [(Domain.self, Thread.id)] — the same key
+    [Ncdrf_error.Deadline] uses — so the serving daemon's concurrent
+    connection-handler systhreads (all on domain 0) each record into
+    their own shard instead of trampling a shared domain slot.
+    Recording needs no lock after the shard exists.  Readers
+    ({!events}, {!write_chrome}) must run after worker domains and
+    handler threads have quiesced — in the drivers, after the pool is
+    done; in the daemon, at drain.
+
+    {2 Chrome-trace track scheme}
+
+    Every shard renders as one [tid] ("track") under a single [pid]:
+    {ul
+    {- the {e first} thread registered on a domain takes the domain id
+       as its track — batch runs therefore keep their historical
+       [domain-0], [domain-1], … tracks, and pool workers overwrite
+       theirs with the worker slot id via {!set_track} so traces show
+       one track per pool slot across pool generations;}
+    {- every {e additional} systhread on an already-tracked domain —
+       the daemon's connection handlers — takes the next track from
+       1000 up ([conn-0], [conn-1], …) in registration order.}}
+    Request attribution is {e not} encoded in the track: a pool worker
+    serves many requests on one track, so the request id rides on each
+    event as an explicit [request] arg (and the ["request"] key in the
+    exported [args] object), letting viewers and {!Merge.merge_traces}
+    group events per request across tracks. *)
 
 (** {1 Arming} *)
 
@@ -31,14 +54,44 @@ val require_context : bool -> unit
     done only to feed the trace (e.g. computing MaxLive). *)
 val active : unit -> bool
 
-(** Cap each domain's ring buffer (default 65536 events); once full,
-    the oldest events of that domain are overwritten. *)
+(** Cap each shard's ring buffer (default 65536 events); once full,
+    the oldest events of that shard are overwritten. *)
 val set_ring_capacity : int -> unit
 
-(** Give the calling domain a stable track id.  Pool workers call this
-    with their worker index so traces get one track per pool slot
-    instead of one per spawned domain. *)
+(** Give the calling thread's shard a stable track id.  Pool workers
+    call this with their worker slot index so traces get one track per
+    pool slot instead of one per spawned domain. *)
+val set_track : int -> unit
+
+(** Deprecated spelling of {!set_track}, kept for callers that predate
+    the (domain, thread) re-keying. *)
 val set_domain_id : int -> unit
+
+(** {1 Request scope}
+
+    The serving daemon runs each request under [with_request ~id], and
+    the id is stamped onto every trace event, span sample
+    ({!Telemetry.time}), and ledger record produced in that dynamic
+    extent.  Pool workers do not inherit it automatically (they are
+    different threads); [Ncdrf_parallel.Pool] captures the submitting
+    thread's id with {!inherit_request} and re-installs it around each
+    job. *)
+
+(** [with_request ~id f] runs [f] with [id] as the calling thread's
+    ambient request id (saving and restoring any outer id).  Installed
+    unconditionally — the id must be visible to span and ledger
+    recording even when event buffering is off. *)
+val with_request : id:string -> (unit -> 'a) -> 'a
+
+(** The calling thread's ambient request id, [""] when outside any
+    {!with_request}.  Never registers a shard. *)
+val current_request : unit -> string
+
+(** [inherit_request ()] captures the calling thread's ambient request
+    id and returns a wrapper that re-installs it on whatever thread
+    runs the wrapped thunk; the identity wrapper when there is no
+    ambient request. *)
+val inherit_request : unit -> (unit -> 'a) -> 'a
 
 (** {1 Ambient context} *)
 
@@ -69,11 +122,11 @@ type point = {
 }
 
 (** [with_context ~loop ~config ~fp f] runs [f] with a fresh point
-    context installed on the calling domain (saving and restoring any
+    context installed on the calling thread (saving and restoring any
     outer context).  A no-op pass-through when {!active} is false. *)
 val with_context : loop:string -> config:string -> fp:string -> (unit -> 'a) -> 'a
 
-(** The calling domain's current point, if inside {!with_context}. *)
+(** The calling thread's current point, if inside {!with_context}. *)
 val current : unit -> point option
 
 val set_ii : int -> unit
@@ -106,12 +159,15 @@ val note_disk : hit:bool -> unit
 (** {1 Events} *)
 
 (** One buffered event.  [phase] is the Chrome phase: 'B' begin,
-    'E' end, 'i' instant. *)
+    'E' end, 'i' instant.  [track] is the Chrome [tid] per the track
+    scheme above; [request] is the ambient request id at emission time
+    ([""] outside any request). *)
 type event = {
   name : string;
   phase : char;
   ts_ns : int64;
-  domain : int;
+  track : int;
+  request : string;
   loop : string;
   config : string;
   ii : int;
@@ -121,11 +177,11 @@ val begin_span : string -> unit
 val end_span : string -> unit
 val instant : string -> unit
 
-(** All buffered events: shards ordered by (domain id, first
+(** All buffered events: shards ordered by (track id, first
     timestamp), each shard's events in emission order. *)
 val events : unit -> event list
 
-(** Events lost to ring-buffer wrap-around, across all domains. *)
+(** Events lost to ring-buffer wrap-around, across all shards. *)
 val dropped : unit -> int
 
 (** Drop all buffered events (shards stay registered; the enabled
@@ -135,9 +191,10 @@ val reset : unit -> unit
 (** {1 Export} *)
 
 (** The buffered events as a Chrome trace-event document: one [pid],
-    one [tid] (track) per domain id with a [thread_name] metadata
-    record, timestamps in microseconds relative to the earliest
-    event, and [args] carrying the ambient loop/config/II. *)
+    one [tid] per track (see the track scheme above) with a
+    [thread_name] metadata record, timestamps in microseconds relative
+    to the earliest event, and [args] carrying the request id and the
+    ambient loop/config/II. *)
 val to_chrome : unit -> Json.t
 
 (** Write {!to_chrome} atomically ({!Json.write_file}). *)

@@ -227,6 +227,48 @@ if [ -z "${srv_overloaded:-}" ] || [ "$srv_overloaded" -eq 0 ]; then
   echo "check.sh: serve metrics missing errors.overloaded > 0" >&2; exit 1
 fi
 
+# Concurrent-serving gate: a daemon with 4 execution slots under 4
+# concurrent clients must serve every request byte-identical to the
+# batch run, publish metrics carrying the admission gauges, per-kind
+# counters and latency percentiles, and its trace — run through
+# `ncdrf merge --trace` — must load with events attributed to every
+# request id.  (No requests/s assertion here: on a single-core box the
+# concurrency win is bounded by protocol/compute overlap.)
+sock_c="/tmp/ncdrf-serve-c.$$.sock"
+conc_dir=$(mktemp -d /tmp/ncdrf-conc.XXXXXX)
+trap 'rm -rf "$metrics" "$spill_metrics" "$inj_metrics" "$inj_out" "$k4_metrics" "$ports_metrics" "$trace" "$ledger" "$profile_out" "$serve_metrics" "$client_suite" "$batch_suite" "$shed_dir" "$deadline_metrics" "$sock_a" "$sock_b" "$sock_c" "$conc_dir"' EXIT
+"$NCDRF" serve --socket "$sock_c" --jobs 1 --max-inflight 4 \
+  --metrics "$conc_dir/metrics.json" --trace "$conc_dir/trace.json" \
+  --ledger "$conc_dir/ledger.jsonl" > /dev/null 2>&1 &
+serv_c=$!
+conc_pids=
+for i in 1 2 3 4; do
+  "$NCDRF" client suite --socket "$sock_c" --size 60 > "$conc_dir/out.$i" &
+  conc_pids="$conc_pids $!"
+done
+conc_failed=0
+for p in $conc_pids; do wait "$p" || conc_failed=1; done
+[ "$conc_failed" -eq 0 ] || {
+  echo "check.sh: a concurrent client against --max-inflight 4 failed" >&2; exit 1; }
+for i in 1 2 3 4; do
+  cmp -s "$conc_dir/out.$i" "$batch_suite" || {
+    echo "check.sh: concurrent client $i output differs from batch suite" >&2; exit 1; }
+done
+kill -TERM "$serv_c"
+wait "$serv_c" || {
+  echo "check.sh: concurrent daemon did not exit 0 on SIGTERM" >&2; exit 1; }
+for key in '"max_inflight"' '"requests.inflight"' '"requests.queued"' \
+    '"requests.by_kind"' '"p50_s"' '"p90_s"' '"p99_s"'; do
+  grep -q "$key" "$conc_dir/metrics.json" || {
+    echo "check.sh: concurrent serve metrics missing $key" >&2; exit 1; }
+done
+"$NCDRF" merge "$conc_dir/trace.json" --trace "$conc_dir/merged-trace.json" > /dev/null
+req_ids=$(grep -o '"request": *"[^"]*"' "$conc_dir/merged-trace.json" | sort -u | wc -l)
+if [ "${req_ids:-0}" -lt 4 ]; then
+  echo "check.sh: merged concurrent trace carries $req_ids request id(s), expected >= 4" >&2
+  exit 1
+fi
+
 # Deadline smoke: a zero budget must fail every point with the typed
 # deadline category, reported in the metrics, without crashing the run.
 "$NCDRF" suite --size 10 --jobs 1 --timeout 0 --metrics "$deadline_metrics" > /dev/null
@@ -245,7 +287,7 @@ cold_m=$(mktemp /tmp/ncdrf-cold.XXXXXX.json)
 warm_m=$(mktemp /tmp/ncdrf-warm.XXXXXX.json)
 cold_out=$(mktemp /tmp/ncdrf-cold.XXXXXX.txt)
 warm_out=$(mktemp /tmp/ncdrf-warm.XXXXXX.txt)
-trap 'rm -rf "$metrics" "$spill_metrics" "$inj_metrics" "$inj_out" "$k4_metrics" "$ports_metrics" "$trace" "$ledger" "$profile_out" "$serve_metrics" "$client_suite" "$batch_suite" "$shed_dir" "$deadline_metrics" "$sock_a" "$sock_b" "$store_dir" "$cold_m" "$warm_m" "$cold_out" "$warm_out"' EXIT
+trap 'rm -rf "$metrics" "$spill_metrics" "$inj_metrics" "$inj_out" "$k4_metrics" "$ports_metrics" "$trace" "$ledger" "$profile_out" "$serve_metrics" "$client_suite" "$batch_suite" "$shed_dir" "$deadline_metrics" "$sock_a" "$sock_b" "$sock_c" "$conc_dir" "$store_dir" "$cold_m" "$warm_m" "$cold_out" "$warm_out"' EXIT
 dune exec bench/main.exe -- fig8 --quick --jobs 1 \
   --cache-dir "$store_dir" --metrics "$cold_m" > "$cold_out"
 dune exec bench/main.exe -- fig8 --quick --jobs 1 \
@@ -278,7 +320,7 @@ fi
 # files go through a single-input merge, which is the identity modulo
 # the same normalization.
 shard_dir=$(mktemp -d /tmp/ncdrf-shards.XXXXXX)
-trap 'rm -rf "$metrics" "$spill_metrics" "$inj_metrics" "$inj_out" "$k4_metrics" "$ports_metrics" "$trace" "$ledger" "$profile_out" "$serve_metrics" "$client_suite" "$batch_suite" "$shed_dir" "$deadline_metrics" "$sock_a" "$sock_b" "$store_dir" "$cold_m" "$warm_m" "$cold_out" "$warm_out" "$shard_dir"' EXIT
+trap 'rm -rf "$metrics" "$spill_metrics" "$inj_metrics" "$inj_out" "$k4_metrics" "$ports_metrics" "$trace" "$ledger" "$profile_out" "$serve_metrics" "$client_suite" "$batch_suite" "$shed_dir" "$deadline_metrics" "$sock_a" "$sock_b" "$sock_c" "$conc_dir" "$store_dir" "$cold_m" "$warm_m" "$cold_out" "$warm_out" "$shard_dir"' EXIT
 "$NCDRF" suite --size 60 --jobs 1 \
   --metrics "$shard_dir/m0.json" --ledger "$shard_dir/l0.jsonl" > /dev/null
 "$NCDRF" suite --size 60 --jobs 1 --shard 0/2 \
@@ -303,4 +345,4 @@ if [ "${shard_points:-0}" -lt 2 ]; then
   exit 1
 fi
 
-echo "check.sh: OK (cache.misses=$misses, alloc.table_reuse=$reuse, spill.incremental_reschedules=$incs, errors.injected=$injected, cluster.subfiles=$subfiles, ports.capped_points=$capped, trace_events=$events, serve: served=$served_clients shed=$shed_clients injected=$srv_injected overloaded=$srv_overloaded deadline=$dl, store: disk_hits=$disk_hits cold=${cold_wall}s warm=${warm_wall}s, shard merge OK)"
+echo "check.sh: OK (cache.misses=$misses, alloc.table_reuse=$reuse, spill.incremental_reschedules=$incs, errors.injected=$injected, cluster.subfiles=$subfiles, ports.capped_points=$capped, trace_events=$events, serve: served=$served_clients shed=$shed_clients injected=$srv_injected overloaded=$srv_overloaded deadline=$dl, concurrent serve: 4 clients byte-identical request_ids=$req_ids, store: disk_hits=$disk_hits cold=${cold_wall}s warm=${warm_wall}s, shard merge OK)"

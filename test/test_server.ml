@@ -13,6 +13,8 @@ module Deadline = Ncdrf_error.Deadline
 module Failures = Ncdrf_error.Failures
 module Fault = Ncdrf_fault.Fault
 module Telemetry = Ncdrf_telemetry.Telemetry
+module Trace = Ncdrf_telemetry.Trace
+module Ledger = Ncdrf_telemetry.Ledger
 module Protocol = Ncdrf_server.Protocol
 module Server = Ncdrf_server.Server
 module Client = Ncdrf_server.Client
@@ -150,6 +152,12 @@ let gen_health =
   list_size (int_bound 4)
     (pair (oneofl [ "injected"; "parse"; "overloaded"; "canceled" ]) (int_range 1 9))
   >>= fun error_counts ->
+  list_size (int_bound 3)
+    (pair (oneofl [ "schedule"; "suite"; "health"; "stats" ]) (int_range 1 9))
+  >>= fun kind_counts ->
+  gen_grid_float >>= fun latency_p50_s ->
+  gen_grid_float >>= fun latency_p90_s ->
+  gen_grid_float >>= fun latency_p99_s ->
   return
     {
       Protocol.status;
@@ -165,6 +173,10 @@ let gen_health =
       cache_misses;
       cache_entries;
       error_counts;
+      kind_counts;
+      latency_p50_s;
+      latency_p90_s;
+      latency_p99_s;
     }
 
 let gen_response =
@@ -556,6 +568,193 @@ let test_daemon_suite_identity () =
     check_string "rendered report byte-identical" (render local_rows) (render rows)
   | _ -> Alcotest.fail "expected a suite report"
 
+(* ------------------------------------------------------------------ *)
+(* Request-scoped observability under concurrency.                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Identity projections: everything deterministic about a record, with
+   timestamps, durations and track ids (which legitimately differ
+   between a serial and a concurrent run) stripped. *)
+let event_projection (e : Trace.event) =
+  (e.Trace.request, e.Trace.name, e.Trace.phase, e.Trace.loop, e.Trace.config,
+   e.Trace.ii)
+
+let ledger_projection (r : Ledger.record) =
+  (r.Ledger.request, r.Ledger.label, r.Ledger.loop, r.Ledger.config,
+   r.Ledger.fp, r.Ledger.models, r.Ledger.capacity, r.Ledger.ok,
+   r.Ledger.error)
+
+let reset_observability () =
+  Trace.reset ();
+  Telemetry.reset ();
+  Ledger.reset ()
+
+(* Issue [kinds] against a fresh armed daemon — sequentially on one
+   client per request when [concurrent] is false, else one systhread
+   per request — and snapshot the in-memory observability state after
+   the daemon drains (handler threads joined, shards quiescent).
+   Request i gets id [tag ^ i] in both modes, so serial and concurrent
+   runs can be compared per request id. *)
+let observed_run ~tag ~concurrent kinds =
+  reset_observability ();
+  let tmp suffix = Filename.temp_file "ncdrf-obs" suffix in
+  let metrics = tmp ".json" and trace = tmp ".trace" and ledger = tmp ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [ metrics; trace; ledger ])
+  @@ fun () ->
+  let failures = ref [] in
+  let fail_lock = Mutex.create () in
+  let note msg =
+    Mutex.lock fail_lock;
+    failures := msg :: !failures;
+    Mutex.unlock fail_lock
+  in
+  with_daemon
+    ~configure:(fun o ->
+      {
+        o with
+        max_inflight = 4;
+        metrics = Some metrics;
+        trace = Some trace;
+        ledger = Some ledger;
+      })
+    (fun path ->
+      let issue i kind =
+        let id = Printf.sprintf "%s%d" tag i in
+        match
+          let client = Client.connect path in
+          Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+          Client.request client { Protocol.id; timeout_s = None; kind }
+        with
+        | Ok resp ->
+          if resp.Protocol.req_id <> id then note ("wrong echo for " ^ id);
+          (match resp.Protocol.body with
+           | Protocol.Suite_report _ | Protocol.Scheduled _ -> ()
+           | _ -> note ("non-work response for " ^ id))
+        | Stdlib.Error e -> note (Error.to_string e)
+        | exception e -> note (Printexc.to_string e)
+      in
+      if concurrent then
+        List.iter Thread.join
+          (List.mapi (fun i k -> Thread.create (fun () -> issue i k) ()) kinds)
+      else List.iteri issue kinds);
+  if !failures <> [] then Alcotest.fail (String.concat "; " !failures);
+  let events = List.map event_projection (Trace.events ()) in
+  let spans =
+    List.map
+      (fun ((req, name), (s : Telemetry.span)) -> (req, name, s.Telemetry.count))
+      (Telemetry.request_spans ())
+  in
+  let ledgers = List.map ledger_projection (Ledger.records ()) in
+  (events, spans, ledgers)
+
+(* N concurrent requests produce per-request-id observability sets
+   that are pairwise disjoint (every record carries exactly one of the
+   N ids) and whose union equals the serial run's multiset — in fact
+   each id's projection matches the serial run of the same id, which
+   is stronger.  The artifact cache is disabled so both runs perform
+   identical work. *)
+let prop_concurrent_observability =
+  QCheck.Test.make ~count:3 ~name:"concurrent requests keep observability apart"
+    (QCheck.make ~print:string_of_int QCheck.Gen.(int_range 2 4))
+    (fun n ->
+      let was = Artifact.cache_enabled () in
+      Artifact.set_cache_enabled false;
+      Artifact.clear_cache ();
+      Fun.protect
+        ~finally:(fun () ->
+          Artifact.set_cache_enabled was;
+          Artifact.clear_cache ();
+          Telemetry.enable false;
+          Trace.enable false;
+          Ledger.enable false;
+          reset_observability ())
+      @@ fun () ->
+      let sizes = List.init n (fun i -> 4 + (2 * i)) in
+      (* Pre-warm the suite-generation cache so neither run records the
+         one-off generation work under a request id. *)
+      List.iter (fun size -> ignore (Ncdrf_workloads.Suite.full ~size ())) sizes;
+      let kinds =
+        List.map
+          (fun size ->
+            Protocol.Suite { spec = Config.default_spec; size; registers = 32 })
+          sizes
+      in
+      let se, ss, sl = observed_run ~tag:"req" ~concurrent:false kinds in
+      let ce, cs, cl = observed_run ~tag:"req" ~concurrent:true kinds in
+      let ids = List.init n (fun i -> Printf.sprintf "req%d" i) in
+      (* Disjointness: every concurrent record is attributed to exactly
+         one of the N ids — nothing leaks to the ambient "" scope or to
+         a foreign id. *)
+      List.iter
+        (fun (req, _, _, _, _, _) ->
+          if not (List.mem req ids) then
+            QCheck.Test.fail_reportf "event outside request scope: %S" req)
+        ce;
+      List.iter
+        (fun (req, _, _) ->
+          if not (List.mem req ids) then
+            QCheck.Test.fail_reportf "span outside request scope: %S" req)
+        cs;
+      List.iter
+        (fun (req, _, _, _, _, _, _, _, _) ->
+          if not (List.mem req ids) then
+            QCheck.Test.fail_reportf "ledger record outside request scope: %S" req)
+        cl;
+      List.iter
+        (fun id ->
+          if not (List.exists (fun (req, _, _, _, _, _) -> req = id) ce) then
+            QCheck.Test.fail_reportf "no events for %s" id)
+        ids;
+      (* Union = serial multiset: both runs used the same ids for the
+         same work, so the full projections must agree as multisets —
+         which also pins every per-id subset to its serial twin. *)
+      let sort l = List.sort compare l in
+      if sort ce <> sort se then QCheck.Test.fail_reportf "event multiset differs";
+      if sort cs <> sort ss then QCheck.Test.fail_reportf "span multiset differs";
+      if sort cl <> sort sl then QCheck.Test.fail_reportf "ledger multiset differs";
+      true)
+
+(* Concurrent clients get byte-identical rendered reports: the answer
+   does not depend on which execution slot served it. *)
+let test_daemon_concurrent_identity () =
+  with_daemon ~configure:(fun o -> { o with max_inflight = 4 }) @@ fun path ->
+  let size = 10 and registers = 32 in
+  let renders = Array.make 3 "" in
+  let errors = ref [] in
+  let threads =
+    List.init 3 (fun i ->
+        Thread.create
+          (fun () ->
+            match
+              let client = Client.connect path in
+              Fun.protect ~finally:(fun () -> Client.close client) @@ fun () ->
+              Client.request client
+                {
+                  Protocol.id = Printf.sprintf "ci%d" i;
+                  timeout_s = None;
+                  kind = Protocol.Suite { spec = Config.default_spec; size; registers };
+                }
+            with
+            | Ok { Protocol.body = Protocol.Suite_report { machine; jobs; rows; _ }; _ } ->
+              renders.(i) <-
+                Protocol.render_suite_header ~size ~machine ~jobs
+                ^ Protocol.render_suite_table_head ~registers
+                ^ String.concat "" (List.map Protocol.render_suite_row rows)
+            | Ok _ -> errors := "unexpected body" :: !errors
+            | Stdlib.Error e -> errors := Error.to_string e :: !errors
+            | exception e -> errors := Printexc.to_string e :: !errors)
+          ())
+  in
+  List.iter Thread.join threads;
+  if !errors <> [] then Alcotest.fail (String.concat "; " !errors);
+  check_bool "reports non-empty" true (renders.(0) <> "");
+  check_string "client 1 matches client 0" renders.(0) renders.(1);
+  check_string "client 2 matches client 0" renders.(0) renders.(2)
+
 let suite =
   [
     Alcotest.test_case "malformed frames are typed errors" `Quick test_malformed_frames;
@@ -568,6 +767,9 @@ let suite =
     Alcotest.test_case "daemon contains injected faults" `Quick
       test_daemon_contains_injected_fault;
     Alcotest.test_case "daemon suite identity" `Quick test_daemon_suite_identity;
+    Alcotest.test_case "concurrent clients byte-identical" `Quick
+      test_daemon_concurrent_identity;
+    QCheck_alcotest.to_alcotest prop_concurrent_observability;
     QCheck_alcotest.to_alcotest prop_request_roundtrip;
     QCheck_alcotest.to_alcotest prop_response_roundtrip;
     QCheck_alcotest.to_alcotest prop_parse_total;

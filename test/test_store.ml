@@ -323,6 +323,7 @@ let test_shard_partition () =
 let record ~label ~loop ~config ~total_ns =
   {
     Ledger.label;
+    request = "";
     loop;
     config;
     fp = "00000000";

@@ -292,6 +292,82 @@ let test_trace_jobs_invariant () =
       check_bool "--jobs 2 emits the same event multiset as --jobs 1" true
         (serial = parallel))
 
+(* Two systhreads on one domain: the (domain, thread)-keyed registries
+   keep span samples and trace events apart — under the old
+   domain-keyed scheme both threads shared one shard, so their B/E
+   events interleaved on a single track and samples trampled each
+   other.  Regression for the daemon's concurrent connection
+   handlers. *)
+let test_two_systhreads_do_not_interleave () =
+  Telemetry.enable true;
+  Trace.enable true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.enable false;
+      Trace.enable false;
+      Telemetry.reset ();
+      Trace.reset ())
+  @@ fun () ->
+  Telemetry.reset ();
+  Trace.reset ();
+  let rounds = 25 in
+  let body id () =
+    Trace.with_request ~id @@ fun () ->
+    for _ = 1 to rounds do
+      (* Yield inside the span so the two threads genuinely overlap. *)
+      Telemetry.time ("work." ^ id) Thread.yield
+    done
+  in
+  let t1 = Thread.create (body "alpha") () in
+  let t2 = Thread.create (body "beta") () in
+  Thread.join t1;
+  Thread.join t2;
+  (* Exact per-request sample counts: nothing lost, nothing leaked. *)
+  let count req name =
+    match List.assoc_opt (req, name) (Telemetry.request_spans ()) with
+    | Some (s : Telemetry.span) -> s.Telemetry.count
+    | None -> 0
+  in
+  check_int "alpha kept every sample" rounds (count "alpha" "work.alpha");
+  check_int "beta kept every sample" rounds (count "beta" "work.beta");
+  check_int "no cross-request samples" 0
+    (count "alpha" "work.beta" + count "beta" "work.alpha");
+  (* Each thread's events sit on their own track, stamped with their
+     request id, and balance B/E with no interleaving. *)
+  let evs = Trace.events () in
+  let tracks_of req =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (e : Trace.event) ->
+           if e.Trace.request = req then Some e.Trace.track else None)
+         evs)
+  in
+  (match (tracks_of "alpha", tracks_of "beta") with
+   | [ a ], [ b ] -> check_bool "requests on distinct tracks" true (a <> b)
+   | a, b ->
+     Alcotest.fail
+       (Printf.sprintf "expected one track per request, got %d and %d"
+          (List.length a) (List.length b)));
+  List.iter
+    (fun req ->
+      let mine =
+        List.filter (fun (e : Trace.event) -> e.Trace.request = req) evs
+      in
+      check_int ("event count for " ^ req) (2 * rounds) (List.length mine);
+      let depth = ref 0 in
+      List.iter
+        (fun (e : Trace.event) ->
+          match e.Trace.phase with
+          | 'B' -> incr depth
+          | 'E' ->
+            if !depth = 0 then
+              Alcotest.fail ("unbalanced E within request " ^ req);
+            decr depth
+          | _ -> ())
+        mine;
+      check_int ("balanced B/E for " ^ req) 0 !depth)
+    [ "alpha"; "beta" ]
+
 (* ------------------------------------------------------------------ *)
 (* Run ledger: record and file round-trips, --jobs identity guard.     *)
 (* ------------------------------------------------------------------ *)
@@ -299,6 +375,7 @@ let test_trace_jobs_invariant () =
 let sample_record : Ledger.record =
   {
     Ledger.label = "t";
+    request = "";
     loop = "loop-1";
     config = "dual-L3";
     fp = "abc123def456";
@@ -478,6 +555,8 @@ let suite =
       test_trace_chrome_document;
     Alcotest.test_case "trace events invariant under --jobs" `Quick
       test_trace_jobs_invariant;
+    Alcotest.test_case "two systhreads keep shards apart" `Quick
+      test_two_systhreads_do_not_interleave;
     Alcotest.test_case "ledger record round-trips" `Quick test_ledger_record_roundtrip;
     Alcotest.test_case "ledger file round-trips identity-sorted" `Quick
       test_ledger_file_roundtrip;
